@@ -1,0 +1,72 @@
+// Extension bench (not a paper table): empirical privacy audit of the
+// published matrices under the paper's §III-A threat model.
+//
+// For each perturbation strategy and privacy budget we train on the
+// Chameleon stand-in and run three membership-inference statistics against
+// the published {Win, Wout}. Two things to look for:
+//
+//  * the loss-based attack (score_threshold) weakens as ε shrinks — the DP
+//    guarantee at work;
+//  * the row_norm_sum attack measures the *touched-row side channel* of the
+//    non-zero perturbation mechanism (Eq. 9): noise accumulates only in
+//    visited rows, so row norms encode visit counts. The naive mechanism
+//    (Eq. 6) perturbs every row and closes that channel — at catastrophic
+//    utility cost (Table VI).
+
+#include <cstdio>
+
+#include "attack/membership_inference.h"
+#include "bench/bench_common.h"
+
+using namespace sepriv;
+using namespace sepriv::bench;
+
+int main() {
+  const Profile profile = GetProfile();
+  PrintBenchHeader("Privacy audit — membership inference on published matrices",
+                   "extension of paper §III-A threat model", profile);
+
+  const Graph graph = MakeBenchGraph(DatasetId::kChameleon, profile);
+  const EdgeProximity dw =
+      BuildEdgeProximity(graph, ProximityKind::kDeepWalk, profile);
+  std::printf("dataset: %s\n\n", graph.Summary().c_str());
+
+  struct Setting {
+    const char* name;
+    PerturbationStrategy strategy;
+    double epsilon;
+  };
+  const Setting settings[] = {
+      {"non-private", PerturbationStrategy::kNone, 0.0},
+      {"non-zero eps=3.5", PerturbationStrategy::kNonZero, 3.5},
+      {"non-zero eps=1.0", PerturbationStrategy::kNonZero, 1.0},
+      {"non-zero eps=0.5", PerturbationStrategy::kNonZero, 0.5},
+      {"naive    eps=3.5", PerturbationStrategy::kNaive, 3.5},
+  };
+
+  std::printf("%-20s %-18s %-18s %-18s\n", "setting", "score_attack_AUC",
+              "rownorm_attack_AUC", "cosine_attack_AUC");
+  for (const Setting& s : settings) {
+    double auc[3] = {0, 0, 0};
+    for (int r = 0; r < profile.repeats; ++r) {
+      SePrivGEmbConfig cfg = DefaultConfig(profile);
+      cfg.perturbation = s.strategy;
+      cfg.epsilon = s.epsilon > 0 ? s.epsilon : 3.5;
+      cfg.seed = 500 + 13 * static_cast<uint64_t>(r);
+      EdgeProximity copy = dw;
+      SePrivGEmb trainer(graph, std::move(copy), cfg);
+      const TrainResult res = trainer.Train();
+      const auto audit = AuditEmbedding(res.model, graph, 2000,
+                                        900 + static_cast<uint64_t>(r));
+      for (size_t i = 0; i < 3; ++i) auc[i] += audit[i].auc;
+    }
+    for (double& a : auc) a /= profile.repeats;
+    std::printf("%-20s %-18.4f %-18.4f %-18.4f\n", s.name, auc[0], auc[1],
+                auc[2]);
+  }
+  std::printf(
+      "\nReading: score-attack AUC should fall toward 0.5 as eps shrinks; a "
+      "row-norm AUC above 0.5 quantifies the touched-row side channel that "
+      "the analytical guarantee does not model.\n\n");
+  return 0;
+}

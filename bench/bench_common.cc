@@ -1,0 +1,188 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/embedder.h"
+#include "eval/strucequ.h"
+#include "util/check.h"
+
+namespace sepriv::bench {
+
+Profile GetProfile() {
+  Profile p;
+  const char* env = std::getenv("SEPRIV_FULL");
+  p.full = env != nullptr && env[0] == '1';
+  if (p.full) {
+    p.repeats = 10;
+    p.dim = 128;
+    p.se_epochs = 200;
+    p.lp_epochs = 2000;
+    p.baseline_epochs = 200;
+    p.strucequ_pairs = 2000000;
+  }
+  return p;
+}
+
+Graph MakeBenchGraph(DatasetId id, const Profile& profile) {
+  if (profile.full) return MakeDataset(id, 1.0);
+  switch (id) {
+    case DatasetId::kChameleon: return MakeDataset(id, 0.15);
+    case DatasetId::kPpi: return MakeDataset(id, 0.10);
+    case DatasetId::kPower: return MakeDataset(id, 0.20);
+    case DatasetId::kArxiv: return MakeDataset(id, 0.15);
+    case DatasetId::kBlogCatalog: return MakeDataset(id, 0.04);
+    case DatasetId::kDblp: return MakeDataset(id, 0.001);
+  }
+  SEPRIV_CHECK(false, "unknown dataset");
+  return Graph();
+}
+
+EdgeProximity BuildEdgeProximity(const Graph& graph, ProximityKind kind,
+                                 const Profile& profile) {
+  ProximityOptions opts;
+  // Exact DeepWalk rows are affordable below ~50k adjacency pushes per row;
+  // the huge FULL-mode stand-ins switch to the walk-sampled estimator.
+  if (kind == ProximityKind::kDeepWalk && profile.full &&
+      graph.num_edges() > 200000) {
+    kind = ProximityKind::kDeepWalkSampled;
+    opts.dw_walks_per_node = 200;
+  }
+  const auto provider = MakeProximity(kind, graph, opts);
+  return ComputeEdgeProximities(graph, *provider);
+}
+
+SePrivGEmbConfig DefaultConfig(const Profile& profile) {
+  SePrivGEmbConfig cfg;  // paper §VI-A defaults baked into the struct
+  cfg.dim = profile.dim;
+  cfg.max_epochs = profile.se_epochs;
+  cfg.track_loss = false;
+  return cfg;
+}
+
+double StrucEquOf(const Graph& graph, const Matrix& embedding,
+                  const Profile& profile) {
+  StrucEquOptions opts;
+  opts.max_pairs = profile.strucequ_pairs;
+  return StrucEqu(graph, embedding, opts);
+}
+
+RunSummary Repeat(int repeats, const std::function<double(uint64_t)>& run) {
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    values.push_back(run(static_cast<uint64_t>(1000 + 37 * r)));
+  }
+  return Summarize(values);
+}
+
+std::string Cell(const RunSummary& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f±%.4f", s.mean, s.stddev);
+  return buf;
+}
+
+void PrintBenchHeader(const std::string& table_name,
+                      const std::string& paper_ref, const Profile& profile) {
+  std::printf("=============================================================\n");
+  std::printf("%s  (reproduces %s)\n", table_name.c_str(), paper_ref.c_str());
+  std::printf("profile: %s  repeats=%d dim=%zu se_epochs=%zu lp_epochs=%zu\n",
+              profile.full ? "FULL (paper scale)" : "FAST (set SEPRIV_FULL=1 for paper scale)",
+              profile.repeats, profile.dim, profile.se_epochs,
+              profile.lp_epochs);
+  std::printf("datasets: synthetic stand-ins (DESIGN.md §3); compare SHAPES, "
+              "not absolute values\n");
+  std::printf("=============================================================\n");
+}
+
+const std::vector<Method>& AllMethods() {
+  static const std::vector<Method> kMethods = {
+      Method::kDpgGan,      Method::kDpgVae,       Method::kGap,
+      Method::kProGap,      Method::kSeGEmbDw,     Method::kSePrivGEmbDw,
+      Method::kSeGEmbDeg,   Method::kSePrivGEmbDeg,
+  };
+  return kMethods;
+}
+
+std::string MethodName(Method m) {
+  switch (m) {
+    case Method::kDpgGan: return "DPGGAN";
+    case Method::kDpgVae: return "DPGVAE";
+    case Method::kGap: return "GAP";
+    case Method::kProGap: return "ProGAP";
+    case Method::kSeGEmbDw: return "SE-GEmbDW";
+    case Method::kSePrivGEmbDw: return "SE-PrivGEmbDW";
+    case Method::kSeGEmbDeg: return "SE-GEmbDeg";
+    case Method::kSePrivGEmbDeg: return "SE-PrivGEmbDeg";
+  }
+  return "?";
+}
+
+namespace {
+
+PublishedEmbedding RunSeTrainer(const Graph& graph, const EdgeProximity& prox,
+                                bool is_private, double epsilon, size_t epochs,
+                                uint64_t seed, const Profile& profile) {
+  SePrivGEmbConfig cfg = DefaultConfig(profile);
+  cfg.max_epochs = epochs;
+  cfg.epsilon = epsilon;
+  cfg.seed = seed;
+  cfg.perturbation = is_private ? PerturbationStrategy::kNonZero
+                                : PerturbationStrategy::kNone;
+  EdgeProximity copy = prox;  // trainer consumes the vectors
+  SePrivGEmb trainer(graph, std::move(copy), cfg);
+  TrainResult result = trainer.Train();
+  return {std::move(result.model.w_in), std::move(result.model.w_out)};
+}
+
+PublishedEmbedding RunBaseline(BaselineKind kind, const Graph& graph,
+                               double epsilon, size_t epochs, uint64_t seed,
+                               const Profile& profile) {
+  EmbedderOptions opts;
+  opts.dim = profile.dim;
+  opts.epsilon = epsilon;
+  opts.max_epochs = epochs;
+  opts.agg_epochs = profile.full ? 30 : 10;
+  opts.batch_size = 128;
+  opts.feature_dim = profile.full ? 32 : 8;
+  opts.hidden_dim = profile.full ? 64 : 16;
+  opts.seed = seed;
+  Matrix emb = MakeBaseline(kind, opts)->Embed(graph).embedding;
+  Matrix copy = emb;
+  return {std::move(emb), std::move(copy)};
+}
+
+}  // namespace
+
+PublishedEmbedding EmbedWithMethod(Method method, const Graph& graph,
+                                   const EdgeProximity& dw,
+                                   const EdgeProximity& deg, double epsilon,
+                                   size_t epochs, uint64_t seed,
+                                   const Profile& profile) {
+  switch (method) {
+    case Method::kDpgGan:
+      return RunBaseline(BaselineKind::kDpgGan, graph, epsilon,
+                         profile.baseline_epochs, seed, profile);
+    case Method::kDpgVae:
+      return RunBaseline(BaselineKind::kDpgVae, graph, epsilon,
+                         profile.baseline_epochs, seed, profile);
+    case Method::kGap:
+      return RunBaseline(BaselineKind::kGap, graph, epsilon,
+                         profile.baseline_epochs, seed, profile);
+    case Method::kProGap:
+      return RunBaseline(BaselineKind::kProGap, graph, epsilon,
+                         profile.baseline_epochs, seed, profile);
+    case Method::kSeGEmbDw:
+      return RunSeTrainer(graph, dw, false, epsilon, epochs, seed, profile);
+    case Method::kSePrivGEmbDw:
+      return RunSeTrainer(graph, dw, true, epsilon, epochs, seed, profile);
+    case Method::kSeGEmbDeg:
+      return RunSeTrainer(graph, deg, false, epsilon, epochs, seed, profile);
+    case Method::kSePrivGEmbDeg:
+      return RunSeTrainer(graph, deg, true, epsilon, epochs, seed, profile);
+  }
+  SEPRIV_CHECK(false, "unknown method");
+  return {};
+}
+
+}  // namespace sepriv::bench

@@ -1,0 +1,131 @@
+// Micro-benchmarks of the library's hot components (google-benchmark).
+// These back the complexity claims of paper §V-B: proximity precomputation,
+// subgraph generation O(|E|k), per-epoch update O(rB), and the RDP
+// accountant O(orders).
+
+#include <benchmark/benchmark.h>
+
+#include "core/se_privgemb.h"
+#include "dp/accountant.h"
+#include "dp/clipping.h"
+#include "dp/subsampled_rdp.h"
+#include "embedding/sgns.h"
+#include "embedding/subgraph_sampler.h"
+#include "graph/generators.h"
+#include "proximity/proximity.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+Graph BenchGraph() {
+  static Graph g = BarabasiAlbert(2000, 8, 77);
+  return g;
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = rng.Uniform(0.1, 5.0);
+  AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SgnsGradient(benchmark::State& state) {
+  const auto dim = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  SkipGramModel model(1000, dim, rng);
+  Subgraph s;
+  s.center = 3;
+  s.context = 7;
+  s.negatives = {11, 99, 500, 742, 901};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSgnsGradient(model, s, 0.8, 0.2));
+  }
+  state.SetItemsProcessed(state.iterations() * (s.negatives.size() + 1));
+}
+BENCHMARK(BM_SgnsGradient)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_ClipL2(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> grad(static_cast<size_t>(state.range(0)));
+  for (double& g : grad) g = rng.Normal();
+  for (auto _ : state) {
+    std::vector<double> copy = grad;
+    benchmark::DoNotOptimize(ClipL2InPlace(copy, 1.0));
+  }
+}
+BENCHMARK(BM_ClipL2)->Arg(128)->Arg(1024);
+
+void BM_SubsampledRdp(benchmark::State& state) {
+  const int alpha = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubsampledGaussianRdp(0.004, 5.0, alpha));
+  }
+}
+BENCHMARK(BM_SubsampledRdp)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_AccountantConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    RdpAccountant acct(5.0, 0.004, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(acct.MaxSteps(3.5, 1e-5));
+  }
+}
+BENCHMARK(BM_AccountantConstruction)->Arg(32)->Arg(64);
+
+void BM_SubgraphGeneration(benchmark::State& state) {
+  const Graph g = BenchGraph();
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SubgraphSampler sampler(g, k, 5);
+    benchmark::DoNotOptimize(sampler.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * k);
+}
+BENCHMARK(BM_SubgraphGeneration)->Arg(1)->Arg(5);
+
+void BM_DeepWalkProximityRow(benchmark::State& state) {
+  const Graph g = BenchGraph();
+  auto provider = MakeProximity(ProximityKind::kDeepWalk, g, {});
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(provider->At(u, v));  // cold row every time
+  }
+}
+BENCHMARK(BM_DeepWalkProximityRow);
+
+void BM_EdgeProximityTable(benchmark::State& state) {
+  const Graph g = BenchGraph();
+  auto provider = MakeProximity(ProximityKind::kDeepWalk, g, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeEdgeProximities(g, *provider));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_EdgeProximityTable);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  // One private training epoch (batch of B subgraphs) end to end.
+  const Graph g = BenchGraph();
+  SePrivGEmbConfig cfg;
+  cfg.dim = static_cast<size_t>(state.range(0));
+  cfg.batch_size = 128;
+  cfg.max_epochs = 1;
+  cfg.track_loss = false;
+  for (auto _ : state) {
+    SePrivGEmb trainer(g, ProximityKind::kPreferentialAttachment, cfg);
+    benchmark::DoNotOptimize(trainer.Train().epochs_run);
+  }
+}
+BENCHMARK(BM_TrainEpoch)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sepriv
+
+BENCHMARK_MAIN();

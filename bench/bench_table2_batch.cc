@@ -1,0 +1,19 @@
+// Regenerates paper Table II: StrucEqu versus batch size B at ε = 3.5.
+// Expected shape: a sweet spot around B = 128 for both variants.
+
+#include "bench/param_sweep.h"
+
+int main() {
+  using namespace sepriv::bench;
+  SweepSpec spec;
+  spec.table_name = "Table II — impact of batch size B";
+  spec.paper_ref = "paper Table II (StrucEqu vs B, eps=3.5)";
+  spec.param_name = "B";
+  spec.values = {32, 64, 128, 256, 512, 1024};
+  spec.apply = [](sepriv::SePrivGEmbConfig& cfg, double v) {
+    cfg.batch_size = static_cast<size_t>(v);
+  };
+  spec.format = [](double v) { return std::to_string(static_cast<int>(v)); };
+  RunParameterSweep(spec);
+  return 0;
+}

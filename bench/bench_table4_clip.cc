@@ -1,0 +1,20 @@
+// Regenerates paper Table IV: StrucEqu versus clipping threshold C at
+// ε = 3.5. Expected shape: best around C = 2 (too small truncates signal,
+// too large inflates the noise scale C·σ).
+
+#include "bench/param_sweep.h"
+
+int main() {
+  using namespace sepriv::bench;
+  SweepSpec spec;
+  spec.table_name = "Table IV — impact of clipping threshold C";
+  spec.paper_ref = "paper Table IV (StrucEqu vs C, eps=3.5)";
+  spec.param_name = "C";
+  spec.values = {1, 2, 3, 4, 5, 6};
+  spec.apply = [](sepriv::SePrivGEmbConfig& cfg, double v) {
+    cfg.clip_threshold = v;
+  };
+  spec.format = [](double v) { return std::to_string(static_cast<int>(v)); };
+  RunParameterSweep(spec);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Regenerates paper Table V: StrucEqu versus negative-sample count k at
+// ε = 3.5. Expected shape: k = 5 is a balanced choice across datasets.
+
+#include "bench/param_sweep.h"
+
+int main() {
+  using namespace sepriv::bench;
+  SweepSpec spec;
+  spec.table_name = "Table V — impact of negative sampling number k";
+  spec.paper_ref = "paper Table V (StrucEqu vs k, eps=3.5)";
+  spec.param_name = "k";
+  spec.values = {1, 2, 3, 4, 5, 6, 7};
+  spec.apply = [](sepriv::SePrivGEmbConfig& cfg, double v) {
+    cfg.negatives = static_cast<int>(v);
+  };
+  spec.format = [](double v) { return std::to_string(static_cast<int>(v)); };
+  RunParameterSweep(spec);
+  return 0;
+}

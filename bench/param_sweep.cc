@@ -1,0 +1,59 @@
+#include "bench/param_sweep.h"
+
+#include <cstdio>
+
+namespace sepriv::bench {
+namespace {
+
+constexpr DatasetId kSweepDatasets[] = {DatasetId::kChameleon,
+                                        DatasetId::kPower, DatasetId::kArxiv};
+
+}  // namespace
+
+void RunParameterSweep(const SweepSpec& spec) {
+  const Profile profile = GetProfile();
+  PrintBenchHeader(spec.table_name, spec.paper_ref, profile);
+
+  // Build graphs + both preference tables once.
+  std::vector<Graph> graphs;
+  std::vector<EdgeProximity> dw, deg;
+  for (DatasetId id : kSweepDatasets) {
+    graphs.push_back(MakeBenchGraph(id, profile));
+    dw.push_back(
+        BuildEdgeProximity(graphs.back(), ProximityKind::kDeepWalk, profile));
+    deg.push_back(BuildEdgeProximity(
+        graphs.back(), ProximityKind::kPreferentialAttachment, profile));
+    std::printf("  %-12s %s\n", DatasetName(id).c_str(),
+                graphs.back().Summary().c_str());
+  }
+
+  for (bool use_dw : {true, false}) {
+    std::printf("\nSE-PrivGEmb%s  (eps=3.5, StrucEqu mean±sd over %d runs)\n",
+                use_dw ? "DW" : "Deg", profile.repeats);
+    std::printf("%-8s", spec.param_name.c_str());
+    for (DatasetId id : kSweepDatasets) {
+      std::printf(" %-18s", DatasetName(id).c_str());
+    }
+    std::printf("\n");
+
+    for (double value : spec.values) {
+      std::printf("%-8s", spec.format(value).c_str());
+      for (size_t d = 0; d < graphs.size(); ++d) {
+        const auto summary = Repeat(profile.repeats, [&](uint64_t seed) {
+          SePrivGEmbConfig cfg = DefaultConfig(profile);
+          cfg.epsilon = 3.5;
+          cfg.seed = seed;
+          spec.apply(cfg, value);
+          EdgeProximity prox = use_dw ? dw[d] : deg[d];
+          SePrivGEmb trainer(graphs[d], std::move(prox), cfg);
+          return StrucEquOf(graphs[d], trainer.Train().model.w_in, profile);
+        });
+        std::printf(" %-18s", Cell(summary).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace sepriv::bench

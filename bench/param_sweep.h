@@ -1,0 +1,32 @@
+// Generic runner for the paper's parameter-impact tables (Tables II–V):
+// StrucEqu as one hyper-parameter sweeps, on Chameleon/Power/Arxiv, for both
+// SE-PrivGEmb_DW and SE-PrivGEmb_Deg, at ε = 3.5.
+
+#ifndef SEPRIVGEMB_BENCH_PARAM_SWEEP_H_
+#define SEPRIVGEMB_BENCH_PARAM_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace sepriv::bench {
+
+struct SweepSpec {
+  std::string table_name;   // e.g. "Table II"
+  std::string paper_ref;    // e.g. "paper Table II: StrucEqu vs batch size"
+  std::string param_name;   // e.g. "B"
+  std::vector<double> values;
+  /// Applies one sweep value to the trainer config.
+  std::function<void(SePrivGEmbConfig&, double)> apply;
+  /// Formats a sweep value for the row label.
+  std::function<std::string(double)> format;
+};
+
+/// Runs the sweep and prints one table per variant in the paper's layout.
+void RunParameterSweep(const SweepSpec& spec);
+
+}  // namespace sepriv::bench
+
+#endif  // SEPRIVGEMB_BENCH_PARAM_SWEEP_H_

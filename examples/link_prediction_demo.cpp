@@ -1,0 +1,57 @@
+// Link prediction under differential privacy (paper §VI-E workload).
+//
+// Splits a citation-style network 90/10, trains SE-PrivGEmb on the training
+// graph at several privacy budgets, and reports held-out ROC-AUC against the
+// non-private counterpart — the Fig. 4 experiment in miniature.
+
+#include <cstdio>
+
+#include "core/se_privgemb.h"
+#include "eval/link_prediction.h"
+#include "graph/datasets.h"
+
+using namespace sepriv;
+
+namespace {
+
+double RunOnce(const LinkPredictionSplit& split, double epsilon,
+               PerturbationStrategy strategy, uint64_t seed) {
+  SePrivGEmbConfig config;
+  config.dim = 48;
+  config.epsilon = epsilon;
+  config.max_epochs = 400;
+  config.learning_rate = 0.05;
+  config.perturbation = strategy;
+  config.track_loss = false;
+  config.seed = seed;
+  SePrivGEmb trainer(split.train_graph, ProximityKind::kDeepWalk, config);
+  const TrainResult r = trainer.Train();
+  return LinkPredictionAuc(split, r.model.w_in, r.model.w_out,
+                           PairScore::kInnerProductInIn);
+}
+
+}  // namespace
+
+int main() {
+  // Arxiv-like collaboration network stand-in (see DESIGN.md §3).
+  Graph graph = MakeDataset(DatasetId::kArxiv, /*scale=*/0.2);
+  std::printf("Graph: %s (Arxiv stand-in)\n", graph.Summary().c_str());
+
+  const auto split = MakeLinkPredictionSplit(graph);
+  std::printf("Split: %zu train edges, %zu test pos, %zu test neg\n\n",
+              split.train_graph.num_edges(), split.test_pos.size(),
+              split.test_neg.size());
+
+  const double non_private =
+      RunOnce(split, /*epsilon=*/0.0, PerturbationStrategy::kNone, 7);
+  std::printf("non-private SE-GEmb_DW           AUC = %.4f\n\n", non_private);
+
+  std::printf("%-8s %-12s\n", "eps", "AUC (private)");
+  for (double eps : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+    const double auc = RunOnce(split, eps, PerturbationStrategy::kNonZero, 7);
+    std::printf("%-8.1f %-12.4f\n", eps, auc);
+  }
+  std::printf("\nExpected shape (paper Fig. 4): AUC grows with eps and "
+              "approaches the non-private value.\n");
+  return 0;
+}

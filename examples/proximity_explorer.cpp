@@ -1,0 +1,86 @@
+// Structure-preference explorer: the same graph embedded under different
+// proximity preferences, demonstrating Theorem 3's claim that skip-gram
+// preserves whichever proximity you plug in.
+//
+// For each preference the demo reports (a) the correlation between learned
+// edge scores x_ij = v_i·v_j and log p_ij (Theorem 3 predicts a linear
+// relationship with slope 1), and (b) the top-scoring edges, which differ by
+// preference: degree preference surfaces hub-hub edges, DeepWalk preference
+// surfaces tightly-knit pairs, Adamic-Adar surfaces triangle-rich pairs.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/se_privgemb.h"
+#include "graph/generators.h"
+#include "util/stats.h"
+
+using namespace sepriv;
+
+namespace {
+
+void Explore(const Graph& graph, ProximityKind kind) {
+  SePrivGEmbConfig config;
+  config.dim = 64;
+  config.max_epochs = 2000;
+  config.batch_size = 64;
+  config.learning_rate = 0.05;
+  config.perturbation = PerturbationStrategy::kNone;  // isolate the theory
+  config.negative_weighting = NegativeWeighting::kUnifiedMinP;
+  config.negatives_exclude_neighbors = false;  // Theorem 3's support
+  config.track_loss = false;
+  config.seed = 17;
+
+  SePrivGEmb trainer(graph, kind, config);
+  const TrainResult result = trainer.Train();
+
+  std::vector<double> learned, theory;
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t e = 0; e < graph.num_edges(); ++e) {
+    const Edge& ed = graph.Edges()[e];
+    const double x = 0.5 * (result.model.Score(ed.u, ed.v) +
+                            result.model.Score(ed.v, ed.u));
+    learned.push_back(x);
+    theory.push_back(std::log(trainer.edge_weights()[e]));
+    ranked.push_back({x, e});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::printf("preference=%-18s corr(x_ij, log p_ij)=%.3f  top edges:",
+              ProximityKindName(kind).c_str(),
+              PearsonCorrelation(learned, theory));
+  for (int i = 0; i < 3; ++i) {
+    const Edge& ed = graph.Edges()[ranked[i].second];
+    std::printf("  (%u,%u d=%zu/%zu)", ed.u, ed.v, graph.Degree(ed.u),
+                graph.Degree(ed.v));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Graph graph = KarateClub();
+  std::printf("Graph: %s (Zachary's karate club)\n\n", graph.Summary().c_str());
+  std::printf("Each row trains the SAME model with a different structure "
+              "preference (Theorem 3):\n\n");
+  for (ProximityKind kind : {
+           ProximityKind::kDeepWalk,
+           ProximityKind::kPreferentialAttachment,
+           ProximityKind::kCommonNeighbors,
+           ProximityKind::kAdamicAdar,
+           ProximityKind::kResourceAllocation,
+           ProximityKind::kJaccard,
+           ProximityKind::kKatz,
+           ProximityKind::kPersonalizedPageRank,
+       }) {
+    Explore(graph, kind);
+  }
+  std::printf("\nPositive correlations show the embedding preserves the "
+              "chosen proximity's ordering; hub-heavy preferences rank "
+              "hub-hub edges first, neighbourhood preferences rank "
+              "triangle-rich edges first.\n");
+  return 0;
+}

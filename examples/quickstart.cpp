@@ -1,0 +1,93 @@
+// Quickstart: train a differentially private embedding on a graph and
+// inspect the privacy report plus a few nearest neighbours.
+//
+//   $ ./build/examples/quickstart [path/to/edge_list.txt]
+//
+// Without an argument a synthetic social network is generated. With one, a
+// plain "u v"-per-line edge list (SNAP format) is loaded.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/se_privgemb.h"
+#include "eval/strucequ.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+using namespace sepriv;
+
+int main(int argc, char** argv) {
+  // 1. Obtain a graph.
+  Graph graph;
+  if (argc > 1) {
+    auto loaded = ReadEdgeList(argv[1]);
+    if (!loaded) {
+      std::fprintf(stderr, "could not read edge list: %s\n", argv[1]);
+      return 1;
+    }
+    graph = std::move(*loaded);
+    std::printf("Loaded %s: %s\n", argv[1], graph.Summary().c_str());
+  } else {
+    graph = PowerLawCluster(/*n=*/1000, /*m=*/6, /*triangle_p=*/0.5,
+                            /*seed=*/42);
+    std::printf("Generated synthetic social network: %s\n",
+                graph.Summary().c_str());
+  }
+
+  // 2. Configure SE-PrivGEmb. Defaults follow the paper's §VI-A settings;
+  //    shrunk here so the quickstart finishes in seconds.
+  SePrivGEmbConfig config;
+  config.dim = 64;
+  config.epsilon = 2.0;      // total privacy budget (ε, δ = 1e-5)
+  config.max_epochs = 300;
+  config.batch_size = 128;
+  config.seed = 1;
+
+  std::printf("\nTraining SE-PrivGEmb [%s]\n", config.DebugString().c_str());
+
+  // 3. Train with the DeepWalk structure preference (SE-PrivGEmb_DW).
+  SePrivGEmb trainer(graph, ProximityKind::kDeepWalk, config);
+  TrainResult result = trainer.Train();
+
+  std::printf("\nPrivacy report\n");
+  std::printf("  epochs run / allowed : %zu / %zu\n", result.epochs_run,
+              result.epochs_allowed);
+  std::printf("  privacy spent        : eps=%.4f (target %.2f) at RDP order "
+              "%.0f, delta_hat=%.2e\n",
+              result.spent_epsilon, config.epsilon, result.best_rdp_order,
+              result.spent_delta);
+  std::printf("  stopped by budget    : %s\n",
+              result.stopped_by_budget ? "yes" : "no");
+
+  // 4. Downstream use is free post-processing (Theorem 2): here, structural
+  //    equivalence quality and the nearest neighbours of the highest-degree
+  //    node in embedding space.
+  StrucEquOptions se_opts;
+  se_opts.max_pairs = 100000;
+  std::printf("\nStrucEqu of the published embedding: %.4f\n",
+              StrucEqu(graph, result.model.w_in, se_opts));
+
+  NodeId hub = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.Degree(v) > graph.Degree(hub)) hub = v;
+  }
+  std::vector<std::pair<double, NodeId>> by_distance;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (v == hub) continue;
+    by_distance.push_back(
+        {result.model.w_in.RowSquaredDistance(hub, result.model.w_in, v), v});
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  std::printf("\nNode %u (degree %zu) nearest neighbours in embedding space:\n",
+              hub, graph.Degree(hub));
+  for (int i = 0; i < 5 && i < static_cast<int>(by_distance.size()); ++i) {
+    const auto& [dist, v] = by_distance[i];
+    std::printf("  node %-6u degree %-4zu dist=%.4f %s\n", v, graph.Degree(v),
+                dist, graph.HasEdge(hub, v) ? "(adjacent)" : "");
+  }
+  std::printf("\nDone. The matrices result.model.w_in / w_out are safe to "
+              "publish under (%.2f, %.0e)-node-level DP.\n",
+              config.epsilon, config.delta);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Structural-equivalence analysis on a power-grid-like network (the paper's
+// §VI-D workload): find pairs of buses that play the same structural role,
+// privately.
+//
+// Two nodes are structurally equivalent when they connect to the same
+// neighbours (paper §VI, [29]). The demo trains SE-PrivGEmb, reports the
+// StrucEqu correlation, and lists the most equivalent node pairs found in
+// the private embedding space together with their true adjacency distance.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/se_privgemb.h"
+#include "eval/strucequ.h"
+#include "graph/datasets.h"
+#include "util/rng.h"
+
+using namespace sepriv;
+
+int main() {
+  Graph graph = MakeDataset(DatasetId::kPower, /*scale=*/0.25);
+  std::printf("Graph: %s (Power-grid stand-in)\n\n", graph.Summary().c_str());
+
+  SePrivGEmbConfig config;
+  config.dim = 48;
+  config.epsilon = 3.5;
+  config.max_epochs = 300;
+  config.seed = 11;
+  SePrivGEmb trainer(graph, ProximityKind::kDeepWalk, config);
+  const TrainResult result = trainer.Train();
+
+  StrucEquOptions se_opts;
+  se_opts.max_pairs = 150000;
+  std::printf("StrucEqu (private, eps=%.1f): %.4f\n", config.epsilon,
+              StrucEqu(graph, result.model.w_in, se_opts));
+
+  // Also evaluate the non-private counterpart for reference.
+  config.perturbation = PerturbationStrategy::kNone;
+  const TrainResult clean =
+      SePrivGEmb(graph, ProximityKind::kDeepWalk, config).Train();
+  std::printf("StrucEqu (non-private)      : %.4f\n\n",
+              StrucEqu(graph, clean.model.w_in, se_opts));
+
+  // Mine the closest pairs in the private embedding space (sampled).
+  struct Pair {
+    double emb_dist;
+    NodeId u, v;
+  };
+  Rng rng(3);
+  std::vector<Pair> pairs;
+  const size_t n = graph.num_nodes();
+  for (int t = 0; t < 200000; ++t) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(n));
+    const auto v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    pairs.push_back(
+        {result.model.w_in.RowSquaredDistance(u, result.model.w_in, v), u, v});
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.emb_dist < b.emb_dist; });
+
+  std::printf("Most structurally equivalent pairs (by private embedding):\n");
+  std::printf("%-8s %-8s %-12s %-16s %-10s\n", "u", "v", "emb_dist",
+              "adj_row_dist", "degrees");
+  int shown = 0;
+  for (const Pair& p : pairs) {
+    if (shown >= 10) break;
+    std::printf("%-8u %-8u %-12.4f %-16.1f %zu/%zu\n", p.u, p.v, p.emb_dist,
+                graph.AdjacencyRowSquaredDistance(p.u, p.v), graph.Degree(p.u),
+                graph.Degree(p.v));
+    ++shown;
+  }
+  std::printf("\nLow adjacency-row distances among the top pairs indicate the "
+              "private embedding preserved structural roles.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "attack/membership_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/check.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace sepriv {
+
+std::string AttackStatisticName(AttackStatistic s) {
+  switch (s) {
+    case AttackStatistic::kScoreThreshold: return "score_threshold";
+    case AttackStatistic::kRowNormSum: return "row_norm_sum";
+    case AttackStatistic::kCosine: return "cosine";
+  }
+  return "unknown";
+}
+
+double AttackScore(const SkipGramModel& model, NodeId u, NodeId v,
+                   AttackStatistic statistic) {
+  switch (statistic) {
+    case AttackStatistic::kScoreThreshold:
+      // Symmetrised trained objective: members were pushed to score high.
+      return Sigmoid(0.5 * (model.Score(u, v) + model.Score(v, u)));
+    case AttackStatistic::kRowNormSum:
+      return model.w_in.RowNorm(u) + model.w_in.RowNorm(v);
+    case AttackStatistic::kCosine: {
+      const double nu = model.w_in.RowNorm(u);
+      const double nv = model.w_in.RowNorm(v);
+      if (nu == 0.0 || nv == 0.0) return 0.0;
+      return model.w_in.RowDot(u, model.w_in, v) / (nu * nv);
+    }
+  }
+  return 0.0;
+}
+
+AttackResult RunMembershipInference(const SkipGramModel& model,
+                                    const Graph& train_graph,
+                                    AttackStatistic statistic,
+                                    size_t max_pairs, uint64_t seed) {
+  SEPRIV_CHECK(train_graph.num_edges() > 0, "empty training graph");
+  SEPRIV_CHECK(model.num_nodes() == train_graph.num_nodes(),
+               "model/graph node mismatch");
+  Rng rng(seed);
+  const size_t n = train_graph.num_nodes();
+  const size_t pairs = std::min(max_pairs, train_graph.num_edges());
+
+  std::vector<double> member_scores, non_member_scores;
+  member_scores.reserve(pairs);
+  non_member_scores.reserve(pairs);
+
+  // Members: uniform sample of training edges.
+  for (size_t t = 0; t < pairs; ++t) {
+    const Edge& e =
+        train_graph.Edges()[rng.UniformInt(train_graph.num_edges())];
+    member_scores.push_back(AttackScore(model, e.u, e.v, statistic));
+  }
+  // Non-members: uniform non-edges.
+  while (non_member_scores.size() < pairs) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(n));
+    const auto v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v || train_graph.HasEdge(u, v)) continue;
+    non_member_scores.push_back(AttackScore(model, u, v, statistic));
+  }
+
+  AttackResult result;
+  result.statistic = statistic;
+  result.member_pairs = member_scores.size();
+  result.non_member_pairs = non_member_scores.size();
+  result.auc = AucFromScores(member_scores, non_member_scores);
+  return result;
+}
+
+std::vector<AttackResult> AuditEmbedding(const SkipGramModel& model,
+                                         const Graph& train_graph,
+                                         size_t max_pairs, uint64_t seed) {
+  std::vector<AttackResult> results;
+  for (AttackStatistic s :
+       {AttackStatistic::kScoreThreshold, AttackStatistic::kRowNormSum,
+        AttackStatistic::kCosine}) {
+    results.push_back(
+        RunMembershipInference(model, train_graph, s, max_pairs, seed));
+  }
+  return results;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,29 @@
+// DPGGAN baseline (Yang et al., IJCAI'21, GAN branch), reduced
+// re-implementation.
+//
+// Generator holds a trainable per-node embedding table decoded through
+// σ(e_i·e_j); the discriminator is an MLP over concatenated pair embeddings
+// classifying observed edges against generated non-edge pairs. Discriminator
+// gradients are clipped and noised (link-DP style); the generator step is
+// post-processing of the discriminator. Embedding = generator table.
+
+#ifndef SEPRIVGEMB_BASELINES_DPGGAN_H_
+#define SEPRIVGEMB_BASELINES_DPGGAN_H_
+
+#include "baselines/embedder.h"
+
+namespace sepriv {
+
+class DpgGanEmbedder : public GraphEmbedder {
+ public:
+  explicit DpgGanEmbedder(const EmbedderOptions& opts) : opts_(opts) {}
+  std::string Name() const override { return "DPGGAN"; }
+  EmbedderResult Embed(const Graph& graph) override;
+
+ private:
+  EmbedderOptions opts_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_BASELINES_DPGGAN_H_

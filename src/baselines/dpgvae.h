@@ -1,0 +1,29 @@
+// DPGVAE baseline (Yang et al., IJCAI'21 "Secure deep graph generation with
+// link differential privacy", VAE branch), reduced re-implementation.
+//
+// Architecture: one-hop GCN encoder over random features producing (μ,
+// logσ²), reparameterised z, inner-product edge decoder with BCE + KL loss.
+// Training uses clipped, noised gradients with the same RDP accountant as
+// SE-PrivGEmb; the premature-convergence behaviour at small ε that the paper
+// reports arises from the budget-implied epoch cap. Embedding = μ.
+
+#ifndef SEPRIVGEMB_BASELINES_DPGVAE_H_
+#define SEPRIVGEMB_BASELINES_DPGVAE_H_
+
+#include "baselines/embedder.h"
+
+namespace sepriv {
+
+class DpgVaeEmbedder : public GraphEmbedder {
+ public:
+  explicit DpgVaeEmbedder(const EmbedderOptions& opts) : opts_(opts) {}
+  std::string Name() const override { return "DPGVAE"; }
+  EmbedderResult Embed(const Graph& graph) override;
+
+ private:
+  EmbedderOptions opts_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_BASELINES_DPGVAE_H_

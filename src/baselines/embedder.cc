@@ -1,0 +1,36 @@
+#include "baselines/embedder.h"
+
+#include "baselines/dpggan.h"
+#include "baselines/dpgvae.h"
+#include "baselines/gap.h"
+#include "util/check.h"
+
+namespace sepriv {
+
+std::unique_ptr<GraphEmbedder> MakeBaseline(BaselineKind kind,
+                                            const EmbedderOptions& opts) {
+  switch (kind) {
+    case BaselineKind::kDpgGan:
+      return std::make_unique<DpgGanEmbedder>(opts);
+    case BaselineKind::kDpgVae:
+      return std::make_unique<DpgVaeEmbedder>(opts);
+    case BaselineKind::kGap:
+      return std::make_unique<GapEmbedder>(opts);
+    case BaselineKind::kProGap:
+      return std::make_unique<ProGapEmbedder>(opts);
+  }
+  SEPRIV_CHECK(false, "unknown baseline kind");
+  return nullptr;
+}
+
+std::string BaselineKindName(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kDpgGan: return "DPGGAN";
+    case BaselineKind::kDpgVae: return "DPGVAE";
+    case BaselineKind::kGap: return "GAP";
+    case BaselineKind::kProGap: return "ProGAP";
+  }
+  return "unknown";
+}
+
+}  // namespace sepriv

@@ -1,0 +1,47 @@
+// GAP baseline (Sajadmanesh et al., USENIX Security'23) and ProGAP
+// (Sajadmanesh & Gatica-Perez, WSDM'24), reduced re-implementations.
+//
+// Both perturb *aggregations* rather than gradients: node rows are L2-row-
+// normalised (bounding node-level sensitivity) and Gaussian noise is added to
+// each aggregation hop Â·H. The difference this paper leans on (§VI-D):
+//
+//  * GAP — aggregate outputs are re-perturbed at every training iteration,
+//    so the budget divides across (epochs × hops) queries;
+//  * ProGAP — progressive stages perturb each aggregation once and cache it,
+//    so the budget divides across (stages) queries only.
+//
+// Per-query noise is calibrated from the target (ε, δ) and the query count
+// via dp/calibration.h. Node features are random (featureless protocol);
+// the embedding is the mean of the (noisy) propagated feature hops projected
+// to the requested dimension.
+
+#ifndef SEPRIVGEMB_BASELINES_GAP_H_
+#define SEPRIVGEMB_BASELINES_GAP_H_
+
+#include "baselines/embedder.h"
+
+namespace sepriv {
+
+class GapEmbedder : public GraphEmbedder {
+ public:
+  explicit GapEmbedder(const EmbedderOptions& opts) : opts_(opts) {}
+  std::string Name() const override { return "GAP"; }
+  EmbedderResult Embed(const Graph& graph) override;
+
+ private:
+  EmbedderOptions opts_;
+};
+
+class ProGapEmbedder : public GraphEmbedder {
+ public:
+  explicit ProGapEmbedder(const EmbedderOptions& opts) : opts_(opts) {}
+  std::string Name() const override { return "ProGAP"; }
+  EmbedderResult Embed(const Graph& graph) override;
+
+ private:
+  EmbedderOptions opts_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_BASELINES_GAP_H_

@@ -1,0 +1,30 @@
+#include "core/config.h"
+
+#include <cstdio>
+
+namespace sepriv {
+namespace {
+
+const char* PerturbationName(PerturbationStrategy s) {
+  switch (s) {
+    case PerturbationStrategy::kNone: return "none";
+    case PerturbationStrategy::kNaive: return "naive";
+    case PerturbationStrategy::kNonZero: return "non-zero";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SePrivGEmbConfig::DebugString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "r=%zu k=%d B=%zu eta=%.3g C=%.3g sigma=%.3g eps=%.3g "
+                "delta=%.1e epochs<=%zu perturb=%s",
+                dim, negatives, batch_size, learning_rate, clip_threshold,
+                noise_multiplier, epsilon, delta, max_epochs,
+                PerturbationName(perturbation));
+  return buf;
+}
+
+}  // namespace sepriv

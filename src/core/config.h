@@ -1,0 +1,70 @@
+// Configuration of the SE-PrivGEmb trainer (paper Algorithm 2 inputs).
+
+#ifndef SEPRIVGEMB_CORE_CONFIG_H_
+#define SEPRIVGEMB_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sepriv {
+
+/// Gradient perturbation strategy (paper Table VI compares kNaive/kNonZero).
+enum class PerturbationStrategy {
+  kNone,     // non-private SE-GEmb counterpart: no clipping, no noise
+  kNaive,    // first-cut Eq. (6): sensitivity B·C, noise on every row
+  kNonZero,  // SE-PrivGEmb Eq. (9): sensitivity C, noise on touched rows only
+};
+
+/// Weight of each negative term in the per-sample loss (DESIGN.md §2.1).
+enum class NegativeWeighting {
+  kPaperPij,     // literal Eq. (5): both terms weighted p_ij
+  kUnifiedMinP,  // idealized objective (13): negatives weighted min(P)
+  kUnit,         // plain SGNS (no structure preference) — ablation
+};
+
+/// How positive subgraphs are drawn each epoch.
+enum class PositiveSampling {
+  kUniformEdges,        // Algorithm 2 line 5: uniform without replacement
+  kProximityWeighted,   // ablation: edges ∝ p_ij (alias table), w/ replacement
+};
+
+struct SePrivGEmbConfig {
+  // Model hyper-parameters (paper §VI-A defaults in comments).
+  size_t dim = 128;             // r = 128
+  int negatives = 5;            // k = 5 (Table V sweet spot)
+  size_t batch_size = 128;      // B = 128 (Table II)
+  double learning_rate = 0.1;   // η = 0.1 (Table III)
+  size_t max_epochs = 200;      // 200 StrucEqu / 2000 link prediction
+
+  // Privacy parameters.
+  double clip_threshold = 2.0;    // C = 2 (Table IV)
+  double noise_multiplier = 5.0;  // σ = 5
+  double epsilon = 3.5;           // target ε ∈ {0.5,...,3.5}
+  double delta = 1e-5;            // δ = 1e-5
+  int rdp_max_order = 64;
+
+  PerturbationStrategy perturbation = PerturbationStrategy::kNonZero;
+  NegativeWeighting negative_weighting = NegativeWeighting::kPaperPij;
+  PositiveSampling positive_sampling = PositiveSampling::kUniformEdges;
+
+  /// Use proximities rescaled to max 1 (Theorem 3 is scale-invariant; this
+  /// keeps gradient magnitudes comparable across preference choices).
+  bool normalize_proximity = true;
+
+  /// Algorithm 1 keeps negatives non-adjacent to the center (true). Setting
+  /// false samples negatives over all of V \ {center} — the support of
+  /// Theorem 3's idealized objective (Eq. 12). Ablation knob.
+  bool negatives_exclude_neighbors = true;
+
+  uint64_t seed = 1;
+
+  /// Record mean batch loss every epoch into TrainResult::loss_curve.
+  bool track_loss = true;
+
+  std::string DebugString() const;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_CORE_CONFIG_H_

@@ -1,0 +1,230 @@
+#include "core/se_privgemb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/sparse_row_grad.h"
+#include "dp/clipping.h"
+#include "dp/gaussian_mechanism.h"
+#include "embedding/sgns.h"
+#include "embedding/subgraph_sampler.h"
+#include "util/alias_table.h"
+#include "util/check.h"
+
+namespace sepriv {
+namespace {
+
+/// Clips the per-sample gradient jointly across its touched rows of one
+/// parameter matrix (standard per-example DPSGD clipping, Eq. 3).
+void ClipJointly(std::vector<std::pair<NodeId, std::vector<double>>>& rows,
+                 double threshold) {
+  double sq = 0.0;
+  for (const auto& [_, grad] : rows) {
+    for (double g : grad) sq += g * g;
+  }
+  const double scale = ClipScale(std::sqrt(sq), threshold);
+  if (scale != 1.0) {
+    for (auto& [_, grad] : rows) {
+      for (double& g : grad) g *= scale;
+    }
+  }
+}
+
+}  // namespace
+
+SePrivGEmb::SePrivGEmb(const Graph& graph, ProximityKind preference,
+                       const SePrivGEmbConfig& config,
+                       const ProximityOptions& prox_opts)
+    : graph_(graph), config_(config) {
+  const auto provider = MakeProximity(preference, graph, prox_opts);
+  const EdgeProximity prox = ComputeEdgeProximities(graph, *provider);
+  if (config_.normalize_proximity) {
+    edge_weights_ = prox.normalized;
+    min_weight_ = prox.normalized_min_positive;
+  } else {
+    edge_weights_ = prox.values;
+    min_weight_ = prox.min_positive;
+  }
+}
+
+SePrivGEmb::SePrivGEmb(const Graph& graph, EdgeProximity preference,
+                       const SePrivGEmbConfig& config)
+    : graph_(graph), config_(config) {
+  SEPRIV_CHECK(preference.values.size() == graph.num_edges(),
+               "edge proximity size %zu != |E| %zu", preference.values.size(),
+               graph.num_edges());
+  if (config_.normalize_proximity) {
+    edge_weights_ = std::move(preference.normalized);
+    min_weight_ = preference.normalized_min_positive;
+  } else {
+    edge_weights_ = std::move(preference.values);
+    min_weight_ = preference.min_positive;
+  }
+}
+
+TrainResult SePrivGEmb::Train() {
+  const SePrivGEmbConfig& cfg = config_;
+  SEPRIV_CHECK(graph_.num_edges() > 0, "cannot train on an empty graph");
+  SEPRIV_CHECK(cfg.dim >= 1 && cfg.batch_size >= 1, "bad dim/batch config");
+
+  Rng rng(cfg.seed);
+  TrainResult result;
+  result.min_proximity = min_weight_;
+
+  // Algorithm 2 line 2: disjoint subgraphs, negatives fixed before training.
+  SubgraphSampler sampler(graph_, cfg.negatives, rng.Next(),
+                          EdgeOrientation::kRandom,
+                          cfg.negatives_exclude_neighbors);
+
+  // Line 3: initialise Win / Wout.
+  result.model = SkipGramModel(graph_.num_nodes(), cfg.dim, rng);
+  SkipGramModel& model = result.model;
+
+  // Optional proximity-weighted positive sampling (ablation mode).
+  AliasTable positive_alias;
+  if (cfg.positive_sampling == PositiveSampling::kProximityWeighted) {
+    positive_alias.Build(edge_weights_);
+  }
+
+  const bool is_private = cfg.perturbation != PerturbationStrategy::kNone;
+  const double sampling_rate =
+      std::min(1.0, static_cast<double>(cfg.batch_size) /
+                        static_cast<double>(sampler.size()));
+
+  // Privacy accountant (lines 8-10). MaxSteps gives the same stopping epoch
+  // as the per-epoch δ̂ >= δ test, in closed form.
+  std::unique_ptr<RdpAccountant> accountant;
+  result.epochs_allowed = std::numeric_limits<size_t>::max();
+  if (is_private) {
+    accountant = std::make_unique<RdpAccountant>(
+        cfg.noise_multiplier, sampling_rate, cfg.rdp_max_order);
+    result.epochs_allowed = accountant->MaxSteps(cfg.epsilon, cfg.delta);
+  }
+
+  // Per-batch gradient accumulators (touched-row tracking).
+  SparseRowGrad grad_in(graph_.num_nodes(), cfg.dim);
+  SparseRowGrad grad_out(graph_.num_nodes(), cfg.dim);
+
+  const double lr = cfg.learning_rate;
+  const double c = cfg.clip_threshold;
+  const double sigma = cfg.noise_multiplier;
+  // Noise scale per strategy: non-zero perturbation uses per-sample
+  // sensitivity C; the naive first cut uses the worst-case batch sensitivity
+  // B·C stated in §III-B.
+  //
+  // Note on Eq. (9)'s 1/B prefactor: scaling the released noisy sum by a
+  // public constant is post-processing, so privacy is identical whether the
+  // learning rate multiplies the batch MEAN or the batch SUM. We apply η to
+  // the sum — the convention of practical SGNS trainers — because averaging
+  // would dilute each touched row's update by 1/B (a row is typically hit by
+  // a single sample per batch) and make the paper's η ∈ {0.01..0.3} grid
+  // meaninglessly small.
+  const double nonzero_stddev = c * sigma;
+  const double naive_stddev =
+      static_cast<double>(cfg.batch_size) * c * sigma;
+
+  for (size_t epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+    if (is_private && epoch >= result.epochs_allowed) {
+      result.stopped_by_budget = true;
+      break;
+    }
+
+    // Line 5: sample B subgraphs.
+    std::vector<uint32_t> batch;
+    if (cfg.positive_sampling == PositiveSampling::kProximityWeighted) {
+      batch.resize(std::min(cfg.batch_size, sampler.size()));
+      for (auto& idx : batch) idx = positive_alias.Sample(rng);
+    } else {
+      batch = sampler.SampleBatch(cfg.batch_size, rng);
+    }
+
+    double batch_loss = 0.0;
+    for (uint32_t idx : batch) {
+      const Subgraph& s = sampler.All()[idx];
+      const double pij = edge_weights_[s.edge_index];
+      double w_pos = pij, w_neg = pij;
+      switch (cfg.negative_weighting) {
+        case NegativeWeighting::kPaperPij:
+          break;  // literal Eq. (5)
+        case NegativeWeighting::kUnifiedMinP:
+          w_neg = min_weight_;
+          break;
+        case NegativeWeighting::kUnit:
+          w_pos = w_neg = 1.0;
+          break;
+      }
+
+      SgnsGradient g = ComputeSgnsGradient(model, s, w_pos, w_neg);
+      batch_loss += g.loss;
+
+      if (is_private) {
+        // Per-sample clipping, separately per parameter matrix (the paper's
+        // e∇_{v_i} for Win and e∇_{v_j} for Wout).
+        ClipL2InPlace(g.center_grad, c);
+        ClipJointly(g.context_grads, c);
+      }
+      grad_in.AddToRow(g.center, g.center_grad);
+      for (const auto& [row, grad] : g.context_grads) {
+        grad_out.AddToRow(row, grad);
+      }
+    }
+
+    // Perturb (lines 6-7) and apply the averaged update.
+    switch (cfg.perturbation) {
+      case PerturbationStrategy::kNone:
+        break;
+      case PerturbationStrategy::kNonZero:
+        AddGaussianNoiseToRows(grad_in.matrix(), grad_in.touched(),
+                               nonzero_stddev, rng);
+        AddGaussianNoiseToRows(grad_out.matrix(), grad_out.touched(),
+                               nonzero_stddev, rng);
+        break;
+      case PerturbationStrategy::kNaive: {
+        // Eq. (6): every row of both gradients is perturbed, so every row of
+        // the model moves. Materialise noise directly into the update to
+        // keep the accumulator's touched-row invariant intact.
+        for (size_t v = 0; v < graph_.num_nodes(); ++v) {
+          auto in_row = model.w_in.Row(v);
+          auto out_row = model.w_out.Row(v);
+          for (size_t d = 0; d < cfg.dim; ++d) {
+            in_row[d] -= lr * rng.Normal(0.0, naive_stddev);
+            out_row[d] -= lr * rng.Normal(0.0, naive_stddev);
+          }
+        }
+        break;
+      }
+    }
+
+    for (uint32_t row : grad_in.touched()) {
+      auto dst = model.w_in.Row(row);
+      const auto src = grad_in.matrix().Row(row);
+      for (size_t d = 0; d < cfg.dim; ++d) dst[d] -= lr * src[d];
+    }
+    for (uint32_t row : grad_out.touched()) {
+      auto dst = model.w_out.Row(row);
+      const auto src = grad_out.matrix().Row(row);
+      for (size_t d = 0; d < cfg.dim; ++d) dst[d] -= lr * src[d];
+    }
+    grad_in.Clear();
+    grad_out.Clear();
+
+    if (is_private) accountant->Step();
+    ++result.epochs_run;
+    if (cfg.track_loss) {
+      result.loss_curve.push_back(batch_loss /
+                                  static_cast<double>(batch.size()));
+    }
+  }
+
+  if (is_private && accountant->steps() > 0) {
+    const DpBound bound = accountant->GetEpsilon(cfg.delta);
+    result.spent_epsilon = bound.epsilon;
+    result.best_rdp_order = bound.best_order;
+    result.spent_delta = accountant->GetDelta(cfg.epsilon);
+  }
+  return result;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,80 @@
+// SE-PrivGEmb: structure-preference enabled graph embedding generation under
+// node-level Rényi differential privacy (the paper's core contribution,
+// Algorithm 2).
+//
+// Pipeline per Train() call:
+//   1. evaluate the structure preference p_ij on every edge (§II-D);
+//   2. materialise the disjoint subgraphs GS (Algorithm 1);
+//   3. per epoch: subsample B subgraphs (γ = B/|E|), compute per-sample
+//      skip-gram gradients (Eq. 7/8), clip each to C, sum, perturb with the
+//      configured strategy (Eq. 6 naive / Eq. 9 non-zero), apply averaged
+//      update; account one subsampled-Gaussian RDP step and stop when the
+//      δ̂ implied by the target ε would exceed δ (lines 8–10).
+//
+// The returned Win/Wout satisfy node-level (α, n·ε_γ(α))-RDP by Theorem 5 and
+// convert to (ε, δ)-DP via Theorem 1; downstream use is covered by
+// post-processing (Theorem 2).
+
+#ifndef SEPRIVGEMB_CORE_SE_PRIVGEMB_H_
+#define SEPRIVGEMB_CORE_SE_PRIVGEMB_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "dp/accountant.h"
+#include "embedding/skipgram.h"
+#include "graph/graph.h"
+#include "proximity/proximity.h"
+
+namespace sepriv {
+
+/// Everything a caller needs to publish and audit the embedding.
+struct TrainResult {
+  SkipGramModel model;           // Win (published) and Wout
+
+  size_t epochs_run = 0;         // actual optimisation steps taken
+  size_t epochs_allowed = 0;     // budget-implied cap (SIZE_MAX if non-private)
+  bool stopped_by_budget = false;
+
+  // Privacy actually spent (0 for the non-private counterpart).
+  double spent_epsilon = 0.0;
+  double spent_delta = 0.0;
+  double best_rdp_order = 0.0;
+
+  std::vector<double> loss_curve;  // mean per-sample batch loss per epoch
+
+  /// min(P) used by the unified negative design (Theorem 3 constant).
+  double min_proximity = 0.0;
+};
+
+class SePrivGEmb {
+ public:
+  /// Preference given as a proximity kind; the provider is built internally.
+  SePrivGEmb(const Graph& graph, ProximityKind preference,
+             const SePrivGEmbConfig& config,
+             const ProximityOptions& prox_opts = {});
+
+  /// Preference given as precomputed per-edge proximities (advanced use:
+  /// custom measures not in the registry).
+  SePrivGEmb(const Graph& graph, EdgeProximity preference,
+             const SePrivGEmbConfig& config);
+
+  /// Runs Algorithm 2 and returns the private embedding matrices.
+  TrainResult Train();
+
+  /// The per-edge preference weights the trainer will use (post
+  /// normalisation); exposed for tests and diagnostics.
+  const std::vector<double>& edge_weights() const { return edge_weights_; }
+  double min_weight() const { return min_weight_; }
+
+ private:
+  const Graph& graph_;
+  SePrivGEmbConfig config_;
+  std::vector<double> edge_weights_;  // p_ij per canonical edge
+  double min_weight_ = 0.0;           // min(P) over edges
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_CORE_SE_PRIVGEMB_H_

@@ -1,0 +1,57 @@
+// Batch-gradient accumulator that tracks which rows are non-zero.
+//
+// The skip-gram gradient of a batch touches at most B rows of Win and
+// B·(k+1) rows of Wout; everything else stays exactly zero (paper Fig. 2(b)).
+// Tracking touched rows lets the trainer (a) clear the accumulator in O(rows
+// touched) rather than O(|V|·r) per batch, and (b) inject noise only into
+// non-zero rows — the Ñ(·) operator of Eq. (9).
+
+#ifndef SEPRIVGEMB_CORE_SPARSE_ROW_GRAD_H_
+#define SEPRIVGEMB_CORE_SPARSE_ROW_GRAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+class SparseRowGrad {
+ public:
+  SparseRowGrad(size_t rows, size_t cols)
+      : grad_(rows, cols), is_touched_(rows, 0) {}
+
+  /// grad.row(r) += values (marks r touched).
+  void AddToRow(uint32_t r, std::span<const double> values) {
+    auto row = grad_.Row(r);
+    for (size_t d = 0; d < row.size(); ++d) row[d] += values[d];
+    if (!is_touched_[r]) {
+      is_touched_[r] = 1;
+      touched_.push_back(r);
+    }
+  }
+
+  /// Zeroes only the touched rows; O(touched · cols).
+  void Clear() {
+    for (uint32_t r : touched_) {
+      auto row = grad_.Row(r);
+      for (double& x : row) x = 0.0;
+      is_touched_[r] = 0;
+    }
+    touched_.clear();
+  }
+
+  Matrix& matrix() { return grad_; }
+  const Matrix& matrix() const { return grad_; }
+  const std::vector<uint32_t>& touched() const { return touched_; }
+
+ private:
+  Matrix grad_;
+  std::vector<uint8_t> is_touched_;
+  std::vector<uint32_t> touched_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_CORE_SPARSE_ROW_GRAD_H_

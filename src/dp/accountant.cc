@@ -1,0 +1,60 @@
+#include "dp/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/subsampled_rdp.h"
+#include "util/check.h"
+
+namespace sepriv {
+
+RdpAccountant::RdpAccountant(double noise_multiplier, double sampling_rate,
+                             int max_order)
+    : noise_multiplier_(noise_multiplier), sampling_rate_(sampling_rate) {
+  SEPRIV_CHECK(max_order >= 2, "max_order must be >= 2 (got %d)", max_order);
+  orders_.reserve(static_cast<size_t>(max_order) - 1);
+  per_step_rdp_.reserve(static_cast<size_t>(max_order) - 1);
+  for (int a = 2; a <= max_order; ++a) {
+    orders_.push_back(static_cast<double>(a));
+    per_step_rdp_.push_back(
+        SubsampledGaussianRdp(sampling_rate, noise_multiplier, a));
+  }
+}
+
+std::vector<double> RdpAccountant::CurrentRdp() const {
+  std::vector<double> rdp(per_step_rdp_.size());
+  for (size_t i = 0; i < rdp.size(); ++i)
+    rdp[i] = per_step_rdp_[i] * static_cast<double>(steps_);
+  return rdp;
+}
+
+DpBound RdpAccountant::GetEpsilon(double delta) const {
+  // Zero queries reveal nothing: the conversion tax log(1/δ)/(α-1) only
+  // applies once the mechanism has actually touched the data.
+  if (steps_ == 0) return {0.0, orders_.back()};
+  return RdpToDp(orders_, CurrentRdp(), delta);
+}
+
+double RdpAccountant::GetDelta(double epsilon) const {
+  if (steps_ == 0) return 0.0;
+  return RdpToDelta(orders_, CurrentRdp(), epsilon);
+}
+
+size_t RdpAccountant::MaxSteps(double epsilon, double delta) const {
+  SEPRIV_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const double log_inv_delta = std::log(1.0 / delta);
+  size_t best = 0;
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    const double slack = epsilon - log_inv_delta / (orders_[i] - 1.0);
+    if (slack <= 0.0) continue;
+    if (per_step_rdp_[i] <= 0.0) {
+      // Degenerate (infinite steps); cap at a huge sentinel.
+      return static_cast<size_t>(1) << 62;
+    }
+    const double n = std::floor(slack / per_step_rdp_[i]);
+    best = std::max(best, static_cast<size_t>(n));
+  }
+  return best;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,62 @@
+// RDP privacy accountant for the subsampled Gaussian mechanism.
+//
+// Implements Algorithm 2 lines 8–10 of the paper: after every training epoch
+// (one subsampled batch query with sampling rate γ = B/|E| and noise
+// multiplier σ), composition adds the per-step subsampled RDP at each tracked
+// order; GetDelta(ε_target) is the δ̂ the algorithm compares against δ to
+// decide when to stop optimising.
+
+#ifndef SEPRIVGEMB_DP_ACCOUNTANT_H_
+#define SEPRIVGEMB_DP_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/rdp.h"
+
+namespace sepriv {
+
+class RdpAccountant {
+ public:
+  /// Tracks integer orders α ∈ {2, ..., max_order}. The paper's Theorem 4
+  /// bound requires integer orders.
+  RdpAccountant(double noise_multiplier, double sampling_rate,
+                int max_order = 64);
+
+  /// Registers `count` additional mechanism invocations (training epochs).
+  void Step(size_t count = 1) { steps_ += count; }
+
+  void Reset() { steps_ = 0; }
+
+  size_t steps() const { return steps_; }
+  double noise_multiplier() const { return noise_multiplier_; }
+  double sampling_rate() const { return sampling_rate_; }
+
+  /// (ε, best α) after the steps so far, at failure probability δ.
+  DpBound GetEpsilon(double delta) const;
+
+  /// Smallest achievable δ̂ at a target ε after the steps so far.
+  double GetDelta(double epsilon) const;
+
+  /// Largest number of steps whose conversion stays within (ε, δ);
+  /// 0 if even one step exceeds the budget. Closed form per order:
+  ///   n_α = floor( (ε - log(1/δ)/(α-1)) / rdp_step(α) ), maximised over α.
+  size_t MaxSteps(double epsilon, double delta) const;
+
+  /// Per-step RDP curve (aligned with orders()).
+  const std::vector<double>& per_step_rdp() const { return per_step_rdp_; }
+  const std::vector<double>& orders() const { return orders_; }
+
+ private:
+  std::vector<double> CurrentRdp() const;
+
+  double noise_multiplier_;
+  double sampling_rate_;
+  std::vector<double> orders_;
+  std::vector<double> per_step_rdp_;
+  size_t steps_ = 0;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_DP_ACCOUNTANT_H_

@@ -1,0 +1,45 @@
+#include "dp/calibration.h"
+
+#include "dp/accountant.h"
+#include "util/check.h"
+
+namespace sepriv {
+namespace {
+
+double EpsilonFor(double sigma, double delta, size_t num_queries,
+                  double sampling_rate, int max_order) {
+  RdpAccountant acct(sigma, sampling_rate, max_order);
+  acct.Step(num_queries);
+  return acct.GetEpsilon(delta).epsilon;
+}
+
+}  // namespace
+
+double CalibrateNoiseMultiplier(double epsilon, double delta,
+                                size_t num_queries, double sampling_rate,
+                                int max_order, double sigma_lo,
+                                double sigma_hi) {
+  SEPRIV_CHECK(epsilon > 0.0, "epsilon must be positive");
+  SEPRIV_CHECK(num_queries > 0, "need at least one query");
+  if (EpsilonFor(sigma_hi, delta, num_queries, sampling_rate, max_order) >
+      epsilon) {
+    return sigma_hi;  // cannot meet the budget within the search range
+  }
+  if (EpsilonFor(sigma_lo, delta, num_queries, sampling_rate, max_order) <=
+      epsilon) {
+    return sigma_lo;  // already private enough at the lower bound
+  }
+  double lo = sigma_lo, hi = sigma_hi;
+  for (int it = 0; it < 64; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (EpsilonFor(mid, delta, num_queries, sampling_rate, max_order) >
+        epsilon) {
+      lo = mid;  // too little noise
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,24 @@
+// Noise calibration: the smallest noise multiplier σ such that a fixed
+// number of (subsampled) Gaussian queries stays within an (ε, δ) budget.
+// Used by the GAP/ProGAP baselines, which decide their per-query noise from
+// the number of aggregation perturbations they will perform.
+
+#ifndef SEPRIVGEMB_DP_CALIBRATION_H_
+#define SEPRIVGEMB_DP_CALIBRATION_H_
+
+#include <cstddef>
+
+namespace sepriv {
+
+/// Binary-searches σ ∈ [σ_lo, σ_hi] so that `num_queries` subsampled-Gaussian
+/// invocations at `sampling_rate` convert to ε' ≤ epsilon at the given delta.
+/// Returns σ_hi if even that is insufficient (callers treat the result as
+/// "as private as representable").
+double CalibrateNoiseMultiplier(double epsilon, double delta,
+                                size_t num_queries, double sampling_rate = 1.0,
+                                int max_order = 64, double sigma_lo = 0.3,
+                                double sigma_hi = 5000.0);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_DP_CALIBRATION_H_

@@ -1,0 +1,24 @@
+#include "dp/clipping.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace sepriv {
+
+double ClipScale(double norm, double threshold) {
+  SEPRIV_CHECK(threshold > 0.0, "clip threshold must be positive (got %f)",
+               threshold);
+  if (norm <= threshold) return 1.0;
+  return threshold / norm;
+}
+
+double ClipL2InPlace(std::span<double> grad, double threshold) {
+  const double norm = Norm(grad.data(), grad.size());
+  const double scale = ClipScale(norm, threshold);
+  if (scale != 1.0) {
+    for (double& g : grad) g *= scale;
+  }
+  return scale;
+}
+
+}  // namespace sepriv

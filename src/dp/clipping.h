@@ -1,0 +1,21 @@
+// Per-sample L2 gradient clipping (paper Eq. 3):
+//   Clip(g) = g / max(1, ||g||_2 / C).
+
+#ifndef SEPRIVGEMB_DP_CLIPPING_H_
+#define SEPRIVGEMB_DP_CLIPPING_H_
+
+#include <span>
+
+namespace sepriv {
+
+/// Scales `grad` in place so its L2 norm is at most `threshold`. Returns the
+/// applied scale factor (1.0 when no clipping occurred).
+double ClipL2InPlace(std::span<double> grad, double threshold);
+
+/// Returns the scale factor that ClipL2InPlace would apply for a gradient of
+/// the given norm.
+double ClipScale(double norm, double threshold);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_DP_CLIPPING_H_

@@ -1,0 +1,25 @@
+#include "dp/gaussian_mechanism.h"
+
+#include "util/check.h"
+
+namespace sepriv {
+
+void AddGaussianNoise(std::span<double> values, double stddev, Rng& rng) {
+  SEPRIV_CHECK(stddev >= 0.0, "noise stddev must be non-negative");
+  if (stddev == 0.0) return;
+  for (double& v : values) v += rng.Normal(0.0, stddev);
+}
+
+void AddGaussianNoiseToRows(Matrix& m, std::span<const uint32_t> rows,
+                            double stddev, Rng& rng) {
+  for (uint32_t r : rows) {
+    SEPRIV_CHECK(r < m.rows(), "row %u out of range (%zu rows)", r, m.rows());
+    AddGaussianNoise(m.Row(r), stddev, rng);
+  }
+}
+
+void AddGaussianNoiseToAllRows(Matrix& m, double stddev, Rng& rng) {
+  AddGaussianNoise({m.data(), m.size()}, stddev, rng);
+}
+
+}  // namespace sepriv

@@ -1,0 +1,44 @@
+// Gaussian mechanism (paper §II-B): A(G) = f(G) + N(0, S_f²σ²I), which
+// satisfies (α, α/(2σ²))-RDP for every α > 1 [Mironov'17, Cor. 3].
+
+#ifndef SEPRIVGEMB_DP_GAUSSIAN_MECHANISM_H_
+#define SEPRIVGEMB_DP_GAUSSIAN_MECHANISM_H_
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace sepriv {
+
+/// Adds i.i.d. N(0, stddev²) noise to every element of `values`.
+void AddGaussianNoise(std::span<double> values, double stddev, Rng& rng);
+
+/// Adds i.i.d. N(0, stddev²) noise to the listed rows of `m` only — the
+/// non-zero perturbation Ñ(·) of paper Eq. (9). Rows may repeat; repeated
+/// entries receive a single noise draw (callers pass de-duplicated lists).
+void AddGaussianNoiseToRows(Matrix& m, std::span<const uint32_t> rows,
+                            double stddev, Rng& rng);
+
+/// Adds i.i.d. N(0, stddev²) noise to every row of `m` — the naive
+/// perturbation of paper Eq. (6).
+void AddGaussianNoiseToAllRows(Matrix& m, double stddev, Rng& rng);
+
+/// Value-semantics description of a Gaussian mechanism invocation.
+struct GaussianMechanism {
+  double sensitivity = 1.0;       // S_f
+  double noise_multiplier = 1.0;  // σ
+
+  /// Standard deviation of the injected noise: S_f · σ.
+  double Stddev() const { return sensitivity * noise_multiplier; }
+
+  /// RDP at order alpha: α S_f² / (2 (S_f σ)²) = α / (2σ²).
+  double Rdp(double alpha) const {
+    return alpha / (2.0 * noise_multiplier * noise_multiplier);
+  }
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_DP_GAUSSIAN_MECHANISM_H_

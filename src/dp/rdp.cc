@@ -1,0 +1,49 @@
+#include "dp/rdp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+double GaussianRdp(double noise_multiplier, double alpha) {
+  SEPRIV_CHECK(noise_multiplier > 0.0, "noise multiplier must be positive");
+  SEPRIV_CHECK(alpha > 1.0, "RDP order must exceed 1 (got %f)", alpha);
+  return alpha / (2.0 * noise_multiplier * noise_multiplier);
+}
+
+DpBound RdpToDp(const std::vector<double>& orders,
+                const std::vector<double>& rdp, double delta) {
+  SEPRIV_CHECK(orders.size() == rdp.size(), "orders/rdp size mismatch");
+  SEPRIV_CHECK(!orders.empty(), "empty RDP curve");
+  SEPRIV_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  DpBound best{std::numeric_limits<double>::infinity(), orders[0]};
+  const double log_inv_delta = std::log(1.0 / delta);
+  for (size_t i = 0; i < orders.size(); ++i) {
+    SEPRIV_CHECK(orders[i] > 1.0, "RDP order must exceed 1");
+    const double eps = rdp[i] + log_inv_delta / (orders[i] - 1.0);
+    if (eps < best.epsilon) {
+      best.epsilon = eps;
+      best.best_order = orders[i];
+    }
+  }
+  best.epsilon = std::max(0.0, best.epsilon);
+  return best;
+}
+
+double RdpToDelta(const std::vector<double>& orders,
+                  const std::vector<double>& rdp, double epsilon) {
+  SEPRIV_CHECK(orders.size() == rdp.size(), "orders/rdp size mismatch");
+  SEPRIV_CHECK(!orders.empty(), "empty RDP curve");
+  SEPRIV_CHECK(epsilon >= 0.0, "epsilon must be non-negative");
+  double best_log_delta = 0.0;  // δ <= 1 always holds
+  for (size_t i = 0; i < orders.size(); ++i) {
+    const double log_delta = (orders[i] - 1.0) * (rdp[i] - epsilon);
+    best_log_delta = std::min(best_log_delta, log_delta);
+  }
+  return std::exp(best_log_delta);
+}
+
+}  // namespace sepriv

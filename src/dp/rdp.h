@@ -1,0 +1,33 @@
+// Rényi differential privacy curves and the RDP -> (ε, δ) conversion
+// (paper Definition 2 and Theorem 1 [Mironov'17, Prop. 3]).
+
+#ifndef SEPRIVGEMB_DP_RDP_H_
+#define SEPRIVGEMB_DP_RDP_H_
+
+#include <vector>
+
+namespace sepriv {
+
+/// RDP of the Gaussian mechanism with noise multiplier sigma at order alpha:
+/// ε(α) = α / (2σ²).
+double GaussianRdp(double noise_multiplier, double alpha);
+
+/// Result of optimising the conversion over RDP orders.
+struct DpBound {
+  double epsilon = 0.0;
+  double best_order = 0.0;
+};
+
+/// Converts an RDP curve {(orders[i], rdp[i])} to (ε, δ)-DP:
+///   ε = min_α [ rdp(α) + log(1/δ) / (α-1) ].
+DpBound RdpToDp(const std::vector<double>& orders,
+                const std::vector<double>& rdp, double delta);
+
+/// Inverse direction: the smallest δ achievable at a target ε:
+///   δ = min_α exp( (α-1) · (rdp(α) - ε) ), clamped to [0, 1].
+double RdpToDelta(const std::vector<double>& orders,
+                  const std::vector<double>& rdp, double epsilon);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_DP_RDP_H_

@@ -1,0 +1,56 @@
+#include "dp/subsampled_rdp.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rdp.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace sepriv {
+
+double SubsampledGaussianRdp(double sampling_rate, double noise_multiplier,
+                             int alpha) {
+  SEPRIV_CHECK(sampling_rate > 0.0 && sampling_rate <= 1.0,
+               "sampling rate must be in (0,1], got %f", sampling_rate);
+  SEPRIV_CHECK(noise_multiplier > 0.0, "noise multiplier must be positive");
+  SEPRIV_CHECK(alpha >= 2, "integer order alpha >= 2 required (got %d)", alpha);
+
+  const double gamma = sampling_rate;
+  const double sigma2 = noise_multiplier * noise_multiplier;
+  auto eps_of = [sigma2](int j) {
+    return static_cast<double>(j) / (2.0 * sigma2);  // Gaussian RDP at order j
+  };
+  const double unamplified = GaussianRdp(noise_multiplier, alpha);
+  if (gamma >= 1.0) return unamplified;
+
+  const double log_gamma = std::log(gamma);
+
+  // j = 2 term: γ² C(α,2) min{ 4(e^{ε(2)}-1), 2 e^{ε(2)} }.
+  // (With ε(∞) = ∞ for the Gaussian mechanism, min{2, (e^{ε(∞)}-1)²} = 2.)
+  const double eps2 = eps_of(2);
+  const double min_term =
+      std::min(4.0 * std::expm1(eps2), 2.0 * std::exp(eps2));
+  std::vector<double> log_terms;
+  log_terms.reserve(static_cast<size_t>(alpha));
+  log_terms.push_back(2.0 * log_gamma + LogBinomial(alpha, 2) +
+                      std::log(min_term));
+
+  // j >= 3 terms: γ^j C(α,j) e^{(j-1) ε(j)} · 2.
+  for (int j = 3; j <= alpha; ++j) {
+    const double log_term = static_cast<double>(j) * log_gamma +
+                            LogBinomial(alpha, j) +
+                            (static_cast<double>(j) - 1.0) * eps_of(j) +
+                            std::log(2.0);
+    log_terms.push_back(log_term);
+  }
+
+  // ε'(α) = log(1 + Σ terms) / (α - 1), computed as LogAddExp(0, LSE(terms)).
+  const double log_sum = LogAddExp(0.0, LogSumExp(log_terms));
+  const double amplified = log_sum / (static_cast<double>(alpha) - 1.0);
+
+  // Subsampling never hurts: the unamplified curve is also a valid bound.
+  return std::min(amplified, unamplified);
+}
+
+}  // namespace sepriv

@@ -1,0 +1,23 @@
+// RDP amplification by subsampling without replacement — paper Theorem 4,
+// due to Wang, Balle & Kasiviswanathan (AISTATS'19, Thm 27).
+
+#ifndef SEPRIVGEMB_DP_SUBSAMPLED_RDP_H_
+#define SEPRIVGEMB_DP_SUBSAMPLED_RDP_H_
+
+namespace sepriv {
+
+/// RDP at integer order `alpha` >= 2 of the subsampled Gaussian mechanism:
+/// subsample a γ-fraction without replacement, then run a Gaussian mechanism
+/// with noise multiplier `noise_multiplier` on the subsample.
+///
+/// Implements the bound of paper Theorem 4 with the Gaussian curve
+/// ε(j) = j / (2σ²) and ε(∞) = ∞ (so the min{·} terms resolve to
+/// min{4(e^{ε(2)}-1), 2e^{ε(2)}} for j = 2 and 2 for j >= 3), evaluated in
+/// log-space to stay finite at large α. The result is additionally capped at
+/// the unamplified Gaussian RDP, which is always a valid upper bound.
+double SubsampledGaussianRdp(double sampling_rate, double noise_multiplier,
+                             int alpha);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_DP_SUBSAMPLED_RDP_H_

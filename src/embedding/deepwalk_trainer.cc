@@ -1,0 +1,65 @@
+#include "embedding/deepwalk_trainer.h"
+
+#include <algorithm>
+
+#include "embedding/negative_sampler.h"
+#include "embedding/random_walk.h"
+#include "embedding/sgns.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sepriv {
+
+DeepWalkResult TrainDeepWalk(const Graph& graph,
+                             const DeepWalkConfig& config) {
+  SEPRIV_CHECK(graph.num_nodes() >= 2, "graph too small for DeepWalk");
+  SEPRIV_CHECK(config.window >= 1 && config.walk_length >= 2,
+               "bad walk configuration");
+  Rng rng(config.seed);
+
+  DeepWalkResult result;
+  result.model = SkipGramModel(graph.num_nodes(), config.dim, rng);
+  RandomWalkEngine engine(graph);
+  DegreeNegativeSampler negatives(graph, config.negative_power);
+
+  // Total pair estimate for the linear learning-rate decay.
+  const double total_pairs_estimate =
+      static_cast<double>(config.epochs) *
+      static_cast<double>(config.walks_per_node) *
+      static_cast<double>(graph.num_nodes()) *
+      static_cast<double>(config.walk_length) *
+      static_cast<double>(config.window);
+  size_t pair_counter = 0;
+
+  Subgraph sample;
+  sample.negatives.resize(static_cast<size_t>(config.negatives));
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto corpus =
+        engine.Corpus(config.walks_per_node, config.walk_length, rng);
+    for (const auto& walk : corpus) {
+      for (size_t i = 0; i < walk.size(); ++i) {
+        // Randomised window shrink, as in word2vec.
+        const size_t window = 1 + rng.UniformInt(config.window);
+        const size_t lo = i >= window ? i - window : 0;
+        const size_t hi = std::min(walk.size() - 1, i + window);
+        for (size_t j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          sample.center = walk[i];
+          sample.context = walk[j];
+          for (auto& n : sample.negatives) n = negatives.Sample(rng);
+          const double progress =
+              static_cast<double>(pair_counter) / total_pairs_estimate;
+          const double lr = config.learning_rate *
+                            std::max(0.0001, 1.0 - progress);
+          SgdStep(result.model, sample, /*w_pos=*/1.0, /*w_neg=*/1.0, lr);
+          ++pair_counter;
+        }
+      }
+    }
+  }
+  result.pairs_trained = pair_counter;
+  return result;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,43 @@
+// Classical (non-private) DeepWalk trainer [9]: random-walk corpus ->
+// window co-occurrence pairs -> SGNS with degree-proportional negatives.
+//
+// Included as the canonical skip-gram graph-embedding pipeline that
+// SE-PrivGEmb generalises: it corresponds to the prior-work setting of
+// §IV-B ("Comparison with Prior Works", Eq. 14/15) with p_ij implicitly
+// defined by walk co-occurrence frequencies. Useful as an additional
+// non-private reference point and for the proximity_explorer example.
+
+#ifndef SEPRIVGEMB_EMBEDDING_DEEPWALK_TRAINER_H_
+#define SEPRIVGEMB_EMBEDDING_DEEPWALK_TRAINER_H_
+
+#include <cstddef>
+
+#include "embedding/skipgram.h"
+#include "graph/graph.h"
+
+namespace sepriv {
+
+struct DeepWalkConfig {
+  size_t dim = 64;
+  size_t walks_per_node = 10;
+  size_t walk_length = 40;
+  size_t window = 5;
+  int negatives = 5;
+  double learning_rate = 0.025;
+  double negative_power = 0.75;  // word2vec's d^(3/4) negative distribution
+  size_t epochs = 1;             // passes over the corpus
+  uint64_t seed = 1;
+};
+
+struct DeepWalkResult {
+  SkipGramModel model;
+  size_t pairs_trained = 0;
+};
+
+/// Trains DeepWalk embeddings; the learning rate decays linearly over the
+/// corpus as in the reference implementation.
+DeepWalkResult TrainDeepWalk(const Graph& graph, const DeepWalkConfig& config);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EMBEDDING_DEEPWALK_TRAINER_H_

@@ -1,0 +1,64 @@
+// Negative-sampling distributions P_n(v) (paper §IV-B).
+//
+// Theorem 3's unified design makes P_n constant in the candidate node — i.e.
+// uniform sampling — which UniformNonNeighborSampler provides. The classic
+// degree-proportional design of prior work (Eq. 14, P_n(v) ∝ d_v^pow) is
+// provided for the comparison in §IV-B ("Comparison with Prior Works") and
+// for ablation benches.
+
+#ifndef SEPRIVGEMB_EMBEDDING_NEGATIVE_SAMPLER_H_
+#define SEPRIVGEMB_EMBEDDING_NEGATIVE_SAMPLER_H_
+
+#include <cmath>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace sepriv {
+
+/// Uniform over nodes non-adjacent to the center (Algorithm 1's rejection
+/// loop, reusable at training time).
+class UniformNonNeighborSampler {
+ public:
+  explicit UniformNonNeighborSampler(const Graph& graph) : graph_(graph) {}
+
+  /// One negative for `center`; falls back to any node != center after a
+  /// bounded number of rejections.
+  NodeId Sample(NodeId center, Rng& rng) const {
+    const size_t n = graph_.num_nodes();
+    NodeId cand = center;
+    for (int tries = 0; tries < 256; ++tries) {
+      cand = static_cast<NodeId>(rng.UniformInt(n));
+      if (cand != center && !graph_.HasEdge(center, cand)) return cand;
+    }
+    return cand == center ? static_cast<NodeId>((center + 1) % n) : cand;
+  }
+
+ private:
+  const Graph& graph_;
+};
+
+/// P_n(v) ∝ d_v^power (word2vec uses power = 0.75; the analysis of Eq. 14
+/// uses power = 1). Does not exclude neighbours — matching prior work.
+class DegreeNegativeSampler {
+ public:
+  DegreeNegativeSampler(const Graph& graph, double power = 1.0) {
+    std::vector<double> w(graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      w[v] = std::pow(static_cast<double>(graph.Degree(v)), power);
+    }
+    table_.Build(w);
+  }
+
+  NodeId Sample(Rng& rng) const { return table_.Sample(rng); }
+  const AliasTable& table() const { return table_; }
+
+ private:
+  AliasTable table_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EMBEDDING_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,87 @@
+#include "embedding/random_walk.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+std::vector<NodeId> RandomWalkEngine::Walk(NodeId start, size_t length,
+                                           Rng& rng) const {
+  SEPRIV_CHECK(start < graph_.num_nodes(), "walk start out of range");
+  std::vector<NodeId> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  NodeId cur = start;
+  for (size_t i = 0; i < length; ++i) {
+    const auto nbrs = graph_.Neighbors(cur);
+    if (nbrs.empty()) break;
+    cur = nbrs[rng.UniformInt(nbrs.size())];
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::vector<NodeId> RandomWalkEngine::BiasedWalk(NodeId start, size_t length,
+                                                 double p, double q,
+                                                 Rng& rng) const {
+  SEPRIV_CHECK(p > 0.0 && q > 0.0, "node2vec p,q must be positive");
+  std::vector<NodeId> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  NodeId cur = start;
+  NodeId prev = start;
+  bool has_prev = false;
+  for (size_t i = 0; i < length; ++i) {
+    const auto nbrs = graph_.Neighbors(cur);
+    if (nbrs.empty()) break;
+    NodeId next;
+    if (!has_prev) {
+      next = nbrs[rng.UniformInt(nbrs.size())];
+    } else {
+      // Rejection sampling against the max unnormalised weight.
+      const double w_return = 1.0 / p;   // d(prev, x) = 0
+      const double w_common = 1.0;       // d(prev, x) = 1
+      const double w_forward = 1.0 / q;  // d(prev, x) = 2
+      const double w_max = std::max({w_return, w_common, w_forward});
+      for (int tries = 0;; ++tries) {
+        const NodeId cand = nbrs[rng.UniformInt(nbrs.size())];
+        double w;
+        if (cand == prev) {
+          w = w_return;
+        } else if (graph_.HasEdge(prev, cand)) {
+          w = w_common;
+        } else {
+          w = w_forward;
+        }
+        if (rng.Uniform() * w_max <= w || tries > 64) {
+          next = cand;
+          break;
+        }
+      }
+    }
+    prev = cur;
+    has_prev = true;
+    cur = next;
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::vector<std::vector<NodeId>> RandomWalkEngine::Corpus(
+    size_t walks_per_node, size_t length, Rng& rng) const {
+  std::vector<std::vector<NodeId>> corpus;
+  corpus.reserve(walks_per_node * graph_.num_nodes());
+  for (size_t r = 0; r < walks_per_node; ++r) {
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      corpus.push_back(Walk(v, length, rng));
+    }
+  }
+  // Shuffle walk order (Fisher–Yates) so SGD sees a mixed stream.
+  for (size_t i = corpus.size(); i > 1; --i) {
+    std::swap(corpus[i - 1], corpus[rng.UniformInt(i)]);
+  }
+  return corpus;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,40 @@
+// Uniform random-walk engine (DeepWalk [9] style).
+//
+// Used by the walk-sampled DeepWalk proximity, the proximity-explorer
+// example, and tests. node2vec-style biased walks are provided with the
+// (p, q) return/in-out parameters for API completeness.
+
+#ifndef SEPRIVGEMB_EMBEDDING_RANDOM_WALK_H_
+#define SEPRIVGEMB_EMBEDDING_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace sepriv {
+
+class RandomWalkEngine {
+ public:
+  explicit RandomWalkEngine(const Graph& graph) : graph_(graph) {}
+
+  /// Uniform walk of at most `length` steps from `start` (shorter if a
+  /// dangling node is reached). The returned sequence includes `start`.
+  std::vector<NodeId> Walk(NodeId start, size_t length, Rng& rng) const;
+
+  /// node2vec second-order walk: return parameter p, in-out parameter q
+  /// (p = q = 1 reduces to the uniform walk).
+  std::vector<NodeId> BiasedWalk(NodeId start, size_t length, double p,
+                                 double q, Rng& rng) const;
+
+  /// DeepWalk corpus: `walks_per_node` walks from every node, shuffled.
+  std::vector<std::vector<NodeId>> Corpus(size_t walks_per_node, size_t length,
+                                          Rng& rng) const;
+
+ private:
+  const Graph& graph_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EMBEDDING_RANDOM_WALK_H_

@@ -1,0 +1,64 @@
+#include "embedding/sgns.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace sepriv {
+
+double SgnsLoss(const SkipGramModel& model, const Subgraph& s, double w_pos,
+                double w_neg) {
+  double loss = -w_pos * LogSigmoid(model.Score(s.center, s.context));
+  for (NodeId n : s.negatives) {
+    loss -= w_neg * LogSigmoid(-model.Score(s.center, n));
+  }
+  return loss;
+}
+
+SgnsGradient ComputeSgnsGradient(const SkipGramModel& model, const Subgraph& s,
+                                 double w_pos, double w_neg) {
+  const size_t dim = model.dim();
+  SgnsGradient g;
+  g.center = s.center;
+  g.center_grad.assign(dim, 0.0);
+  g.context_grads.reserve(s.negatives.size() + 1);
+
+  const auto vi = model.w_in.Row(s.center);
+
+  auto accumulate = [&](NodeId ctx, double indicator, double weight) {
+    const auto vn = model.w_out.Row(ctx);
+    const double x = Dot(vi.data(), vn.data(), dim);
+    const double coeff = weight * (Sigmoid(x) - indicator);
+    // ∂L/∂v_i += coeff · v_n   (Eq. 7)
+    for (size_t d = 0; d < dim; ++d) g.center_grad[d] += coeff * vn[d];
+    // ∂L/∂v_n  = coeff · v_i   (Eq. 8)
+    std::vector<double> row(dim);
+    for (size_t d = 0; d < dim; ++d) row[d] = coeff * vi[d];
+    g.context_grads.emplace_back(ctx, std::move(row));
+    // Loss bookkeeping.
+    if (indicator > 0.5) {
+      g.loss -= weight * LogSigmoid(x);
+    } else {
+      g.loss -= weight * LogSigmoid(-x);
+    }
+  };
+
+  accumulate(s.context, 1.0, w_pos);
+  for (NodeId n : s.negatives) accumulate(n, 0.0, w_neg);
+  return g;
+}
+
+double SgdStep(SkipGramModel& model, const Subgraph& s, double w_pos,
+               double w_neg, double learning_rate) {
+  const SgnsGradient g = ComputeSgnsGradient(model, s, w_pos, w_neg);
+  auto vi = model.w_in.Row(s.center);
+  for (size_t d = 0; d < model.dim(); ++d)
+    vi[d] -= learning_rate * g.center_grad[d];
+  for (const auto& [row, grad] : g.context_grads) {
+    auto vn = model.w_out.Row(row);
+    for (size_t d = 0; d < model.dim(); ++d)
+      vn[d] -= learning_rate * grad[d];
+  }
+  return g.loss;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,52 @@
+// Skip-gram-with-negative-sampling loss and analytic gradients for the
+// structure-preference objective L_nov (paper Eq. 5, 7, 8).
+//
+// For a subgraph S = {(i, j)} ∪ {(i, n_1..n_k)} with positive weight w_pos
+// (= p_ij) and per-negative weight w_neg:
+//
+//   L    = -w_pos·log σ(v_j·v_i) - w_neg·Σ_n log σ(-v_n·v_i)
+//   ∂L/∂v_i   = Σ_{n=0..k} w_n (σ(v_n·v_i) - 1[n=0]) · v_n      (Eq. 7)
+//   ∂L/∂v_n   = w_n (σ(v_n·v_i) - 1[n=0]) · v_i                 (Eq. 8)
+//
+// where n = 0 denotes the positive context j and w_0 = w_pos, w_{n>0} = w_neg.
+
+#ifndef SEPRIVGEMB_EMBEDDING_SGNS_H_
+#define SEPRIVGEMB_EMBEDDING_SGNS_H_
+
+#include <utility>
+#include <vector>
+
+#include "embedding/skipgram.h"
+#include "embedding/subgraph_sampler.h"
+
+namespace sepriv {
+
+/// Per-sample gradient in its natural sparse form.
+struct SgnsGradient {
+  double loss = 0.0;
+  NodeId center = 0;
+  std::vector<double> center_grad;  // dim entries; row `center` of ∂L/∂Win
+  /// (row, grad) pairs for the k+1 touched rows of Wout. The positive
+  /// context is entry 0. A node appearing twice (possible if a negative
+  /// collides with another negative) contributes separate entries; callers
+  /// accumulating into a matrix handle the merge naturally.
+  std::vector<std::pair<NodeId, std::vector<double>>> context_grads;
+};
+
+/// Loss only (used by finite-difference gradient checks).
+double SgnsLoss(const SkipGramModel& model, const Subgraph& s, double w_pos,
+                double w_neg);
+
+/// Loss + full sparse gradient.
+SgnsGradient ComputeSgnsGradient(const SkipGramModel& model, const Subgraph& s,
+                                 double w_pos, double w_neg);
+
+/// Plain (non-private) SGD step on one subgraph; returns the loss before the
+/// update. Used by the SE-GEmb non-private counterpart's fast path and by
+/// convergence tests.
+double SgdStep(SkipGramModel& model, const Subgraph& s, double w_pos,
+               double w_neg, double learning_rate);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EMBEDDING_SGNS_H_

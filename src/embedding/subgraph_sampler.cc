@@ -1,0 +1,72 @@
+#include "embedding/subgraph_sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+SubgraphSampler::SubgraphSampler(const Graph& graph, int negatives_per_edge,
+                                 uint64_t seed, EdgeOrientation orientation,
+                                 bool exclude_neighbors) {
+  SEPRIV_CHECK(negatives_per_edge >= 0, "negative count must be >= 0");
+  SEPRIV_CHECK(graph.num_nodes() >= 2, "graph too small for sampling");
+  Rng rng(seed);
+  const size_t n = graph.num_nodes();
+  subgraphs_.reserve(graph.num_edges());
+  for (size_t e = 0; e < graph.Edges().size(); ++e) {
+    const Edge& edge = graph.Edges()[e];
+    Subgraph s;
+    if (orientation == EdgeOrientation::kRandom && rng.Bernoulli(0.5)) {
+      s.center = edge.v;
+      s.context = edge.u;
+    } else {
+      s.center = edge.u;
+      s.context = edge.v;
+    }
+    s.edge_index = static_cast<uint32_t>(e);
+    s.negatives.reserve(static_cast<size_t>(negatives_per_edge));
+    // Algorithm 1 lines 4–12: rejection-sample nodes non-adjacent to center.
+    // On near-complete neighbourhoods (no valid negative may exist) fall
+    // back to any non-center node after a bounded number of rejections.
+    for (int k = 0; k < negatives_per_edge; ++k) {
+      NodeId cand = s.center;
+      bool found = false;
+      for (int tries = 0; tries < 256; ++tries) {
+        cand = static_cast<NodeId>(rng.UniformInt(n));
+        if (cand != s.center &&
+            (!exclude_neighbors || !graph.HasEdge(s.center, cand))) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        cand = static_cast<NodeId>((s.center + 1 + rng.UniformInt(n - 1)) % n);
+        if (cand == s.center) cand = static_cast<NodeId>((cand + 1) % n);
+      }
+      s.negatives.push_back(cand);
+    }
+    subgraphs_.push_back(std::move(s));
+  }
+}
+
+std::vector<uint32_t> SubgraphSampler::SampleBatch(size_t batch_size,
+                                                   Rng& rng) const {
+  const size_t n = subgraphs_.size();
+  SEPRIV_CHECK(n > 0, "no subgraphs to sample");
+  const size_t m = std::min(batch_size, n);
+  // Floyd's algorithm: uniform m-subset without replacement in O(m).
+  std::vector<uint32_t> picked;
+  picked.reserve(m);
+  for (size_t j = n - m; j < n; ++j) {
+    const auto t = static_cast<uint32_t>(rng.UniformInt(j + 1));
+    if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+      picked.push_back(t);
+    } else {
+      picked.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return picked;
+}
+
+}  // namespace sepriv

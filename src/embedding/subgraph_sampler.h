@@ -1,0 +1,56 @@
+// Algorithm 1 of the paper: pre-computes the set GS of disjoint subgraphs,
+// one per edge. Each subgraph holds the positive pair (center, context) and
+// k uniformly drawn negative nodes that are non-adjacent to the center.
+// Collecting samples before training (footnote 2) makes the epoch-level
+// subsampling rate exactly B/|E| for the privacy amplification analysis.
+
+#ifndef SEPRIVGEMB_EMBEDDING_SUBGRAPH_SAMPLER_H_
+#define SEPRIVGEMB_EMBEDDING_SUBGRAPH_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace sepriv {
+
+/// One training example: an observed edge plus its negative samples.
+struct Subgraph {
+  NodeId center = 0;               // v_i of Eq. (5)
+  NodeId context = 0;              // v_j
+  std::vector<NodeId> negatives;   // v_n, (center, v_n) ∉ E
+  uint32_t edge_index = 0;         // index into Graph::Edges() for p_ij lookup
+};
+
+/// How the undirected edge is oriented into (center, context).
+enum class EdgeOrientation {
+  kCanonical,  // center = min endpoint (the literal Algorithm 1)
+  kRandom,     // uniform coin per edge; avoids systematic low-id bias
+};
+
+/// Materialises GS = {S_1, ..., S_|E|}.
+class SubgraphSampler {
+ public:
+  /// exclude_neighbors = true is the literal Algorithm 1 (negatives must be
+  /// non-adjacent to the center). false samples negatives uniformly over
+  /// V \ {center}, the support that Theorem 3's idealized objective (Eq. 12)
+  /// actually integrates over.
+  SubgraphSampler(const Graph& graph, int negatives_per_edge, uint64_t seed,
+                  EdgeOrientation orientation = EdgeOrientation::kRandom,
+                  bool exclude_neighbors = true);
+
+  const std::vector<Subgraph>& All() const { return subgraphs_; }
+  size_t size() const { return subgraphs_.size(); }
+
+  /// Uniformly samples `batch_size` subgraph indices without replacement
+  /// (the "subsample without replacement" setup of Definition 6).
+  std::vector<uint32_t> SampleBatch(size_t batch_size, Rng& rng) const;
+
+ private:
+  std::vector<Subgraph> subgraphs_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EMBEDDING_SUBGRAPH_SAMPLER_H_

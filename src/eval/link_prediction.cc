@@ -1,0 +1,80 @@
+#include "eval/link_prediction.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+LinkPredictionSplit MakeLinkPredictionSplit(const Graph& graph,
+                                            const LinkPredictionOptions& opts) {
+  SEPRIV_CHECK(opts.test_fraction > 0.0 && opts.test_fraction < 1.0,
+               "test fraction must be in (0,1)");
+  Rng rng(opts.seed);
+  std::vector<Edge> edges = graph.Edges();
+  // Fisher–Yates shuffle, then take the tail as the test set.
+  for (size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.UniformInt(i)]);
+  }
+  const auto n_test = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(edges.size()) *
+                             opts.test_fraction));
+  SEPRIV_CHECK(n_test < edges.size(), "graph too small to split");
+
+  LinkPredictionSplit split;
+  split.test_pos.assign(edges.end() - static_cast<ptrdiff_t>(n_test),
+                        edges.end());
+  edges.resize(edges.size() - n_test);
+  split.train_graph = Graph::FromEdges(graph.num_nodes(), std::move(edges));
+
+  // Negative test pairs: uniform non-edges of the *full* graph.
+  std::unordered_set<uint64_t> used;
+  split.test_neg.reserve(n_test);
+  const size_t n = graph.num_nodes();
+  while (split.test_neg.size() < n_test) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(n));
+    const auto v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    if (!used.insert(PairKey(u, v)).second) continue;
+    split.test_neg.push_back({std::min(u, v), std::max(u, v)});
+  }
+  return split;
+}
+
+double ScorePair(const Matrix& w_in, const Matrix& w_out, NodeId i, NodeId j,
+                 PairScore score) {
+  switch (score) {
+    case PairScore::kInnerProductInIn:
+      return w_in.RowDot(i, w_in, j);
+    case PairScore::kInnerProductInOut:
+      return 0.5 * (w_in.RowDot(i, w_out, j) + w_in.RowDot(j, w_out, i));
+    case PairScore::kNegativeDistance:
+      return -w_in.RowSquaredDistance(i, w_in, j);
+  }
+  return 0.0;
+}
+
+double LinkPredictionAuc(const LinkPredictionSplit& split, const Matrix& w_in,
+                         const Matrix& w_out, PairScore score) {
+  std::vector<double> pos, neg;
+  pos.reserve(split.test_pos.size());
+  neg.reserve(split.test_neg.size());
+  for (const Edge& e : split.test_pos)
+    pos.push_back(ScorePair(w_in, w_out, e.u, e.v, score));
+  for (const Edge& e : split.test_neg)
+    neg.push_back(ScorePair(w_in, w_out, e.u, e.v, score));
+  return AucFromScores(pos, neg);
+}
+
+}  // namespace sepriv

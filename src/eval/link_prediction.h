@@ -1,0 +1,50 @@
+// Link-prediction benchmark pipeline (paper §VI-A, following [31]):
+// 90% of edges form the training graph, 10% are held-out positives, and an
+// equal number of uniformly sampled non-edges are held-out negatives; the
+// metric is ROC-AUC of the embedding's pair scores.
+
+#ifndef SEPRIVGEMB_EVAL_LINK_PREDICTION_H_
+#define SEPRIVGEMB_EVAL_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+struct LinkPredictionSplit {
+  Graph train_graph;            // same node set, 90% of edges
+  std::vector<Edge> test_pos;   // held-out edges
+  std::vector<Edge> test_neg;   // sampled non-edges, |test_neg| == |test_pos|
+};
+
+struct LinkPredictionOptions {
+  double test_fraction = 0.1;
+  uint64_t seed = 7;
+};
+
+/// Splits a graph for link prediction. Non-edges are sampled against the
+/// full graph (neither train nor test edges).
+LinkPredictionSplit MakeLinkPredictionSplit(
+    const Graph& graph, const LinkPredictionOptions& opts = {});
+
+/// How a node-pair score is formed from the embedding matrices.
+enum class PairScore {
+  kInnerProductInIn,   // w_in[i] · w_in[j]  (published-matrix-only, Thm 2)
+  kInnerProductInOut,  // w_in[i] · w_out[j], symmetrised
+  kNegativeDistance,   // -||w_in[i] - w_in[j]||
+};
+
+double ScorePair(const Matrix& w_in, const Matrix& w_out, NodeId i, NodeId j,
+                 PairScore score);
+
+/// AUC of the split under the given scoring rule.
+double LinkPredictionAuc(const LinkPredictionSplit& split, const Matrix& w_in,
+                         const Matrix& w_out,
+                         PairScore score = PairScore::kInnerProductInIn);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EVAL_LINK_PREDICTION_H_

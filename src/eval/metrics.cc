@@ -1,0 +1,49 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace sepriv {
+
+double AucFromScores(const std::vector<double>& positive_scores,
+                     const std::vector<double>& negative_scores) {
+  const size_t np = positive_scores.size();
+  const size_t nn = negative_scores.size();
+  if (np == 0 || nn == 0) return 0.5;
+
+  // Pool and sort (score, is_positive), then sum average ranks of positives.
+  std::vector<std::pair<double, int>> pool;
+  pool.reserve(np + nn);
+  for (double s : positive_scores) pool.emplace_back(s, 1);
+  for (double s : negative_scores) pool.emplace_back(s, 0);
+  std::sort(pool.begin(), pool.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < pool.size()) {
+    size_t j = i;
+    while (j + 1 < pool.size() && pool[j + 1].first == pool[i].first) ++j;
+    // Average rank over the tie group [i, j], 1-based ranks.
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j + 1));
+    for (size_t t = i; t <= j; ++t) {
+      if (pool[t].second == 1) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(np) * (static_cast<double>(np) + 1.0) / 2.0;
+  return u / (static_cast<double>(np) * static_cast<double>(nn));
+}
+
+RunSummary Summarize(const std::vector<double>& values) {
+  RunSummary s;
+  s.mean = Mean(values);
+  s.stddev = SampleStdDev(values);
+  s.runs = static_cast<int>(values.size());
+  return s;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,27 @@
+// Task-level evaluation metrics (paper §VI-A).
+
+#ifndef SEPRIVGEMB_EVAL_METRICS_H_
+#define SEPRIVGEMB_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace sepriv {
+
+/// Area under the ROC curve from score samples of the positive and negative
+/// classes, computed via the rank-sum (Mann–Whitney U) identity with average
+/// ranks for ties. Returns 0.5 for degenerate inputs.
+double AucFromScores(const std::vector<double>& positive_scores,
+                     const std::vector<double>& negative_scores);
+
+/// Mean ± SD summary used by the paper's tables (average of repeated runs).
+struct RunSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int runs = 0;
+};
+
+RunSummary Summarize(const std::vector<double>& values);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EVAL_METRICS_H_

@@ -1,0 +1,44 @@
+#include "eval/strucequ.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sepriv {
+
+double StrucEqu(const Graph& graph, const Matrix& embedding,
+                const StrucEquOptions& opts) {
+  const size_t n = graph.num_nodes();
+  SEPRIV_CHECK(embedding.rows() == n, "embedding rows %zu != |V| %zu",
+               embedding.rows(), n);
+  if (n < 2) return 0.0;
+
+  PearsonAccumulator acc;
+  const size_t total_pairs = n * (n - 1) / 2;
+  if (total_pairs <= opts.max_pairs) {
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        const double da = std::sqrt(graph.AdjacencyRowSquaredDistance(i, j));
+        const double dy =
+            std::sqrt(embedding.RowSquaredDistance(i, embedding, j));
+        acc.Add(da, dy);
+      }
+    }
+  } else {
+    Rng rng(opts.seed);
+    for (size_t t = 0; t < opts.max_pairs; ++t) {
+      const auto i = static_cast<NodeId>(rng.UniformInt(n));
+      auto j = static_cast<NodeId>(rng.UniformInt(n));
+      while (j == i) j = static_cast<NodeId>(rng.UniformInt(n));
+      const double da = std::sqrt(graph.AdjacencyRowSquaredDistance(i, j));
+      const double dy =
+          std::sqrt(embedding.RowSquaredDistance(i, embedding, j));
+      acc.Add(da, dy);
+    }
+  }
+  return acc.Correlation();
+}
+
+}  // namespace sepriv

@@ -1,0 +1,30 @@
+// Structural-equivalence metric (paper §VI-A):
+//   StrucEqu = pearson( dist(A_i, A_j), dist(Y_i, Y_j) )
+// over node pairs, with Euclidean distances on adjacency rows and embedding
+// rows. All-pairs is O(|V|²); above `max_pairs` a uniform pair sample is
+// used (documented deviation — the estimate is unbiased and its SD at the
+// default 2·10^5 pairs is well below the run-to-run SD the paper reports).
+
+#ifndef SEPRIVGEMB_EVAL_STRUCEQU_H_
+#define SEPRIVGEMB_EVAL_STRUCEQU_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+struct StrucEquOptions {
+  size_t max_pairs = 200000;  // switch to sampling above this many pairs
+  uint64_t seed = 99;
+};
+
+/// Correlation between structural distance and embedding distance for the
+/// embedding rows of `embedding` (|V| x r).
+double StrucEqu(const Graph& graph, const Matrix& embedding,
+                const StrucEquOptions& opts = {});
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EVAL_STRUCEQU_H_

@@ -1,0 +1,76 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/check.h"
+
+namespace sepriv {
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {DatasetId::kChameleon, "Chameleon", 2277, 31421},
+      {DatasetId::kPpi, "PPI", 3890, 76584},
+      {DatasetId::kPower, "Power", 4941, 6594},
+      {DatasetId::kArxiv, "Arxiv", 5242, 14496},
+      {DatasetId::kBlogCatalog, "BlogCatalog", 10312, 333983},
+      {DatasetId::kDblp, "DBLP", 2244021, 4354534},
+  };
+  return kSpecs;
+}
+
+std::string DatasetName(DatasetId id) {
+  for (const auto& spec : AllDatasets()) {
+    if (spec.id == id) return spec.name;
+  }
+  return "unknown";
+}
+
+Graph MakeDataset(DatasetId id, double scale, uint64_t seed) {
+  SEPRIV_CHECK(scale > 0.0 && scale <= 1.0, "scale must be in (0,1], got %f",
+               scale);
+  auto scaled = [scale](size_t n, size_t lo) {
+    return std::max(lo, static_cast<size_t>(std::llround(n * scale)));
+  };
+  switch (id) {
+    case DatasetId::kChameleon:
+      // 31,421 / 2,277 ≈ 13.8 edges per node; high clustering (wiki links).
+      return PowerLawCluster(scaled(2277, 128), 14, 0.5, seed);
+    case DatasetId::kPpi:
+      // 76,584 / 3,890 ≈ 19.7; hub-dominated biological net.
+      return BarabasiAlbert(scaled(3890, 128), 20, seed);
+    case DatasetId::kPower: {
+      // avg degree 2.67, grid-like: ring lattice (|E|=n) + 0.334n chords.
+      const size_t n = scaled(4941, 128);
+      const auto chords = static_cast<size_t>(std::llround(0.3345 * n));
+      return WattsStrogatz(n, 1, 0.05, chords, seed);
+    }
+    case DatasetId::kArxiv:
+      // 14,496 / 5,242 ≈ 2.77; collaboration: strong clustering, low degree.
+      // m=3 slightly overshoots (~15.7k edges) but stays within 10% of the
+      // paper's |E| while preserving the clustering profile.
+      return PowerLawCluster(scaled(5242, 128), 3, 0.6, seed);
+    case DatasetId::kBlogCatalog:
+      // 333,983 / 10,312 ≈ 32.4; dense social graph.
+      return BarabasiAlbert(scaled(10312, 256), 32, seed);
+    case DatasetId::kDblp: {
+      // Real DBLP (2.24M nodes) is infeasible for the O(|V|^2) StrucEqu
+      // metric; stand-in capped at 20k nodes, avg degree 3.88 preserved via
+      // 100-community SBM (scholarly networks are strongly modular).
+      const size_t n = std::min<size_t>(20000, scaled(2244021, 1000));
+      const size_t blocks = std::max<size_t>(4, n / 200);
+      const double block_size = static_cast<double>(n) / static_cast<double>(blocks);
+      // Target avg degree 3.88: ~80% of edges within blocks.
+      const double p_in =
+          std::min(0.9, 0.8 * 3.88 / std::max(1.0, block_size - 1.0));
+      const double p_out =
+          0.2 * 3.88 / std::max(1.0, static_cast<double>(n) - block_size);
+      return StochasticBlockModel(n, blocks, p_in, p_out, seed);
+    }
+  }
+  SEPRIV_CHECK(false, "unreachable dataset id");
+  return Graph();
+}
+
+}  // namespace sepriv

@@ -1,0 +1,271 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph ErdosRenyiGnm(size_t n, size_t m, uint64_t seed) {
+  SEPRIV_CHECK(n >= 2, "ErdosRenyiGnm needs n >= 2 (got %zu)", n);
+  const size_t max_edges = n * (n - 1) / 2;
+  SEPRIV_CHECK(m <= max_edges, "too many edges requested: %zu > %zu", m,
+               max_edges);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(n));
+    const auto v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    if (chosen.insert(PairKey(u, v)).second) {
+      edges.push_back({u, v});
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph ErdosRenyiGnp(size_t n, double p, uint64_t seed) {
+  SEPRIV_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability (got %f)", p);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(p)) edges.push_back({u, v});
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph BarabasiAlbert(size_t n, size_t m, uint64_t seed) {
+  return PowerLawCluster(n, m, 0.0, seed);
+}
+
+Graph PowerLawCluster(size_t n, size_t m, double triangle_p, uint64_t seed) {
+  SEPRIV_CHECK(m >= 1, "PowerLawCluster needs m >= 1");
+  SEPRIV_CHECK(n > m, "PowerLawCluster needs n > m (%zu vs %zu)", n, m);
+  Rng rng(seed);
+
+  // `targets` is the repeated-node list: each endpoint of every edge appears
+  // once, so uniform sampling from it is degree-proportional attachment.
+  std::vector<NodeId> targets;
+  targets.reserve(2 * n * m);
+  std::vector<Edge> edges;
+  edges.reserve(n * m);
+  std::unordered_set<uint64_t> present;
+  present.reserve(2 * n * m);
+  std::vector<std::vector<NodeId>> nbrs(n);
+
+  auto add_edge = [&](NodeId u, NodeId v) -> bool {
+    if (u == v) return false;
+    if (!present.insert(PairKey(u, v)).second) return false;
+    edges.push_back({u, v});
+    targets.push_back(u);
+    targets.push_back(v);
+    nbrs[u].push_back(v);
+    nbrs[v].push_back(u);
+    return true;
+  };
+
+  // Seed clique on the first m+1 nodes so every early node has degree >= m.
+  for (NodeId u = 0; u <= m; ++u)
+    for (NodeId v = u + 1; v <= m; ++v) add_edge(u, v);
+
+  for (NodeId w = static_cast<NodeId>(m) + 1; w < n; ++w) {
+    NodeId last_target = 0;
+    bool have_last = false;
+    size_t added = 0;
+    size_t attempts = 0;
+    while (added < m && attempts < 50 * m + 100) {
+      ++attempts;
+      NodeId t;
+      if (have_last && rng.Bernoulli(triangle_p) && !nbrs[last_target].empty()) {
+        // Holme–Kim triad closure: attach to a random neighbour of the
+        // previous target, creating a triangle (w, last_target, t).
+        t = nbrs[last_target][rng.UniformInt(nbrs[last_target].size())];
+      } else {
+        t = targets[rng.UniformInt(targets.size())];
+      }
+      if (add_edge(w, t)) {
+        ++added;
+        last_target = t;
+        have_last = true;
+      }
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph WattsStrogatz(size_t n, size_t k_side, double rewire_p,
+                    size_t extra_edges, uint64_t seed) {
+  SEPRIV_CHECK(n > 2 * k_side, "WattsStrogatz needs n > 2k");
+  Rng rng(seed);
+  std::unordered_set<uint64_t> present;
+  std::vector<Edge> edges;
+  auto add_edge = [&](NodeId u, NodeId v) -> bool {
+    if (u == v) return false;
+    if (!present.insert(PairKey(u, v)).second) return false;
+    edges.push_back({u, v});
+    return true;
+  };
+
+  // Ring lattice with rewiring.
+  for (NodeId u = 0; u < n; ++u) {
+    for (size_t j = 1; j <= k_side; ++j) {
+      const auto v = static_cast<NodeId>((u + j) % n);
+      if (rng.Bernoulli(rewire_p)) {
+        // Rewire to a uniform random endpoint (retry on collision).
+        for (int tries = 0; tries < 32; ++tries) {
+          const auto w = static_cast<NodeId>(rng.UniformInt(n));
+          if (add_edge(u, w)) break;
+        }
+      } else {
+        add_edge(u, v);
+      }
+    }
+  }
+  // Extra random chords (used to hit the target |E| of the Power dataset).
+  size_t added = 0;
+  while (added < extra_edges) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(n));
+    const auto v = static_cast<NodeId>(rng.UniformInt(n));
+    if (add_edge(u, v)) ++added;
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph StochasticBlockModel(size_t n, size_t blocks, double p_in, double p_out,
+                           uint64_t seed) {
+  SEPRIV_CHECK(blocks >= 1 && blocks <= n, "bad block count %zu", blocks);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  const size_t block_size = (n + blocks - 1) / blocks;
+  auto block_of = [&](NodeId v) { return v / block_size; };
+
+  // Within-block edges: dense-ish loop per block (block sizes are small).
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t lo = b * block_size;
+    const size_t hi = std::min(n, lo + block_size);
+    for (NodeId u = lo; u < hi; ++u)
+      for (NodeId v = u + 1; v < hi; ++v)
+        if (rng.Bernoulli(p_in)) edges.push_back({u, v});
+  }
+  // Cross-block edges: geometric skipping over the (huge) pair space.
+  if (p_out > 0.0) {
+    // Sample the expected number of cross edges via G(n,m)-style draws.
+    double cross_pairs = 0.0;
+    for (size_t b = 0; b < blocks; ++b) {
+      const size_t lo = b * block_size;
+      const size_t hi = std::min(n, lo + block_size);
+      const double sz = static_cast<double>(hi - lo);
+      cross_pairs += sz * static_cast<double>(n - hi);
+    }
+    const auto want = static_cast<size_t>(cross_pairs * p_out);
+    std::unordered_set<uint64_t> present;
+    size_t added = 0;
+    size_t attempts = 0;
+    while (added < want && attempts < want * 50 + 1000) {
+      ++attempts;
+      const auto u = static_cast<NodeId>(rng.UniformInt(n));
+      const auto v = static_cast<NodeId>(rng.UniformInt(n));
+      if (u == v || block_of(u) == block_of(v)) continue;
+      if (present.insert(PairKey(u, v)).second) {
+        edges.push_back({u, v});
+        ++added;
+      }
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph PathGraph(size_t n) {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.push_back({i, static_cast<NodeId>(i + 1)});
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph CycleGraph(size_t n) {
+  SEPRIV_CHECK(n >= 3, "CycleGraph needs n >= 3");
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < n; ++i)
+    edges.push_back({i, static_cast<NodeId>((i + 1) % n)});
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph CompleteGraph(size_t n) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u + 1 < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph StarGraph(size_t n) {
+  SEPRIV_CHECK(n >= 2, "StarGraph needs n >= 2");
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back({0, v});
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph BarbellGraph(size_t n) {
+  SEPRIV_CHECK(n >= 6 && n % 2 == 0, "BarbellGraph needs even n >= 6");
+  const size_t half = n / 2;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u + 1 < half; ++u)
+    for (NodeId v = u + 1; v < half; ++v) edges.push_back({u, v});
+  for (NodeId u = half; u + 1 < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  edges.push_back({static_cast<NodeId>(half - 1), static_cast<NodeId>(half)});
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph GridGraph(size_t rows, size_t cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph::FromEdges(rows * cols, std::move(edges));
+}
+
+Graph KarateClub() {
+  // Zachary's karate club, 34 nodes / 78 edges (0-indexed).
+  static const int kEdges[][2] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33}};
+  std::vector<Edge> edges;
+  for (const auto& e : kEdges)
+    edges.push_back({static_cast<NodeId>(e[0]), static_cast<NodeId>(e[1])});
+  return Graph::FromEdges(34, std::move(edges));
+}
+
+}  // namespace sepriv

@@ -1,0 +1,113 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+Graph Graph::FromEdges(size_t num_nodes, std::vector<Edge> edges) {
+  // Canonicalise: drop self-loops, order endpoints, dedupe.
+  std::vector<Edge> canon;
+  canon.reserve(edges.size());
+  NodeId max_node = 0;
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;  // simple graph: no self-loops (paper §VI-A)
+    const Edge c{std::min(e.u, e.v), std::max(e.u, e.v)};
+    max_node = std::max(max_node, c.v);
+    canon.push_back(c);
+  }
+  std::sort(canon.begin(), canon.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  size_t n = num_nodes;
+  if (n == 0) {
+    n = canon.empty() ? 0 : static_cast<size_t>(max_node) + 1;
+  } else {
+    SEPRIV_CHECK(canon.empty() || static_cast<size_t>(max_node) < n,
+                 "edge endpoint %u out of range for %zu nodes", max_node, n);
+  }
+
+  Graph g;
+  g.edges_ = std::move(canon);
+  g.offsets_.assign(n + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.resize(2 * g.edges_.size());
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : g.edges_) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+size_t Graph::MaxDegree() const {
+  size_t mx = 0;
+  for (size_t v = 0; v < num_nodes(); ++v) mx = std::max(mx, Degree(v));
+  return mx;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  // Search the smaller adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+size_t Graph::CommonNeighborCount(NodeId u, NodeId v) const {
+  const auto a = Neighbors(u);
+  const auto b = Neighbors(v);
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double Graph::AdjacencyRowSquaredDistance(NodeId u, NodeId v) const {
+  if (u == v) return 0.0;
+  // ||A_u - A_v||^2 over 0/1 rows = |N(u) Δ N(v)|; the mutual edge (if any)
+  // is a member of the symmetric difference at both column u and column v,
+  // which the degree identity below already counts. This is the literal
+  // "difference between the lines of the adjacency matrix" of paper §VI-A.
+  const double cn = static_cast<double>(CommonNeighborCount(u, v));
+  const double d = static_cast<double>(Degree(u)) +
+                   static_cast<double>(Degree(v)) - 2.0 * cn;
+  return d < 0.0 ? 0.0 : d;
+}
+
+std::vector<double> Graph::DegreeVector() const {
+  std::vector<double> deg(num_nodes());
+  for (size_t v = 0; v < num_nodes(); ++v)
+    deg[v] = static_cast<double>(Degree(v));
+  return deg;
+}
+
+std::string Graph::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "|V|=%zu |E|=%zu avg_deg=%.2f", num_nodes(),
+                num_edges(), AverageDegree());
+  return buf;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,90 @@
+// Immutable undirected, unweighted simple graph in CSR form.
+//
+// This is the substrate every other module builds on (paper §II-A). The
+// graph is constructed once from an edge list (self-loops removed,
+// duplicates merged, endpoints symmetrised) and then queried read-only:
+// neighbour spans, degrees, O(log d) adjacency tests, and the canonical
+// edge list (i < j) that Algorithm 1 samples from.
+
+#ifndef SEPRIVGEMB_GRAPH_GRAPH_H_
+#define SEPRIVGEMB_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sepriv {
+
+/// Node identifier; graphs in the paper's evaluation reach 2.24M nodes.
+using NodeId = uint32_t;
+
+/// Undirected edge with canonical ordering u < v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a simple undirected graph from an arbitrary edge list.
+  /// Self-loops are dropped; duplicate/reversed edges are merged.
+  /// `num_nodes` may exceed the max endpoint to include isolated nodes;
+  /// pass 0 to infer (max endpoint + 1).
+  static Graph FromEdges(size_t num_nodes, std::vector<Edge> edges);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Sorted neighbour list of v.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            offsets_[v + 1] - offsets_[v]};
+  }
+
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  size_t MaxDegree() const;
+
+  /// O(log deg) adjacency test.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Canonical edge list, each edge once with u < v, sorted lexicographically.
+  const std::vector<Edge>& Edges() const { return edges_; }
+
+  /// Number of common neighbours of u and v (sorted-list intersection).
+  size_t CommonNeighborCount(NodeId u, NodeId v) const;
+
+  /// Squared Euclidean distance between adjacency rows u and v:
+  /// ||A_u - A_v||^2 = deg(u) + deg(v) - 2|N(u) ∩ N(v)|, adjusted so that a
+  /// (u,v) edge contributes symmetrically. Used by the StrucEqu metric.
+  double AdjacencyRowSquaredDistance(NodeId u, NodeId v) const;
+
+  /// Mean degree 2|E| / |V|.
+  double AverageDegree() const {
+    return num_nodes() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(num_edges()) /
+                     static_cast<double>(num_nodes());
+  }
+
+  /// Per-node degree vector (double, for samplers and proximities).
+  std::vector<double> DegreeVector() const;
+
+  /// Human-readable one-line summary ("|V|=..., |E|=..., avg deg=...").
+  std::string Summary() const;
+
+ private:
+  std::vector<size_t> offsets_;     // size |V|+1
+  std::vector<NodeId> adjacency_;   // size 2|E|, sorted per node
+  std::vector<Edge> edges_;         // canonical u < v list
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_GRAPH_GRAPH_H_

@@ -1,0 +1,148 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+/// BFS from `start`; returns (farthest node, its distance), filling `dist`.
+std::pair<NodeId, size_t> BfsFarthest(const Graph& g, NodeId start,
+                                      std::vector<size_t>& dist) {
+  const size_t kUnseen = static_cast<size_t>(-1);
+  dist.assign(g.num_nodes(), kUnseen);
+  std::queue<NodeId> queue;
+  dist[start] = 0;
+  queue.push(start);
+  NodeId far = start;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    if (dist[v] > dist[far]) far = v;
+    for (NodeId u : g.Neighbors(v)) {
+      if (dist[u] == kUnseen) {
+        dist[u] = dist[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return {far, dist[far]};
+}
+
+}  // namespace
+
+size_t TriangleCount(const Graph& graph) {
+  // Count each triangle once at its smallest vertex via sorted intersections
+  // restricted to larger neighbours.
+  size_t triangles = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] <= v) continue;
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (graph.HasEdge(nbrs[i], nbrs[j])) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  size_t wedges = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const size_t d = graph.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(TriangleCount(graph)) /
+         static_cast<double>(wedges);
+}
+
+double AverageLocalClustering(const Graph& graph) {
+  if (graph.num_nodes() == 0) return 0.0;
+  double acc = 0.0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    if (nbrs.size() < 2) continue;
+    size_t closed = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    acc += 2.0 * static_cast<double>(closed) /
+           (static_cast<double>(nbrs.size()) *
+            static_cast<double>(nbrs.size() - 1));
+  }
+  return acc / static_cast<double>(graph.num_nodes());
+}
+
+std::vector<size_t> DegreeHistogram(const Graph& graph) {
+  std::vector<size_t> hist(graph.MaxDegree() + 1, 0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) ++hist[graph.Degree(v)];
+  return hist;
+}
+
+std::vector<uint32_t> ConnectedComponents(const Graph& graph) {
+  const uint32_t kUnseen = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> comp(graph.num_nodes(), kUnseen);
+  uint32_t next = 0;
+  for (NodeId s = 0; s < graph.num_nodes(); ++s) {
+    if (comp[s] != kUnseen) continue;
+    comp[s] = next;
+    std::queue<NodeId> queue;
+    queue.push(s);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      for (NodeId u : graph.Neighbors(v)) {
+        if (comp[u] == kUnseen) {
+          comp[u] = next;
+          queue.push(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+size_t ComponentCount(const Graph& graph) {
+  const auto comp = ConnectedComponents(graph);
+  uint32_t mx = 0;
+  for (uint32_t c : comp) mx = std::max(mx, c);
+  return graph.num_nodes() == 0 ? 0 : static_cast<size_t>(mx) + 1;
+}
+
+size_t LargestComponentSize(const Graph& graph) {
+  const auto comp = ConnectedComponents(graph);
+  std::vector<size_t> sizes;
+  for (uint32_t c : comp) {
+    if (c >= sizes.size()) sizes.resize(c + 1, 0);
+    ++sizes[c];
+  }
+  size_t mx = 0;
+  for (size_t s : sizes) mx = std::max(mx, s);
+  return mx;
+}
+
+size_t EstimateDiameter(const Graph& graph, int probes, uint64_t seed) {
+  if (graph.num_nodes() == 0) return 0;
+  Rng rng(seed);
+  std::vector<size_t> dist;
+  size_t best = 0;
+  for (int p = 0; p < probes; ++p) {
+    const auto start = static_cast<NodeId>(rng.UniformInt(graph.num_nodes()));
+    // Double sweep: BFS to the farthest node, then BFS again from there.
+    const auto [far, _] = BfsFarthest(graph, start, dist);
+    const auto [far2, d2] = BfsFarthest(graph, far, dist);
+    (void)far2;
+    best = std::max(best, d2);
+  }
+  return best;
+}
+
+}  // namespace sepriv

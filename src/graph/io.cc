@@ -1,0 +1,57 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace sepriv {
+namespace {
+
+// Literal ids are bounded to keep a mistyped file from allocating a graph
+// with billions of isolated nodes; sparse exports should use remap_ids.
+constexpr uint64_t kMaxLiteralNodeId = 100'000'000;
+
+}  // namespace
+
+std::optional<Graph> ReadEdgeList(const std::string& path, bool remap_ids) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<Edge> edges;
+  std::unordered_map<uint64_t, NodeId> remap;
+  auto intern = [&remap](uint64_t raw) {
+    auto [it, inserted] = remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    return it->second;
+  };
+  std::string line;
+  uint64_t max_id = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    uint64_t u = 0, v = 0;
+    if (!(ss >> u >> v)) return std::nullopt;  // malformed line
+    if (remap_ids) {
+      edges.push_back({intern(u), intern(v)});
+    } else {
+      if (u > kMaxLiteralNodeId || v > kMaxLiteralNodeId) return std::nullopt;
+      max_id = std::max({max_id, u, v});
+      edges.push_back(
+          {static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    }
+  }
+  const size_t n = remap_ids ? remap.size()
+                             : (edges.empty() ? 0 : static_cast<size_t>(max_id) + 1);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+bool WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# seprivgemb edge list: " << graph.Summary() << "\n";
+  for (const Edge& e : graph.Edges()) out << e.u << " " << e.v << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace sepriv

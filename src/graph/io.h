@@ -1,0 +1,31 @@
+// Plain-text edge-list I/O (one "u v" pair per line, '#'/'%' comments
+// allowed).
+//
+// This is the interchange format of the SNAP/KONECT datasets the paper uses;
+// users with access to the real Chameleon/PPI/... files can load them here
+// and run the same pipelines.
+
+#ifndef SEPRIVGEMB_GRAPH_IO_H_
+#define SEPRIVGEMB_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace sepriv {
+
+/// Reads an edge list; returns nullopt on I/O or parse failure.
+/// With remap_ids = false (default) node ids are taken literally, so a
+/// write/read round trip is the identity; with remap_ids = true sparse ids
+/// (e.g. raw SNAP exports) are compacted to [0, |V|) in first-appearance
+/// order.
+std::optional<Graph> ReadEdgeList(const std::string& path,
+                                  bool remap_ids = false);
+
+/// Writes the canonical edge list ("u v" per line). Returns false on failure.
+bool WriteEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_GRAPH_IO_H_

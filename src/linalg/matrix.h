@@ -1,0 +1,113 @@
+// Dense row-major matrix of doubles.
+//
+// This is the storage type for skip-gram embedding matrices (Win/Wout),
+// neural-network weights, and small dense proximity matrices. It is kept
+// deliberately simple: contiguous storage, explicit loops, no expression
+// templates — the hot paths in this library are row-sparse updates, not
+// full GEMMs.
+
+#ifndef SEPRIVGEMB_LINALG_MATRIX_H_
+#define SEPRIVGEMB_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sepriv {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Mutable view of row i.
+  std::span<double> Row(size_t i) { return {data_.data() + i * cols_, cols_}; }
+  std::span<const double> Row(size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  void Fill(double value) { data_.assign(data_.size(), value); }
+  void SetZero() { Fill(0.0); }
+
+  /// Fills with i.i.d. N(mean, stddev^2) entries.
+  void FillGaussian(Rng& rng, double mean = 0.0, double stddev = 1.0);
+
+  /// Fills with U[lo, hi) entries.
+  void FillUniform(Rng& rng, double lo, double hi);
+
+  /// Xavier/Glorot uniform initialisation: U[-a, a], a = sqrt(6/(fan_in+fan_out)).
+  void FillXavier(Rng& rng);
+
+  /// In-place: this += alpha * other. Shapes must match.
+  void Axpy(double alpha, const Matrix& other);
+
+  /// In-place scalar multiply.
+  void Scale(double alpha);
+
+  /// Euclidean norm of row i.
+  double RowNorm(size_t i) const;
+
+  /// Frobenius norm of the whole matrix.
+  double FrobeniusNorm() const;
+
+  /// Dot product of row i of this with row j of other (equal col counts).
+  double RowDot(size_t i, const Matrix& other, size_t j) const;
+
+  /// Squared Euclidean distance between row i of this and row j of other.
+  double RowSquaredDistance(size_t i, const Matrix& other, size_t j) const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B (naive ikj loop order; adequate for the small dense products in
+/// the NN substrate).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.
+Matrix MatTMul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T.
+Matrix MatMulT(const Matrix& a, const Matrix& b);
+
+/// Transposed copy.
+Matrix Transpose(const Matrix& a);
+
+/// Elementwise sum / difference (shape-checked).
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// Elementwise (Hadamard) product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Max absolute elementwise difference; used by gradient-check tests.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_LINALG_MATRIX_H_

@@ -1,0 +1,59 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace sepriv {
+
+Matrix ReluLayer::Forward(const Matrix& x) {
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix y(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x.data()[i] > 0.0;
+    mask_.data()[i] = pos ? 1.0 : 0.0;
+    y.data()[i] = pos ? x.data()[i] : 0.0;
+  }
+  return y;
+}
+
+Matrix ReluLayer::Backward(const Matrix& grad_y) const {
+  SEPRIV_CHECK(grad_y.SameShape(mask_), "ReLU backward shape mismatch");
+  return Hadamard(grad_y, mask_);
+}
+
+Matrix SigmoidLayer::Forward(const Matrix& x) {
+  out_ = Matrix(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) out_.data()[i] = Sigmoid(x.data()[i]);
+  return out_;
+}
+
+Matrix SigmoidLayer::Backward(const Matrix& grad_y) const {
+  SEPRIV_CHECK(grad_y.SameShape(out_), "Sigmoid backward shape mismatch");
+  Matrix gx(grad_y.rows(), grad_y.cols());
+  for (size_t i = 0; i < gx.size(); ++i) {
+    const double s = out_.data()[i];
+    gx.data()[i] = grad_y.data()[i] * s * (1.0 - s);
+  }
+  return gx;
+}
+
+Matrix TanhLayer::Forward(const Matrix& x) {
+  out_ = Matrix(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i)
+    out_.data()[i] = std::tanh(x.data()[i]);
+  return out_;
+}
+
+Matrix TanhLayer::Backward(const Matrix& grad_y) const {
+  SEPRIV_CHECK(grad_y.SameShape(out_), "Tanh backward shape mismatch");
+  Matrix gx(grad_y.rows(), grad_y.cols());
+  for (size_t i = 0; i < gx.size(); ++i) {
+    const double t = out_.data()[i];
+    gx.data()[i] = grad_y.data()[i] * (1.0 - t * t);
+  }
+  return gx;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,39 @@
+// Elementwise activation layers with cached backward passes.
+
+#ifndef SEPRIVGEMB_NN_ACTIVATIONS_H_
+#define SEPRIVGEMB_NN_ACTIVATIONS_H_
+
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+class ReluLayer {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_y) const;
+
+ private:
+  Matrix mask_;  // 1 where x > 0
+};
+
+class SigmoidLayer {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_y) const;
+
+ private:
+  Matrix out_;  // σ(x), reused as σ(1-σ) factor
+};
+
+class TanhLayer {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_y) const;
+
+ private:
+  Matrix out_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_NN_ACTIVATIONS_H_

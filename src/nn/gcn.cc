@@ -1,0 +1,51 @@
+#include "nn/gcn.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+NormalizedAdjacency::NormalizedAdjacency(const Graph& graph,
+                                         bool include_self_loops)
+    : graph_(&graph), self_loops_(include_self_loops) {
+  inv_sqrt_deg_.resize(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const double d = static_cast<double>(graph.Degree(v)) +
+                     (self_loops_ ? 1.0 : 0.0);
+    inv_sqrt_deg_[v] = d > 0.0 ? 1.0 / std::sqrt(d) : 0.0;
+  }
+}
+
+Matrix NormalizedAdjacency::Multiply(const Matrix& x) const {
+  SEPRIV_CHECK(x.rows() == graph_->num_nodes(),
+               "NormalizedAdjacency: %zu rows vs |V|=%zu", x.rows(),
+               graph_->num_nodes());
+  Matrix y(x.rows(), x.cols());
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    auto dst = y.Row(v);
+    const double sv = inv_sqrt_deg_[v];
+    if (self_loops_) {
+      const auto self = x.Row(v);
+      const double w = sv * sv;
+      for (size_t d = 0; d < x.cols(); ++d) dst[d] += w * self[d];
+    }
+    for (NodeId u : graph_->Neighbors(v)) {
+      const double w = sv * inv_sqrt_deg_[u];
+      const auto src = x.Row(u);
+      for (size_t d = 0; d < x.cols(); ++d) dst[d] += w * src[d];
+    }
+  }
+  return y;
+}
+
+void RowNormalizeInPlace(Matrix& m) {
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double norm = m.RowNorm(i);
+    if (norm <= 0.0) continue;
+    auto row = m.Row(i);
+    for (double& x : row) x /= norm;
+  }
+}
+
+}  // namespace sepriv

@@ -1,0 +1,40 @@
+// Sparse graph operators for the GNN baselines.
+//
+// NormalizedAdjacency implements the symmetric GCN propagation matrix
+// Â = D̃^{-1/2} (A + I) D̃^{-1/2}; RowNormalizeInPlace provides the row-wise
+// L2 normalisation GAP applies before each perturbed aggregation hop.
+
+#ifndef SEPRIVGEMB_NN_GCN_H_
+#define SEPRIVGEMB_NN_GCN_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+class NormalizedAdjacency {
+ public:
+  /// include_self_loops = true builds the GCN Â; false the plain symmetric
+  /// normalised adjacency.
+  explicit NormalizedAdjacency(const Graph& graph,
+                               bool include_self_loops = true);
+
+  /// Y = Â · X (sparse-dense product).
+  Matrix Multiply(const Matrix& x) const;
+
+  size_t num_nodes() const { return graph_->num_nodes(); }
+
+ private:
+  const Graph* graph_;
+  bool self_loops_;
+  std::vector<double> inv_sqrt_deg_;
+};
+
+/// Scales every row of m to unit L2 norm (rows of all zeros are left as-is).
+void RowNormalizeInPlace(Matrix& m);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_NN_GCN_H_

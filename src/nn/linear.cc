@@ -1,0 +1,62 @@
+#include "nn/linear.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace sepriv {
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng& rng)
+    : w_(in_dim, out_dim),
+      b_(1, out_dim),
+      gw_(in_dim, out_dim),
+      gb_(1, out_dim) {
+  w_.FillXavier(rng);
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  SEPRIV_CHECK(x.cols() == w_.rows(), "Linear: input dim %zu != %zu", x.cols(),
+               w_.rows());
+  last_x_ = x;
+  Matrix y = MatMul(x, w_);
+  for (size_t i = 0; i < y.rows(); ++i) {
+    auto row = y.Row(i);
+    for (size_t j = 0; j < y.cols(); ++j) row[j] += b_(0, j);
+  }
+  return y;
+}
+
+Matrix Linear::Backward(const Matrix& grad_y) {
+  SEPRIV_CHECK(grad_y.rows() == last_x_.rows() && grad_y.cols() == w_.cols(),
+               "Linear backward shape mismatch");
+  // dW += x^T · gy ; db += column sums of gy ; dx = gy · W^T.
+  gw_.Axpy(1.0, MatTMul(last_x_, grad_y));
+  for (size_t i = 0; i < grad_y.rows(); ++i) {
+    for (size_t j = 0; j < grad_y.cols(); ++j) gb_(0, j) += grad_y(i, j);
+  }
+  return MatMulT(grad_y, w_);
+}
+
+void Linear::ZeroGrad() {
+  gw_.SetZero();
+  gb_.SetZero();
+}
+
+double Linear::GradSquaredNorm() const {
+  return SquaredNorm(gw_.data(), gw_.size()) +
+         SquaredNorm(gb_.data(), gb_.size());
+}
+
+void Linear::ScaleGrads(double factor) {
+  gw_.Scale(factor);
+  gb_.Scale(factor);
+}
+
+void Linear::AddGradNoise(double stddev, Rng& rng) {
+  if (stddev <= 0.0) return;
+  for (size_t i = 0; i < gw_.size(); ++i)
+    gw_.data()[i] += rng.Normal(0.0, stddev);
+  for (size_t i = 0; i < gb_.size(); ++i)
+    gb_.data()[i] += rng.Normal(0.0, stddev);
+}
+
+}  // namespace sepriv

@@ -1,0 +1,55 @@
+// Fully connected layer with manual backpropagation.
+//
+// The baselines (DPGGAN/DPGVAE/GAP/ProGAP) are small MLP/GCN models; this
+// substrate provides exactly the pieces they need, with gradients verified
+// against finite differences in tests/nn/linear_test.cc.
+
+#ifndef SEPRIVGEMB_NN_LINEAR_H_
+#define SEPRIVGEMB_NN_LINEAR_H_
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace sepriv {
+
+/// y = x·W + b, where x is (batch x in), W is (in x out), b is (1 x out).
+class Linear {
+ public:
+  Linear(size_t in_dim, size_t out_dim, Rng& rng);
+
+  /// Caches x for the backward pass.
+  Matrix Forward(const Matrix& x);
+
+  /// Accumulates dW/db into grad_w()/grad_b() and returns dL/dx.
+  Matrix Backward(const Matrix& grad_y);
+
+  void ZeroGrad();
+
+  Matrix& w() { return w_; }
+  Matrix& b() { return b_; }
+  Matrix& grad_w() { return gw_; }
+  Matrix& grad_b() { return gb_; }
+  const Matrix& w() const { return w_; }
+  const Matrix& b() const { return b_; }
+
+  size_t in_dim() const { return w_.rows(); }
+  size_t out_dim() const { return w_.cols(); }
+
+  /// Squared L2 norm of all parameter gradients (for DP clipping).
+  double GradSquaredNorm() const;
+
+  /// Scales all parameter gradients (clip application).
+  void ScaleGrads(double factor);
+
+  /// Adds i.i.d. N(0, stddev²) to all parameter gradients (DPSGD noise).
+  void AddGradNoise(double stddev, Rng& rng);
+
+ private:
+  Matrix w_, b_;
+  Matrix gw_, gb_;
+  Matrix last_x_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_NN_LINEAR_H_

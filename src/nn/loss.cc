@@ -1,0 +1,57 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace sepriv {
+
+LossResult BceWithLogits(const Matrix& logits, const Matrix& targets) {
+  SEPRIV_CHECK(logits.SameShape(targets), "BCE shape mismatch");
+  LossResult r;
+  r.grad = Matrix(logits.rows(), logits.cols());
+  const double inv_n = 1.0 / static_cast<double>(logits.size());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    const double z = logits.data()[i];
+    const double t = targets.data()[i];
+    r.value += Log1pExp(z) - t * z;
+    r.grad.data()[i] = (Sigmoid(z) - t) * inv_n;
+  }
+  r.value *= inv_n;
+  return r;
+}
+
+LossResult MseLoss(const Matrix& pred, const Matrix& target) {
+  SEPRIV_CHECK(pred.SameShape(target), "MSE shape mismatch");
+  LossResult r;
+  r.grad = Matrix(pred.rows(), pred.cols());
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    r.value += d * d;
+    r.grad.data()[i] = 2.0 * d * inv_n;
+  }
+  r.value *= inv_n;
+  return r;
+}
+
+KlResult GaussianKl(const Matrix& mu, const Matrix& logvar, double weight) {
+  SEPRIV_CHECK(mu.SameShape(logvar), "KL shape mismatch");
+  KlResult r;
+  r.grad_mu = Matrix(mu.rows(), mu.cols());
+  r.grad_logvar = Matrix(mu.rows(), mu.cols());
+  const double inv_rows = 1.0 / static_cast<double>(mu.rows());
+  const double scale = weight * inv_rows;
+  for (size_t i = 0; i < mu.size(); ++i) {
+    const double m = mu.data()[i];
+    const double lv = logvar.data()[i];
+    const double v = std::exp(lv);
+    r.value += 0.5 * (v + m * m - 1.0 - lv) * scale;
+    r.grad_mu.data()[i] = m * scale;
+    r.grad_logvar.data()[i] = 0.5 * (v - 1.0) * scale;
+  }
+  return r;
+}
+
+}  // namespace sepriv

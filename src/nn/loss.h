@@ -1,0 +1,35 @@
+// Losses used by the baseline models.
+
+#ifndef SEPRIVGEMB_NN_LOSS_H_
+#define SEPRIVGEMB_NN_LOSS_H_
+
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+struct LossResult {
+  double value = 0.0;
+  Matrix grad;  // dL/dlogits (already averaged over elements)
+};
+
+/// Binary cross-entropy on logits, mean over all elements:
+///   L = mean( log(1+e^z) - t·z ), dL/dz = (σ(z) - t) / N.
+/// Numerically stable for large |z|.
+LossResult BceWithLogits(const Matrix& logits, const Matrix& targets);
+
+/// Mean squared error, mean over elements.
+LossResult MseLoss(const Matrix& pred, const Matrix& target);
+
+/// KL( N(mu, exp(logvar)) || N(0, I) ) summed over dims, mean over rows:
+///   0.5 Σ (exp(logvar) + mu² - 1 - logvar).
+/// Gradients are returned for mu and logvar (scaled by `weight`).
+struct KlResult {
+  double value = 0.0;
+  Matrix grad_mu;
+  Matrix grad_logvar;
+};
+KlResult GaussianKl(const Matrix& mu, const Matrix& logvar, double weight);
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_NN_LOSS_H_

@@ -1,0 +1,66 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "dp/clipping.h"
+#include "util/check.h"
+
+namespace sepriv {
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng) {
+  SEPRIV_CHECK(dims.size() >= 2, "MLP needs at least in/out dims");
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+  relus_.resize(layers_.size() > 0 ? layers_.size() - 1 : 0);
+  adam_w_.resize(layers_.size());
+  adam_b_.resize(layers_.size());
+}
+
+Matrix Mlp::Forward(const Matrix& x) {
+  Matrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = relus_[i].Forward(h);
+  }
+  return h;
+}
+
+Matrix Mlp::Backward(const Matrix& grad_y) {
+  Matrix g = grad_y;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    if (i + 1 < layers_.size()) g = relus_[i].Backward(g);
+    g = layers_[i].Backward(g);
+  }
+  return g;
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& l : layers_) l.ZeroGrad();
+}
+
+double Mlp::GradNorm() const {
+  double sq = 0.0;
+  for (const auto& l : layers_) sq += l.GradSquaredNorm();
+  return std::sqrt(sq);
+}
+
+void Mlp::ClipGrads(double threshold) {
+  const double scale = ClipScale(GradNorm(), threshold);
+  if (scale != 1.0) {
+    for (auto& l : layers_) l.ScaleGrads(scale);
+  }
+}
+
+void Mlp::AddGradNoise(double stddev, Rng& rng) {
+  for (auto& l : layers_) l.AddGradNoise(stddev, rng);
+}
+
+void Mlp::AdamStep(double lr) {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    adam_w_[i].Update(layers_[i].w(), layers_[i].grad_w(), lr);
+    adam_b_[i].Update(layers_[i].b(), layers_[i].grad_b(), lr);
+  }
+}
+
+}  // namespace sepriv

@@ -1,0 +1,48 @@
+// Small multi-layer perceptron: Linear (+ReLU) stacks with joint
+// forward/backward, Adam training, and DPSGD-style gradient handling.
+
+#ifndef SEPRIVGEMB_NN_MLP_H_
+#define SEPRIVGEMB_NN_MLP_H_
+
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+
+namespace sepriv {
+
+class Mlp {
+ public:
+  /// dims = {in, h1, ..., out}; ReLU between layers, linear output.
+  Mlp(const std::vector<size_t>& dims, Rng& rng);
+
+  Matrix Forward(const Matrix& x);
+  /// Returns dL/dx; parameter grads accumulate inside the layers.
+  Matrix Backward(const Matrix& grad_y);
+
+  void ZeroGrad();
+
+  /// Joint L2 norm of all parameter gradients.
+  double GradNorm() const;
+
+  /// Clips the joint gradient to `threshold` (no-op if within bound).
+  void ClipGrads(double threshold);
+
+  /// Adds N(0, stddev²) noise to every parameter gradient.
+  void AddGradNoise(double stddev, Rng& rng);
+
+  /// One Adam step on all layers with the accumulated gradients.
+  void AdamStep(double lr);
+
+  std::vector<Linear>& layers() { return layers_; }
+
+ private:
+  std::vector<Linear> layers_;
+  std::vector<ReluLayer> relus_;
+  std::vector<AdamState> adam_w_, adam_b_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_NN_MLP_H_

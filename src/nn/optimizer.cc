@@ -1,0 +1,37 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+void SgdUpdate(Matrix& param, const Matrix& grad, double lr) {
+  SEPRIV_CHECK(param.SameShape(grad), "SGD shape mismatch");
+  param.Axpy(-lr, grad);
+}
+
+void AdamState::Update(Matrix& param, const Matrix& grad, double lr,
+                       double beta1, double beta2, double eps) {
+  if (m_.size() == 0) {
+    m_ = Matrix(param.rows(), param.cols());
+    v_ = Matrix(param.rows(), param.cols());
+  }
+  SEPRIV_CHECK(param.SameShape(grad) && param.SameShape(m_),
+               "Adam shape mismatch");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t_));
+  for (size_t i = 0; i < param.size(); ++i) {
+    const double g = grad.data()[i];
+    double& m = m_.data()[i];
+    double& v = v_.data()[i];
+    m = beta1 * m + (1.0 - beta1) * g;
+    v = beta2 * v + (1.0 - beta2) * g * g;
+    const double m_hat = m / bc1;
+    const double v_hat = v / bc2;
+    param.data()[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+}  // namespace sepriv

@@ -1,0 +1,33 @@
+// SGD and Adam parameter updates (per-matrix state, explicitly wired —
+// this substrate has no autograd graph).
+
+#ifndef SEPRIVGEMB_NN_OPTIMIZER_H_
+#define SEPRIVGEMB_NN_OPTIMIZER_H_
+
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+/// param -= lr * grad.
+void SgdUpdate(Matrix& param, const Matrix& grad, double lr);
+
+/// Per-parameter-matrix Adam state (Kingma & Ba).
+class AdamState {
+ public:
+  AdamState() = default;
+  AdamState(size_t rows, size_t cols) : m_(rows, cols), v_(rows, cols) {}
+
+  /// One Adam step; the step counter is internal.
+  void Update(Matrix& param, const Matrix& grad, double lr,
+              double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+  size_t step() const { return t_; }
+
+ private:
+  Matrix m_, v_;
+  size_t t_ = 0;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_NN_OPTIMIZER_H_

@@ -1,0 +1,76 @@
+// First- and second-order proximity providers (neighbourhood-local measures).
+
+#ifndef SEPRIVGEMB_PROXIMITY_LOCAL_PROXIMITY_H_
+#define SEPRIVGEMB_PROXIMITY_LOCAL_PROXIMITY_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "proximity/proximity.h"
+
+namespace sepriv {
+
+/// |N(i) ∩ N(j)| (Barabási & Albert [18]-era classic first-order feature).
+class CommonNeighborsProximity : public ProximityProvider {
+ public:
+  explicit CommonNeighborsProximity(const Graph& graph) : graph_(graph) {}
+  std::string Name() const override { return "common_neighbors"; }
+  double At(NodeId i, NodeId j) const override;
+
+ private:
+  const Graph& graph_;
+};
+
+/// |N(i) ∩ N(j)| / |N(i) ∪ N(j)|.
+class JaccardProximity : public ProximityProvider {
+ public:
+  explicit JaccardProximity(const Graph& graph) : graph_(graph) {}
+  std::string Name() const override { return "jaccard"; }
+  double At(NodeId i, NodeId j) const override;
+
+ private:
+  const Graph& graph_;
+};
+
+/// d_i * d_j / 2|E| — the "node degree" preference of the paper's
+/// SE-PrivGEmb_Deg variant (preferential attachment normalisation).
+class PreferentialAttachmentProximity : public ProximityProvider {
+ public:
+  explicit PreferentialAttachmentProximity(const Graph& graph)
+      : graph_(graph),
+        inv_two_m_(graph.num_edges() > 0
+                       ? 0.5 / static_cast<double>(graph.num_edges())
+                       : 0.0) {}
+  std::string Name() const override { return "degree"; }
+  double At(NodeId i, NodeId j) const override;
+
+ private:
+  const Graph& graph_;
+  double inv_two_m_;
+};
+
+/// Σ_{w ∈ N(i) ∩ N(j)} 1 / log(d_w)  (Adamic–Adar [19]).
+class AdamicAdarProximity : public ProximityProvider {
+ public:
+  explicit AdamicAdarProximity(const Graph& graph) : graph_(graph) {}
+  std::string Name() const override { return "adamic_adar"; }
+  double At(NodeId i, NodeId j) const override;
+
+ private:
+  const Graph& graph_;
+};
+
+/// Σ_{w ∈ N(i) ∩ N(j)} 1 / d_w  (resource allocation [19]).
+class ResourceAllocationProximity : public ProximityProvider {
+ public:
+  explicit ResourceAllocationProximity(const Graph& graph) : graph_(graph) {}
+  std::string Name() const override { return "resource_allocation"; }
+  double At(NodeId i, NodeId j) const override;
+
+ private:
+  const Graph& graph_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_PROXIMITY_LOCAL_PROXIMITY_H_

@@ -1,0 +1,118 @@
+#include "proximity/proximity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "proximity/local_proximity.h"
+#include "proximity/walk_proximity.h"
+#include "util/check.h"
+
+namespace sepriv {
+
+EdgeProximity ComputeEdgeProximities(const Graph& graph,
+                                     const ProximityProvider& provider) {
+  EdgeProximity out;
+  const auto& edges = graph.Edges();
+  out.values.reserve(edges.size());
+
+  // Pass 1: forward direction grouped by u (row-cache friendly).
+  std::vector<double> forward(edges.size()), backward(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e)
+    forward[e] = provider.At(edges[e].u, edges[e].v);
+  // Pass 2: reverse direction grouped by v. Canonical edges are sorted by u,
+  // so group by v via an index sort to keep the row cache warm.
+  std::vector<size_t> by_v(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) by_v[e] = e;
+  std::sort(by_v.begin(), by_v.end(), [&edges](size_t a, size_t b) {
+    return edges[a].v != edges[b].v ? edges[a].v < edges[b].v
+                                    : edges[a].u < edges[b].u;
+  });
+  for (size_t idx : by_v)
+    backward[idx] = provider.At(edges[idx].v, edges[idx].u);
+
+  double min_pos = std::numeric_limits<double>::infinity();
+  double max_val = 0.0;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const double p = 0.5 * (forward[e] + backward[e]);
+    out.values.push_back(p);
+    if (p > 0.0) min_pos = std::min(min_pos, p);
+    max_val = std::max(max_val, p);
+  }
+  // Floor zero proximities (possible for sampled estimators) at half the
+  // smallest positive value so no edge is silently dropped from the loss.
+  if (!std::isfinite(min_pos)) min_pos = 1.0;  // fully degenerate provider
+  for (double& p : out.values) {
+    if (p <= 0.0) p = 0.5 * min_pos;
+  }
+  out.min_positive = *std::min_element(out.values.begin(), out.values.end());
+  out.max_value = std::max(max_val, out.min_positive);
+
+  out.normalized.resize(out.values.size());
+  const double inv_max = 1.0 / out.max_value;
+  for (size_t e = 0; e < out.values.size(); ++e)
+    out.normalized[e] = out.values[e] * inv_max;
+  out.normalized_min_positive = out.min_positive * inv_max;
+  return out;
+}
+
+std::unique_ptr<ProximityProvider> MakeProximity(ProximityKind kind,
+                                                 const Graph& graph,
+                                                 const ProximityOptions& opts) {
+  switch (kind) {
+    case ProximityKind::kCommonNeighbors:
+      return std::make_unique<CommonNeighborsProximity>(graph);
+    case ProximityKind::kJaccard:
+      return std::make_unique<JaccardProximity>(graph);
+    case ProximityKind::kPreferentialAttachment:
+      return std::make_unique<PreferentialAttachmentProximity>(graph);
+    case ProximityKind::kAdamicAdar:
+      return std::make_unique<AdamicAdarProximity>(graph);
+    case ProximityKind::kResourceAllocation:
+      return std::make_unique<ResourceAllocationProximity>(graph);
+    case ProximityKind::kKatz:
+      return std::make_unique<KatzProximity>(graph, opts.katz_max_length,
+                                             opts.katz_beta);
+    case ProximityKind::kPersonalizedPageRank:
+      return std::make_unique<PersonalizedPageRankProximity>(
+          graph, opts.ppr_alpha, opts.ppr_iterations);
+    case ProximityKind::kDeepWalk:
+      return std::make_unique<DeepWalkProximity>(graph, opts.dw_window);
+    case ProximityKind::kDeepWalkSampled:
+      return std::make_unique<SampledDeepWalkProximity>(
+          graph, opts.dw_window, opts.dw_walks_per_node, opts.seed);
+  }
+  SEPRIV_CHECK(false, "unknown proximity kind");
+  return nullptr;
+}
+
+std::string ProximityKindName(ProximityKind kind) {
+  switch (kind) {
+    case ProximityKind::kCommonNeighbors: return "common_neighbors";
+    case ProximityKind::kJaccard: return "jaccard";
+    case ProximityKind::kPreferentialAttachment: return "degree";
+    case ProximityKind::kAdamicAdar: return "adamic_adar";
+    case ProximityKind::kResourceAllocation: return "resource_allocation";
+    case ProximityKind::kKatz: return "katz";
+    case ProximityKind::kPersonalizedPageRank: return "ppr";
+    case ProximityKind::kDeepWalk: return "deepwalk";
+    case ProximityKind::kDeepWalkSampled: return "deepwalk_sampled";
+  }
+  return "unknown";
+}
+
+const std::vector<ProximityKind>& AllProximityKinds() {
+  static const std::vector<ProximityKind> kKinds = {
+      ProximityKind::kCommonNeighbors,
+      ProximityKind::kJaccard,
+      ProximityKind::kPreferentialAttachment,
+      ProximityKind::kAdamicAdar,
+      ProximityKind::kResourceAllocation,
+      ProximityKind::kKatz,
+      ProximityKind::kPersonalizedPageRank,
+      ProximityKind::kDeepWalk,
+      ProximityKind::kDeepWalkSampled,
+  };
+  return kKinds;
+}
+
+}  // namespace sepriv

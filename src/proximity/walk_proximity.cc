@@ -1,0 +1,216 @@
+#include "proximity/walk_proximity.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+RowCachedProximity::RowCachedProximity(const Graph& graph)
+    : graph_(graph), row_(graph.num_nodes(), 0.0) {
+  touched_.reserve(1024);
+}
+
+double RowCachedProximity::At(NodeId i, NodeId j) const {
+  SEPRIV_CHECK(i < graph_.num_nodes() && j < graph_.num_nodes(),
+               "node out of range: (%u,%u) vs |V|=%zu", i, j,
+               graph_.num_nodes());
+  if (!has_cache_ || cached_source_ != i) {
+    ClearRow();
+    ComputeRow(i);
+    cached_source_ = i;
+    has_cache_ = true;
+  }
+  return row_[j];
+}
+
+void RowCachedProximity::ClearRow() const {
+  // Sparse clear: only reset what the previous row touched.
+  if (touched_.size() > row_.size() / 4) {
+    std::fill(row_.begin(), row_.end(), 0.0);
+  } else {
+    for (NodeId j : touched_) row_[j] = 0.0;
+  }
+  touched_.clear();
+}
+
+// --- Katz -------------------------------------------------------------------
+
+KatzProximity::KatzProximity(const Graph& graph, int max_length, double beta)
+    : RowCachedProximity(graph), max_length_(max_length), beta_(beta) {
+  SEPRIV_CHECK(max_length_ >= 1, "Katz needs max_length >= 1");
+  SEPRIV_CHECK(beta_ > 0.0, "Katz needs beta > 0");
+}
+
+std::string KatzProximity::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "katz(L=%d,beta=%.3f)", max_length_, beta_);
+  return buf;
+}
+
+void KatzProximity::ComputeRow(NodeId source) const {
+  const size_t n = graph_.num_nodes();
+  // cur holds (A^l)_source as a sparse vector over a dense scratch.
+  std::vector<double> cur(n, 0.0), next(n, 0.0);
+  std::vector<NodeId> cur_nz, next_nz;
+  cur[source] = 1.0;
+  cur_nz.push_back(source);
+  double beta_pow = 1.0;
+  for (int l = 1; l <= max_length_; ++l) {
+    beta_pow *= beta_;
+    for (NodeId k : cur_nz) {
+      const double mass = cur[k];
+      for (NodeId u : graph_.Neighbors(k)) {
+        if (next[u] == 0.0) next_nz.push_back(u);
+        next[u] += mass;
+      }
+      cur[k] = 0.0;
+    }
+    for (NodeId u : next_nz) {
+      if (row_[u] == 0.0) Touch(u);
+      row_[u] += beta_pow * next[u];
+    }
+    cur_nz.swap(next_nz);
+    cur.swap(next);
+    next_nz.clear();
+  }
+}
+
+// --- Personalized PageRank ---------------------------------------------------
+
+PersonalizedPageRankProximity::PersonalizedPageRankProximity(const Graph& graph,
+                                                             double alpha,
+                                                             int iterations)
+    : RowCachedProximity(graph), alpha_(alpha), iterations_(iterations) {
+  SEPRIV_CHECK(alpha_ > 0.0 && alpha_ < 1.0, "PPR alpha must be in (0,1)");
+  SEPRIV_CHECK(iterations_ >= 1, "PPR needs iterations >= 1");
+}
+
+std::string PersonalizedPageRankProximity::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ppr(alpha=%.2f,iters=%d)", alpha_,
+                iterations_);
+  return buf;
+}
+
+void PersonalizedPageRankProximity::ComputeRow(NodeId source) const {
+  const size_t n = graph_.num_nodes();
+  std::vector<double> r(n, 0.0), next(n, 0.0);
+  std::vector<NodeId> r_nz, next_nz;
+  r[source] = 1.0;
+  r_nz.push_back(source);
+  for (int it = 0; it < iterations_; ++it) {
+    for (NodeId k : r_nz) {
+      const size_t deg = graph_.Degree(k);
+      if (deg == 0) {
+        r[k] = 0.0;
+        continue;
+      }
+      const double push = (1.0 - alpha_) * r[k] / static_cast<double>(deg);
+      for (NodeId u : graph_.Neighbors(k)) {
+        if (next[u] == 0.0) next_nz.push_back(u);
+        next[u] += push;
+      }
+      r[k] = 0.0;
+    }
+    if (next[source] == 0.0) next_nz.push_back(source);
+    next[source] += alpha_;
+    r.swap(next);
+    r_nz.swap(next_nz);
+    next_nz.clear();
+  }
+  for (NodeId u : r_nz) {
+    if (r[u] != 0.0) {
+      row_[u] = r[u];
+      Touch(u);
+    }
+  }
+}
+
+// --- DeepWalk (exact) --------------------------------------------------------
+
+DeepWalkProximity::DeepWalkProximity(const Graph& graph, int window)
+    : RowCachedProximity(graph), window_(window) {
+  SEPRIV_CHECK(window_ >= 1, "DeepWalk proximity needs window >= 1");
+}
+
+std::string DeepWalkProximity::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "deepwalk(T=%d)", window_);
+  return buf;
+}
+
+void DeepWalkProximity::ComputeRow(NodeId source) const {
+  const size_t n = graph_.num_nodes();
+  std::vector<double> cur(n, 0.0), next(n, 0.0);
+  std::vector<NodeId> cur_nz, next_nz;
+  cur[source] = 1.0;
+  cur_nz.push_back(source);
+  const double inv_t = 1.0 / static_cast<double>(window_);
+  for (int w = 1; w <= window_; ++w) {
+    for (NodeId k : cur_nz) {
+      const size_t deg = graph_.Degree(k);
+      if (deg == 0) {
+        cur[k] = 0.0;
+        continue;
+      }
+      const double push = cur[k] / static_cast<double>(deg);
+      for (NodeId u : graph_.Neighbors(k)) {
+        if (next[u] == 0.0) next_nz.push_back(u);
+        next[u] += push;
+      }
+      cur[k] = 0.0;
+    }
+    for (NodeId u : next_nz) {
+      if (row_[u] == 0.0) Touch(u);
+      row_[u] += inv_t * next[u];
+    }
+    cur.swap(next);
+    cur_nz.swap(next_nz);
+    next_nz.clear();
+  }
+}
+
+// --- DeepWalk (sampled) ------------------------------------------------------
+
+SampledDeepWalkProximity::SampledDeepWalkProximity(const Graph& graph,
+                                                   int window,
+                                                   int walks_per_node,
+                                                   uint64_t seed)
+    : RowCachedProximity(graph),
+      window_(window),
+      walks_per_node_(walks_per_node),
+      seed_(seed) {
+  SEPRIV_CHECK(window_ >= 1, "sampled DeepWalk needs window >= 1");
+  SEPRIV_CHECK(walks_per_node_ >= 1, "sampled DeepWalk needs walks >= 1");
+}
+
+std::string SampledDeepWalkProximity::Name() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "deepwalk_sampled(T=%d,R=%d)", window_,
+                walks_per_node_);
+  return buf;
+}
+
+void SampledDeepWalkProximity::ComputeRow(NodeId source) const {
+  // Estimator: p̂_ij = (# visits of j at steps 1..T over R walks) / (R·T);
+  // unbiased for (1/T) Σ_w (D^{-1}A)^w _ij.
+  const double unit = 1.0 / (static_cast<double>(walks_per_node_) *
+                             static_cast<double>(window_));
+  // Deterministic per-row stream so At(i,j) is repeatable across calls.
+  uint64_t row_seed = seed_ ^ (static_cast<uint64_t>(source) + 1) * 0x9e3779b97f4a7c15ULL;
+  Rng rng(SplitMix64(row_seed));
+  for (int r = 0; r < walks_per_node_; ++r) {
+    NodeId cur = source;
+    for (int step = 0; step < window_; ++step) {
+      const auto nbrs = graph_.Neighbors(cur);
+      if (nbrs.empty()) break;
+      cur = nbrs[rng.UniformInt(nbrs.size())];
+      if (row_[cur] == 0.0) Touch(cur);
+      row_[cur] += unit;
+    }
+  }
+}
+
+}  // namespace sepriv

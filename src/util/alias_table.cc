@@ -1,0 +1,60 @@
+#include "util/alias_table.h"
+
+#include "util/check.h"
+
+namespace sepriv {
+
+void AliasTable::Build(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  SEPRIV_CHECK(n > 0, "AliasTable needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    SEPRIV_CHECK(w >= 0.0, "AliasTable weights must be non-negative (got %f)", w);
+    total += w;
+  }
+  SEPRIV_CHECK(total > 0.0, "AliasTable weights must not all be zero");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  mass_.assign(n, 0.0);
+
+  // Scaled probabilities; buckets with p < 1 are "small", the rest "large".
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    mass_[i] = weights[i] / total;
+    scaled[i] = mass_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Residual buckets are numerically == 1.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint32_t AliasTable::Sample(Rng& rng) const {
+  const auto bucket = static_cast<uint32_t>(rng.UniformInt(prob_.size()));
+  return rng.Uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace sepriv

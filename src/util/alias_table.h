@@ -1,0 +1,44 @@
+// Walker alias method for O(1) sampling from a fixed discrete distribution.
+//
+// Used by the degree-proportional negative sampler (prior-work design,
+// Eq. 14/15 of the paper) and by proximity-weighted positive sampling.
+
+#ifndef SEPRIVGEMB_UTIL_ALIAS_TABLE_H_
+#define SEPRIVGEMB_UTIL_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sepriv {
+
+/// Preprocesses a vector of non-negative weights in O(n); afterwards Sample()
+/// draws index i with probability weight[i] / sum(weight) in O(1).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table. Weights must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights);
+
+  /// Draws one index according to the built distribution.
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Probability mass assigned to index i (for testing).
+  double Mass(uint32_t i) const { return mass_[i]; }
+
+ private:
+  std::vector<double> prob_;    // acceptance probability per bucket
+  std::vector<uint32_t> alias_; // fallback index per bucket
+  std::vector<double> mass_;    // normalised input weights (kept for tests)
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_ALIAS_TABLE_H_

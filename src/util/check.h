@@ -1,0 +1,28 @@
+// Lightweight runtime assertion macros.
+//
+// Following the repo style guide we do not throw exceptions across module
+// boundaries; programmer errors abort with a readable message instead.
+
+#ifndef SEPRIVGEMB_UTIL_CHECK_H_
+#define SEPRIVGEMB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a formatted message when `cond` is false. Always enabled
+/// (unlike assert) because the library is used in benchmark/Release builds.
+#define SEPRIV_CHECK(cond, ...)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "[seprivgemb] CHECK failed at %s:%d: %s\n  ",  \
+                   __FILE__, __LINE__, #cond);                            \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Convenience form without a message.
+#define SEPRIV_DCHECK(cond) SEPRIV_CHECK(cond, "(no message)")
+
+#endif  // SEPRIVGEMB_UTIL_CHECK_H_

@@ -1,0 +1,78 @@
+// Numerically stable scalar math helpers used across the library.
+
+#ifndef SEPRIVGEMB_UTIL_MATH_UTIL_H_
+#define SEPRIVGEMB_UTIL_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace sepriv {
+
+/// Classic logistic sigmoid, stable for large |x|.
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// log(1 + exp(x)) without overflow.
+inline double Log1pExp(double x) {
+  if (x > 35.0) return x;          // exp(-x) underflows the 1
+  if (x < -35.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+/// log(sigmoid(x)) = -log(1 + exp(-x)), stable for large |x|.
+inline double LogSigmoid(double x) { return -Log1pExp(-x); }
+
+/// log(C(n, k)) via lgamma; exact enough for privacy accounting.
+inline double LogBinomial(int n, int k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+/// Stable log(sum_i exp(v_i)).
+inline double LogSumExp(const std::vector<double>& v) {
+  if (v.empty()) return -std::numeric_limits<double>::infinity();
+  double mx = v[0];
+  for (double x : v) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+/// Stable log(exp(a) + exp(b)).
+inline double LogAddExp(double a, double b) {
+  if (a < b) std::swap(a, b);
+  if (!std::isfinite(a)) return a;
+  return a + Log1pExp(b - a);
+}
+
+/// Squared L2 norm of a contiguous buffer.
+inline double SquaredNorm(const double* data, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += data[i] * data[i];
+  return acc;
+}
+
+inline double Norm(const double* data, size_t n) {
+  return std::sqrt(SquaredNorm(data, n));
+}
+
+/// Dot product of two equally sized buffers.
+inline double Dot(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_MATH_UTIL_H_

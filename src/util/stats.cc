@@ -1,0 +1,53 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double SampleStdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mu = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  SEPRIV_CHECK(x.size() == y.size(),
+               "Pearson inputs differ in size: %zu vs %zu", x.size(), y.size());
+  PearsonAccumulator acc;
+  for (size_t i = 0; i < x.size(); ++i) acc.Add(x[i], y[i]);
+  return acc.Correlation();
+}
+
+void PearsonAccumulator::Add(double x, double y) {
+  ++n_;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  const double dx = x - mean_x_;
+  const double dy = y - mean_y_;
+  mean_x_ += dx * inv_n;
+  mean_y_ += dy * inv_n;
+  // Note: uses the updated mean for the second factor (standard Welford).
+  m2x_ += dx * (x - mean_x_);
+  m2y_ += dy * (y - mean_y_);
+  cov_ += dx * (y - mean_y_);
+}
+
+double PearsonAccumulator::Correlation() const {
+  if (n_ < 2) return 0.0;
+  const double denom = std::sqrt(m2x_) * std::sqrt(m2y_);
+  if (denom <= 0.0) return 0.0;
+  return cov_ / denom;
+}
+
+}  // namespace sepriv

@@ -1,0 +1,43 @@
+// Basic descriptive statistics: mean, sample standard deviation, Pearson
+// correlation, and an online (Welford) accumulator.
+//
+// Pearson correlation is the backbone of the StrucEqu metric (paper §VI-A).
+
+#ifndef SEPRIVGEMB_UTIL_STATS_H_
+#define SEPRIVGEMB_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sepriv {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample standard deviation (n-1 denominator); 0 if n < 2.
+double SampleStdDev(const std::vector<double>& v);
+
+/// Pearson correlation coefficient between two equally sized vectors.
+/// Returns 0 when either side has zero variance (degenerate case).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Online single-pass accumulator for mean/variance and a paired-covariance
+/// extension used to stream Pearson over O(|V|^2) node pairs without
+/// materialising them.
+class PearsonAccumulator {
+ public:
+  void Add(double x, double y);
+  /// Correlation of everything added so far; 0 when degenerate.
+  double Correlation() const;
+  size_t count() const { return n_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_x_ = 0.0, mean_y_ = 0.0;
+  double m2x_ = 0.0, m2y_ = 0.0, cov_ = 0.0;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_STATS_H_

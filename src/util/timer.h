@@ -1,0 +1,30 @@
+// Simple wall-clock timer for benchmark harness reporting.
+
+#ifndef SEPRIVGEMB_UTIL_TIMER_H_
+#define SEPRIVGEMB_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sepriv {
+
+/// Starts on construction; ElapsedSeconds() reads without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_TIMER_H_

@@ -1,0 +1,103 @@
+#include "attack/membership_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "core/se_privgemb.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+TEST(AttackTest, StatisticNamesStable) {
+  EXPECT_EQ(AttackStatisticName(AttackStatistic::kScoreThreshold),
+            "score_threshold");
+  EXPECT_EQ(AttackStatisticName(AttackStatistic::kRowNormSum), "row_norm_sum");
+  EXPECT_EQ(AttackStatisticName(AttackStatistic::kCosine), "cosine");
+}
+
+TEST(AttackTest, RandomEmbeddingLeaksNothing) {
+  Graph g = BarabasiAlbert(300, 4, 3);
+  Rng rng(5);
+  SkipGramModel model(g.num_nodes(), 16, rng);
+  model.w_in.FillGaussian(rng);  // pure noise, no training
+  model.w_out.FillGaussian(rng);
+  for (const AttackResult& r : AuditEmbedding(model, g)) {
+    EXPECT_NEAR(r.auc, 0.5, 0.1) << AttackStatisticName(r.statistic);
+  }
+}
+
+TEST(AttackTest, NonPrivateTrainingLeaksThroughScores) {
+  // A memorising non-private model is highly vulnerable to the loss-based
+  // attack: trained edges score far above non-edges.
+  Graph g = BarabasiAlbert(200, 4, 7);
+  SePrivGEmbConfig cfg;
+  cfg.dim = 16;
+  cfg.batch_size = 64;
+  cfg.max_epochs = 2000;
+  cfg.perturbation = PerturbationStrategy::kNone;
+  cfg.track_loss = false;
+  cfg.seed = 9;
+  const TrainResult r = SePrivGEmb(g, ProximityKind::kDeepWalk, cfg).Train();
+  const AttackResult attack = RunMembershipInference(
+      r.model, g, AttackStatistic::kScoreThreshold);
+  EXPECT_GT(attack.auc, 0.8);
+}
+
+TEST(AttackTest, DpTrainingReducesScoreAttack) {
+  Graph g = BarabasiAlbert(200, 4, 7);
+  SePrivGEmbConfig cfg;
+  cfg.dim = 16;
+  cfg.batch_size = 64;
+  cfg.max_epochs = 2000;
+  cfg.track_loss = false;
+  cfg.seed = 9;
+
+  cfg.perturbation = PerturbationStrategy::kNone;
+  const double auc_clean =
+      RunMembershipInference(
+          SePrivGEmb(g, ProximityKind::kDeepWalk, cfg).Train().model, g,
+          AttackStatistic::kScoreThreshold)
+          .auc;
+  cfg.perturbation = PerturbationStrategy::kNonZero;
+  cfg.epsilon = 1.0;
+  const double auc_private =
+      RunMembershipInference(
+          SePrivGEmb(g, ProximityKind::kDeepWalk, cfg).Train().model, g,
+          AttackStatistic::kScoreThreshold)
+          .auc;
+  EXPECT_LT(auc_private, auc_clean);
+}
+
+TEST(AttackTest, CountsReported) {
+  Graph g = KarateClub();
+  Rng rng(1);
+  SkipGramModel model(g.num_nodes(), 8, rng);
+  const AttackResult r = RunMembershipInference(
+      model, g, AttackStatistic::kCosine, /*max_pairs=*/50);
+  EXPECT_EQ(r.member_pairs, 50u);
+  EXPECT_EQ(r.non_member_pairs, 50u);
+}
+
+TEST(AttackTest, DeterministicPerSeed) {
+  Graph g = KarateClub();
+  Rng rng(2);
+  SkipGramModel model(g.num_nodes(), 8, rng);
+  model.w_in.FillGaussian(rng);
+  const auto a =
+      RunMembershipInference(model, g, AttackStatistic::kRowNormSum, 100, 42);
+  const auto b =
+      RunMembershipInference(model, g, AttackStatistic::kRowNormSum, 100, 42);
+  EXPECT_DOUBLE_EQ(a.auc, b.auc);
+}
+
+TEST(AttackDeathTest, EmptyGraphAborts) {
+  Graph g;
+  Rng rng(1);
+  SkipGramModel model(4, 4, rng);
+  EXPECT_DEATH(
+      RunMembershipInference(model, g, AttackStatistic::kCosine), "empty");
+}
+
+}  // namespace
+}  // namespace sepriv

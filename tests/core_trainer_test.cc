@@ -1,0 +1,251 @@
+#include "core/se_privgemb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/sparse_row_grad.h"
+#include "eval/strucequ.h"
+#include "graph/generators.h"
+#include "util/stats.h"
+
+namespace sepriv {
+namespace {
+
+SePrivGEmbConfig SmallConfig() {
+  SePrivGEmbConfig cfg;
+  cfg.dim = 16;
+  cfg.negatives = 5;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 0.1;
+  cfg.max_epochs = 150;
+  cfg.noise_multiplier = 5.0;
+  cfg.clip_threshold = 2.0;
+  cfg.epsilon = 3.5;
+  cfg.delta = 1e-5;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(SparseRowGradTest, TracksTouchedRows) {
+  SparseRowGrad g(5, 3);
+  const double row[3] = {1.0, 2.0, 3.0};
+  g.AddToRow(1, row);
+  g.AddToRow(3, row);
+  g.AddToRow(1, row);  // repeat should not duplicate
+  ASSERT_EQ(g.touched().size(), 2u);
+  EXPECT_EQ(g.matrix()(1, 0), 2.0);
+  EXPECT_EQ(g.matrix()(3, 2), 3.0);
+  g.Clear();
+  EXPECT_TRUE(g.touched().empty());
+  EXPECT_EQ(g.matrix()(1, 0), 0.0);
+}
+
+TEST(SparseRowGradTest, ClearOnlyAffectsTouched) {
+  SparseRowGrad g(4, 2);
+  const double row[2] = {5.0, 5.0};
+  g.AddToRow(0, row);
+  g.Clear();
+  g.AddToRow(2, row);
+  EXPECT_EQ(g.matrix()(2, 1), 5.0);
+  EXPECT_EQ(g.matrix()(0, 0), 0.0);
+}
+
+TEST(TrainerTest, NonPrivateRunsAllEpochs) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.perturbation = PerturbationStrategy::kNone;
+  SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult r = trainer.Train();
+  EXPECT_EQ(r.epochs_run, cfg.max_epochs);
+  EXPECT_FALSE(r.stopped_by_budget);
+  EXPECT_EQ(r.spent_epsilon, 0.0);
+  EXPECT_EQ(r.model.w_in.rows(), g.num_nodes());
+  EXPECT_EQ(r.model.w_in.cols(), cfg.dim);
+  EXPECT_EQ(r.model.w_out.rows(), g.num_nodes());
+}
+
+TEST(TrainerTest, DeterministicForSeed) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 30;
+  SePrivGEmb t1(g, ProximityKind::kDeepWalk, cfg);
+  SePrivGEmb t2(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult a = t1.Train();
+  const TrainResult b = t2.Train();
+  EXPECT_EQ(a.model.w_in(0, 0), b.model.w_in(0, 0));
+  EXPECT_EQ(a.model.w_out(5, 3), b.model.w_out(5, 3));
+  EXPECT_EQ(a.epochs_run, b.epochs_run);
+}
+
+TEST(TrainerTest, SeedChangesOutcome) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 30;
+  SePrivGEmb t1(g, ProximityKind::kDeepWalk, cfg);
+  cfg.seed = 43;
+  SePrivGEmb t2(g, ProximityKind::kDeepWalk, cfg);
+  EXPECT_NE(t1.Train().model.w_in(0, 0), t2.Train().model.w_in(0, 0));
+}
+
+TEST(TrainerTest, EdgeWeightsNormalizedToMaxOne) {
+  Graph g = KarateClub();
+  SePrivGEmb trainer(g, ProximityKind::kDeepWalk, SmallConfig());
+  double hi = 0.0;
+  for (double w : trainer.edge_weights()) {
+    EXPECT_GT(w, 0.0);
+    hi = std::max(hi, w);
+  }
+  EXPECT_NEAR(hi, 1.0, 1e-12);
+  EXPECT_GT(trainer.min_weight(), 0.0);
+  EXPECT_LE(trainer.min_weight(), 1.0);
+}
+
+TEST(TrainerTest, BudgetCapsEpochs) {
+  Graph g = KarateClub();  // |E| = 78, B = 32 -> γ = 0.41: weak amplification
+  auto cfg = SmallConfig();
+  cfg.epsilon = 0.5;
+  cfg.max_epochs = 100000;
+  SePrivGEmb trainer(g, ProximityKind::kPreferentialAttachment, cfg);
+  const TrainResult r = trainer.Train();
+  EXPECT_TRUE(r.stopped_by_budget);
+  EXPECT_EQ(r.epochs_run, r.epochs_allowed);
+  EXPECT_LT(r.epochs_run, 100000u);
+  // The spent ε must respect the target.
+  EXPECT_LE(r.spent_epsilon, cfg.epsilon + 1e-9);
+  // δ̂ just below the stopping threshold (Algorithm 2 line 10).
+  EXPECT_LT(r.spent_delta, cfg.delta);
+}
+
+TEST(TrainerTest, LargerEpsilonAllowsMoreEpochs) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = std::numeric_limits<size_t>::max() / 2;
+  cfg.epsilon = 0.5;
+  SePrivGEmb t_tight(g, ProximityKind::kDeepWalk, cfg);
+  cfg.epsilon = 3.5;
+  SePrivGEmb t_loose(g, ProximityKind::kDeepWalk, cfg);
+  EXPECT_GT(t_loose.Train().epochs_allowed, t_tight.Train().epochs_allowed);
+}
+
+TEST(TrainerTest, NonPrivateLossDecreases) {
+  Graph g = BarabasiAlbert(120, 4, 5);
+  auto cfg = SmallConfig();
+  cfg.perturbation = PerturbationStrategy::kNone;
+  cfg.max_epochs = 300;
+  cfg.batch_size = 64;
+  SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult r = trainer.Train();
+  ASSERT_EQ(r.loss_curve.size(), 300u);
+  const double head = Mean(std::vector<double>(r.loss_curve.begin(),
+                                               r.loss_curve.begin() + 30));
+  const double tail = Mean(std::vector<double>(r.loss_curve.end() - 30,
+                                               r.loss_curve.end()));
+  EXPECT_LT(tail, head);
+}
+
+TEST(TrainerTest, NonPrivateEmbeddingBeatsRandomOnStrucEqu) {
+  Graph g = BarabasiAlbert(150, 4, 7);
+  auto cfg = SmallConfig();
+  cfg.perturbation = PerturbationStrategy::kNone;
+  cfg.max_epochs = 400;
+  cfg.batch_size = 64;
+  SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult r = trainer.Train();
+  const double trained = StrucEqu(g, r.model.w_in);
+  Rng rng(11);
+  Matrix random_emb(g.num_nodes(), cfg.dim);
+  random_emb.FillGaussian(rng);
+  const double random_baseline = StrucEqu(g, random_emb);
+  EXPECT_GT(trained, random_baseline + 0.1);
+}
+
+TEST(TrainerTest, NaiveNoiseSwampsModel) {
+  // With σ = 5, C = 2, B = 32 the naive strategy adds N(0, (BCσ)²) noise to
+  // every row each epoch; after a few epochs the weights are dominated by
+  // noise, unlike the non-zero strategy (paper Table VI mechanism).
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 20;
+  cfg.perturbation = PerturbationStrategy::kNaive;
+  SePrivGEmb naive(g, ProximityKind::kDeepWalk, cfg);
+  cfg.perturbation = PerturbationStrategy::kNonZero;
+  SePrivGEmb nonzero(g, ProximityKind::kDeepWalk, cfg);
+  const double norm_naive = naive.Train().model.w_in.FrobeniusNorm();
+  const double norm_nonzero = nonzero.Train().model.w_in.FrobeniusNorm();
+  EXPECT_GT(norm_naive, 5.0 * norm_nonzero);
+}
+
+TEST(TrainerTest, NonZeroPreservesUtilityBetterThanNaive) {
+  Graph g = BarabasiAlbert(120, 4, 9);
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 120;
+  cfg.batch_size = 64;
+  cfg.perturbation = PerturbationStrategy::kNonZero;
+  const double se_nonzero =
+      StrucEqu(g, SePrivGEmb(g, ProximityKind::kDeepWalk, cfg).Train().model.w_in);
+  cfg.perturbation = PerturbationStrategy::kNaive;
+  const double se_naive =
+      StrucEqu(g, SePrivGEmb(g, ProximityKind::kDeepWalk, cfg).Train().model.w_in);
+  EXPECT_GT(se_nonzero, se_naive);
+}
+
+TEST(TrainerTest, CustomEdgeProximityAccepted) {
+  Graph g = PathGraph(20);
+  EdgeProximity custom;
+  custom.values.assign(g.num_edges(), 0.5);
+  custom.values[0] = 2.0;
+  custom.min_positive = 0.5;
+  custom.max_value = 2.0;
+  custom.normalized.assign(g.num_edges(), 0.25);
+  custom.normalized[0] = 1.0;
+  custom.normalized_min_positive = 0.25;
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 5;
+  SePrivGEmb trainer(g, custom, cfg);
+  EXPECT_NEAR(trainer.edge_weights()[0], 1.0, 1e-12);
+  EXPECT_NEAR(trainer.min_weight(), 0.25, 1e-12);
+  trainer.Train();  // must run without aborting
+}
+
+TEST(TrainerTest, NegativeWeightingModesAllTrain) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 10;
+  for (auto mode : {NegativeWeighting::kPaperPij,
+                    NegativeWeighting::kUnifiedMinP, NegativeWeighting::kUnit}) {
+    cfg.negative_weighting = mode;
+    SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+    const TrainResult r = trainer.Train();
+    EXPECT_EQ(r.epochs_run, 10u);
+    EXPECT_TRUE(std::isfinite(r.model.w_in.FrobeniusNorm()));
+  }
+}
+
+TEST(TrainerTest, ProximityWeightedPositiveSampling) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 10;
+  cfg.positive_sampling = PositiveSampling::kProximityWeighted;
+  SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+  EXPECT_EQ(trainer.Train().epochs_run, 10u);
+}
+
+TEST(TrainerDeathTest, EmptyGraphAborts) {
+  Graph g;
+  EdgeProximity empty;
+  auto cfg = SmallConfig();
+  SePrivGEmb trainer(g, empty, cfg);
+  EXPECT_DEATH(trainer.Train(), "empty graph");
+}
+
+TEST(TrainerTest, ConfigDebugStringMentionsKeyParams) {
+  const auto s = SmallConfig().DebugString();
+  EXPECT_NE(s.find("B=32"), std::string::npos);
+  EXPECT_NE(s.find("sigma=5"), std::string::npos);
+  EXPECT_NE(s.find("non-zero"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sepriv

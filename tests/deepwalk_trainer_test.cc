@@ -1,0 +1,117 @@
+#include "embedding/deepwalk_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/link_prediction.h"
+#include "eval/strucequ.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+DeepWalkConfig SmallConfig() {
+  DeepWalkConfig cfg;
+  cfg.dim = 16;
+  cfg.walks_per_node = 10;
+  cfg.walk_length = 40;
+  cfg.window = 5;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(DeepWalkTrainerTest, ShapesAndCounters) {
+  Graph g = KarateClub();
+  const DeepWalkResult r = TrainDeepWalk(g, SmallConfig());
+  EXPECT_EQ(r.model.w_in.rows(), g.num_nodes());
+  EXPECT_EQ(r.model.w_in.cols(), 16u);
+  EXPECT_GT(r.pairs_trained, 1000u);
+}
+
+TEST(DeepWalkTrainerTest, DeterministicPerSeed) {
+  Graph g = KarateClub();
+  const DeepWalkResult a = TrainDeepWalk(g, SmallConfig());
+  const DeepWalkResult b = TrainDeepWalk(g, SmallConfig());
+  EXPECT_EQ(a.model.w_in(0, 0), b.model.w_in(0, 0));
+  EXPECT_EQ(a.pairs_trained, b.pairs_trained);
+}
+
+TEST(DeepWalkTrainerTest, CoOccurringPairsScoreAboveRandomPairs) {
+  Graph g = BarbellGraph(20);  // two dense cliques joined by a bridge
+  const DeepWalkResult r = TrainDeepWalk(g, SmallConfig());
+  // Intra-clique pairs co-occur constantly; cross-clique almost never.
+  double intra = 0.0, cross = 0.0;
+  int n_intra = 0, n_cross = 0;
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) {
+      intra += r.model.Score(u, v);
+      ++n_intra;
+    }
+    for (NodeId v = 10; v < 20; ++v) {
+      cross += r.model.Score(u, v);
+      ++n_cross;
+    }
+  }
+  EXPECT_GT(intra / n_intra, cross / n_cross + 1.0);
+}
+
+TEST(DeepWalkTrainerTest, EmbeddingClustersCommunities) {
+  // On a barbell the embedding distance within a clique must be smaller
+  // than across cliques.
+  Graph g = BarbellGraph(16);
+  const DeepWalkResult r = TrainDeepWalk(g, SmallConfig());
+  double within = 0.0, across = 0.0;
+  int nw = 0, na = 0;
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) {
+      within += r.model.w_in.RowSquaredDistance(u, r.model.w_in, v);
+      ++nw;
+    }
+    for (NodeId v = 8; v < 16; ++v) {
+      across += r.model.w_in.RowSquaredDistance(u, r.model.w_in, v);
+      ++na;
+    }
+  }
+  EXPECT_LT(within / nw, across / na);
+}
+
+TEST(DeepWalkTrainerTest, BeatsRandomEmbeddingOnLinkPrediction) {
+  Graph g = PowerLawCluster(250, 5, 0.7, 9);
+  const auto split = MakeLinkPredictionSplit(g);
+  DeepWalkConfig cfg = SmallConfig();
+  cfg.dim = 32;
+  const DeepWalkResult trained = TrainDeepWalk(split.train_graph, cfg);
+  const double auc_trained = LinkPredictionAuc(
+      split, trained.model.w_in, trained.model.w_out,
+      PairScore::kInnerProductInOut);
+
+  Rng rng(11);
+  Matrix random_emb(g.num_nodes(), 32);
+  random_emb.FillGaussian(rng);
+  const double auc_random =
+      LinkPredictionAuc(split, random_emb, random_emb,
+                        PairScore::kInnerProductInOut);
+  EXPECT_GT(auc_trained, auc_random + 0.1);
+  EXPECT_GT(auc_trained, 0.6);
+}
+
+TEST(DeepWalkTrainerTest, MultipleEpochsTrainMorePairs) {
+  Graph g = KarateClub();
+  DeepWalkConfig cfg = SmallConfig();
+  const size_t one = TrainDeepWalk(g, cfg).pairs_trained;
+  cfg.epochs = 2;
+  const size_t two = TrainDeepWalk(g, cfg).pairs_trained;
+  EXPECT_GT(two, one * 3 / 2);
+}
+
+TEST(DeepWalkTrainerDeathTest, RejectsDegenerateConfigs) {
+  Graph g = KarateClub();
+  DeepWalkConfig cfg = SmallConfig();
+  cfg.window = 0;
+  EXPECT_DEATH(TrainDeepWalk(g, cfg), "walk configuration");
+  Graph tiny = Graph::FromEdges(1, {});
+  EXPECT_DEATH(TrainDeepWalk(tiny, SmallConfig()), "too small");
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,168 @@
+#include "dp/accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/calibration.h"
+#include "dp/subsampled_rdp.h"
+
+namespace sepriv {
+namespace {
+
+TEST(AccountantTest, TracksIntegerOrders) {
+  RdpAccountant acct(5.0, 0.01, 16);
+  ASSERT_EQ(acct.orders().size(), 15u);
+  EXPECT_DOUBLE_EQ(acct.orders().front(), 2.0);
+  EXPECT_DOUBLE_EQ(acct.orders().back(), 16.0);
+}
+
+TEST(AccountantTest, PerStepRdpMatchesSubsampledBound) {
+  RdpAccountant acct(5.0, 0.05, 8);
+  for (size_t i = 0; i < acct.orders().size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        acct.per_step_rdp()[i],
+        SubsampledGaussianRdp(0.05, 5.0, static_cast<int>(acct.orders()[i])));
+  }
+}
+
+TEST(AccountantTest, ZeroStepsZeroEpsilon) {
+  RdpAccountant acct(5.0, 0.01);
+  EXPECT_DOUBLE_EQ(acct.GetEpsilon(1e-5).epsilon, 0.0 + acct.GetEpsilon(1e-5).epsilon);
+  EXPECT_GE(acct.GetEpsilon(1e-5).epsilon, 0.0);
+  // With no steps, only the log(1/δ)/(α-1) tax remains at the best order.
+  EXPECT_LE(acct.GetEpsilon(1e-5).epsilon, std::log(1e5) / 62.0 + 1e-9);
+}
+
+TEST(AccountantTest, CompositionIsLinearInSteps) {
+  RdpAccountant a(5.0, 0.02), b(5.0, 0.02);
+  a.Step(10);
+  b.Step(5);
+  b.Step(5);
+  EXPECT_DOUBLE_EQ(a.GetEpsilon(1e-5).epsilon, b.GetEpsilon(1e-5).epsilon);
+  EXPECT_EQ(a.steps(), 10u);
+}
+
+TEST(AccountantTest, EpsilonMonotoneInSteps) {
+  RdpAccountant acct(5.0, 0.02);
+  double prev = acct.GetEpsilon(1e-5).epsilon;
+  for (int i = 0; i < 5; ++i) {
+    acct.Step(50);
+    const double eps = acct.GetEpsilon(1e-5).epsilon;
+    EXPECT_GE(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(AccountantTest, DeltaMonotoneInSteps) {
+  RdpAccountant acct(5.0, 0.05);
+  acct.Step(10);
+  const double d10 = acct.GetDelta(1.0);
+  acct.Step(200);
+  EXPECT_GE(acct.GetDelta(1.0), d10);
+}
+
+TEST(AccountantTest, MaxStepsConsistentWithGetEpsilon) {
+  RdpAccountant acct(5.0, 0.02);
+  const double eps = 1.0, delta = 1e-5;
+  const size_t max_steps = acct.MaxSteps(eps, delta);
+  ASSERT_GT(max_steps, 0u);
+
+  acct.Step(max_steps);
+  EXPECT_LE(acct.GetEpsilon(delta).epsilon, eps + 1e-9);
+  acct.Step(1);
+  EXPECT_GT(acct.GetEpsilon(delta).epsilon, eps);
+}
+
+TEST(AccountantTest, MaxStepsConsistentWithGetDelta) {
+  // Algorithm 2 line 10 stops when δ̂ >= δ; MaxSteps must agree.
+  RdpAccountant acct(5.0, 0.05);
+  const double eps = 0.5, delta = 1e-5;
+  const size_t max_steps = acct.MaxSteps(eps, delta);
+  acct.Step(max_steps);
+  EXPECT_LT(acct.GetDelta(eps), delta);
+  acct.Step(1);
+  EXPECT_GE(acct.GetDelta(eps), delta);
+}
+
+TEST(AccountantTest, MaxStepsGrowsWithEpsilon) {
+  RdpAccountant acct(5.0, 0.02);
+  size_t prev = 0;
+  for (double eps : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+    const size_t n = acct.MaxSteps(eps, 1e-5);
+    EXPECT_GE(n, prev) << "eps=" << eps;
+    prev = n;
+  }
+}
+
+TEST(AccountantTest, MaxStepsGrowsWithNoise) {
+  RdpAccountant lo(2.0, 0.02), hi(8.0, 0.02);
+  EXPECT_LT(lo.MaxSteps(1.0, 1e-5), hi.MaxSteps(1.0, 1e-5));
+}
+
+TEST(AccountantTest, SmallerSamplingRateAllowsMoreSteps) {
+  RdpAccountant big(5.0, 0.1), small(5.0, 0.005);
+  EXPECT_GT(small.MaxSteps(1.0, 1e-5), big.MaxSteps(1.0, 1e-5));
+}
+
+TEST(AccountantTest, ImpossibleBudgetGivesZeroSteps) {
+  // ε smaller than the conversion tax at every order.
+  RdpAccountant acct(0.5, 1.0, 4);
+  EXPECT_EQ(acct.MaxSteps(1e-6, 1e-5), 0u);
+}
+
+TEST(AccountantTest, ResetClearsSteps) {
+  RdpAccountant acct(5.0, 0.05);
+  acct.Step(100);
+  acct.Reset();
+  EXPECT_EQ(acct.steps(), 0u);
+}
+
+TEST(AccountantTest, PaperRegimeEpochBudgets) {
+  // Paper defaults on the Power stand-in: B=128, |E|=6594 -> γ ≈ 0.0194,
+  // σ = 5, δ = 1e-5. The ε ∈ {0.5, ..., 3.5} ladder must produce a strictly
+  // increasing, non-trivial epoch budget — this is the mechanism behind the
+  // utility-vs-ε curves of Figs. 3/4.
+  RdpAccountant acct(5.0, 128.0 / 6594.0);
+  const size_t n05 = acct.MaxSteps(0.5, 1e-5);
+  const size_t n35 = acct.MaxSteps(3.5, 1e-5);
+  EXPECT_GT(n05, 10u);
+  EXPECT_GT(n35, n05 * 3);
+}
+
+TEST(CalibrationTest, CalibratedSigmaMeetsBudget) {
+  const double eps = 1.0, delta = 1e-5;
+  for (size_t queries : {1ul, 10ul, 100ul}) {
+    const double sigma = CalibrateNoiseMultiplier(eps, delta, queries);
+    RdpAccountant acct(sigma, 1.0);
+    acct.Step(queries);
+    EXPECT_LE(acct.GetEpsilon(delta).epsilon, eps * 1.001)
+        << "queries=" << queries;
+  }
+}
+
+TEST(CalibrationTest, SigmaGrowsWithQueries) {
+  const double s1 = CalibrateNoiseMultiplier(1.0, 1e-5, 1);
+  const double s10 = CalibrateNoiseMultiplier(1.0, 1e-5, 10);
+  const double s100 = CalibrateNoiseMultiplier(1.0, 1e-5, 100);
+  EXPECT_LT(s1, s10);
+  EXPECT_LT(s10, s100);
+}
+
+TEST(CalibrationTest, SigmaShrinksWithEpsilon) {
+  const double tight = CalibrateNoiseMultiplier(0.5, 1e-5, 10);
+  const double loose = CalibrateNoiseMultiplier(3.5, 1e-5, 10);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(CalibrationTest, NearTightCalibration) {
+  // The binary search should land close to the budget, not far under it.
+  const double sigma = CalibrateNoiseMultiplier(2.0, 1e-5, 50);
+  RdpAccountant acct(sigma, 1.0);
+  acct.Step(50);
+  EXPECT_GT(acct.GetEpsilon(1e-5).epsilon, 1.8);
+  EXPECT_LE(acct.GetEpsilon(1e-5).epsilon, 2.0 * 1.001);
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,84 @@
+#include "dp/gaussian_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sepriv {
+namespace {
+
+TEST(GaussianMechanismTest, ZeroStddevIsIdentity) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  Rng rng(1);
+  AddGaussianNoise(v, 0.0, rng);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(GaussianMechanismTest, NoiseMomentsMatch) {
+  const size_t n = 100000;
+  std::vector<double> v(n, 0.0);
+  Rng rng(2);
+  AddGaussianNoise(v, 3.0, rng);
+  double sum = 0.0, sumsq = 0.0;
+  for (double x : v) {
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 9.0, 0.2);
+}
+
+TEST(GaussianMechanismTest, RowSelectivePerturbation) {
+  Matrix m(5, 4);
+  Rng rng(3);
+  const std::vector<uint32_t> rows = {1, 3};
+  AddGaussianNoiseToRows(m, rows, 1.0, rng);
+  // Untouched rows remain exactly zero — the Ñ(·) property of Eq. (9).
+  for (uint32_t r : {0u, 2u, 4u}) {
+    EXPECT_EQ(m.RowNorm(r), 0.0);
+  }
+  for (uint32_t r : rows) {
+    EXPECT_GT(m.RowNorm(r), 0.0);
+  }
+}
+
+TEST(GaussianMechanismTest, AllRowsPerturbed) {
+  Matrix m(6, 3);
+  Rng rng(4);
+  AddGaussianNoiseToAllRows(m, 1.0, rng);
+  for (size_t r = 0; r < m.rows(); ++r) EXPECT_GT(m.RowNorm(r), 0.0);
+}
+
+TEST(GaussianMechanismTest, StddevStruct) {
+  GaussianMechanism mech{2.0, 5.0};  // sensitivity 2, multiplier 5
+  EXPECT_DOUBLE_EQ(mech.Stddev(), 10.0);
+  // RDP is independent of sensitivity (it cancels): α/(2σ²).
+  EXPECT_DOUBLE_EQ(mech.Rdp(4.0), 4.0 / 50.0);
+}
+
+TEST(GaussianMechanismTest, DeterministicGivenSeed) {
+  std::vector<double> a = {0.0, 0.0}, b = {0.0, 0.0};
+  Rng r1(9), r2(9);
+  AddGaussianNoise(a, 1.0, r1);
+  AddGaussianNoise(b, 1.0, r2);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+}
+
+TEST(GaussianMechanismDeathTest, NegativeStddevAborts) {
+  std::vector<double> v = {1.0};
+  Rng rng(1);
+  EXPECT_DEATH(AddGaussianNoise(v, -1.0, rng), "non-negative");
+}
+
+TEST(GaussianMechanismDeathTest, RowOutOfRangeAborts) {
+  Matrix m(2, 2);
+  Rng rng(1);
+  const std::vector<uint32_t> rows = {5};
+  EXPECT_DEATH(AddGaussianNoiseToRows(m, rows, 1.0, rng), "out of range");
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,105 @@
+#include "dp/rdp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sepriv {
+namespace {
+
+TEST(RdpTest, GaussianRdpFormula) {
+  // ε(α) = α / (2σ²).
+  EXPECT_DOUBLE_EQ(GaussianRdp(5.0, 2.0), 2.0 / 50.0);
+  EXPECT_DOUBLE_EQ(GaussianRdp(1.0, 10.0), 5.0);
+}
+
+TEST(RdpTest, GaussianRdpLinearInAlpha) {
+  const double sigma = 3.0;
+  EXPECT_NEAR(GaussianRdp(sigma, 8.0), 2.0 * GaussianRdp(sigma, 4.0), 1e-12);
+}
+
+TEST(RdpTest, GaussianRdpDecreasesWithNoise) {
+  EXPECT_GT(GaussianRdp(1.0, 4.0), GaussianRdp(2.0, 4.0));
+  EXPECT_GT(GaussianRdp(2.0, 4.0), GaussianRdp(8.0, 4.0));
+}
+
+TEST(RdpTest, ConversionUsesTheMironovFormula) {
+  // Single order: ε = rdp + log(1/δ)/(α-1) exactly (Theorem 1).
+  const std::vector<double> orders = {5.0};
+  const std::vector<double> rdp = {0.7};
+  const double delta = 1e-5;
+  const DpBound b = RdpToDp(orders, rdp, delta);
+  EXPECT_NEAR(b.epsilon, 0.7 + std::log(1e5) / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(b.best_order, 5.0);
+}
+
+TEST(RdpTest, ConversionPicksBestOrder) {
+  // Low orders pay a big log(1/δ)/(α-1) tax; high orders pay more RDP.
+  std::vector<double> orders, rdp;
+  for (int a = 2; a <= 64; ++a) {
+    orders.push_back(a);
+    rdp.push_back(GaussianRdp(5.0, a));
+  }
+  const DpBound b = RdpToDp(orders, rdp, 1e-5);
+  // The optimum must be interior (neither extreme).
+  EXPECT_GT(b.best_order, 2.0);
+  EXPECT_LT(b.best_order, 64.0);
+  // And at least as tight as any single-order bound we test directly.
+  for (size_t i = 0; i < orders.size(); ++i) {
+    EXPECT_LE(b.epsilon,
+              rdp[i] + std::log(1e5) / (orders[i] - 1.0) + 1e-12);
+  }
+}
+
+TEST(RdpTest, EpsilonMonotoneInDelta) {
+  std::vector<double> orders, rdp;
+  for (int a = 2; a <= 32; ++a) {
+    orders.push_back(a);
+    rdp.push_back(0.01 * a);
+  }
+  EXPECT_GT(RdpToDp(orders, rdp, 1e-7).epsilon,
+            RdpToDp(orders, rdp, 1e-3).epsilon);
+}
+
+TEST(RdpTest, DeltaEpsilonRoundTrip) {
+  std::vector<double> orders, rdp;
+  for (int a = 2; a <= 64; ++a) {
+    orders.push_back(a);
+    rdp.push_back(GaussianRdp(4.0, a) * 50.0);  // 50 composed steps
+  }
+  const double delta = 1e-5;
+  const double eps = RdpToDp(orders, rdp, delta).epsilon;
+  // At that ε the achievable δ must be <= the δ we started from.
+  EXPECT_LE(RdpToDelta(orders, rdp, eps), delta * (1.0 + 1e-9));
+  // And at a slightly smaller ε it must exceed it.
+  EXPECT_GT(RdpToDelta(orders, rdp, eps * 0.9), delta);
+}
+
+TEST(RdpTest, DeltaClampedToOne) {
+  EXPECT_LE(RdpToDelta({2.0}, {100.0}, 0.0), 1.0);
+}
+
+TEST(RdpTest, DeltaMonotoneInEpsilon) {
+  std::vector<double> orders = {2, 4, 8, 16, 32};
+  std::vector<double> rdp = {0.1, 0.2, 0.4, 0.8, 1.6};
+  EXPECT_GT(RdpToDelta(orders, rdp, 0.5), RdpToDelta(orders, rdp, 1.0));
+  EXPECT_GT(RdpToDelta(orders, rdp, 1.0), RdpToDelta(orders, rdp, 2.0));
+}
+
+TEST(RdpTest, ZeroRdpGivesZeroEpsilonAtLargeOrders) {
+  // With rdp = 0 at a huge order, ε -> log(1/δ)/(α-1) -> ~0.
+  const DpBound b = RdpToDp({1e9}, {0.0}, 1e-5);
+  EXPECT_LT(b.epsilon, 1e-6);
+}
+
+TEST(RdpDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH(GaussianRdp(0.0, 2.0), "positive");
+  EXPECT_DEATH(GaussianRdp(1.0, 1.0), "exceed 1");
+  EXPECT_DEATH(RdpToDp({2.0}, {0.1, 0.2}, 1e-5), "size mismatch");
+  EXPECT_DEATH(RdpToDp({2.0}, {0.1}, 2.0), "delta");
+  EXPECT_DEATH(RdpToDelta({}, {}, 1.0), "empty");
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,102 @@
+#include "dp/subsampled_rdp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rdp.h"
+
+namespace sepriv {
+namespace {
+
+TEST(SubsampledRdpTest, FullSamplingEqualsUnamplified) {
+  for (int alpha : {2, 4, 16}) {
+    EXPECT_DOUBLE_EQ(SubsampledGaussianRdp(1.0, 5.0, alpha),
+                     GaussianRdp(5.0, alpha));
+  }
+}
+
+TEST(SubsampledRdpTest, AmplificationNeverExceedsUnamplified) {
+  for (double q : {0.001, 0.01, 0.1, 0.5}) {
+    for (int alpha : {2, 3, 8, 32, 64}) {
+      EXPECT_LE(SubsampledGaussianRdp(q, 5.0, alpha),
+                GaussianRdp(5.0, alpha) + 1e-15)
+          << "q=" << q << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(SubsampledRdpTest, SmallRateGivesStrongAmplification) {
+  const double amplified = SubsampledGaussianRdp(0.001, 5.0, 8);
+  const double plain = GaussianRdp(5.0, 8);
+  EXPECT_LT(amplified, plain / 100.0);
+}
+
+TEST(SubsampledRdpTest, MonotoneInSamplingRate) {
+  for (int alpha : {2, 4, 16, 64}) {
+    double prev = 0.0;
+    for (double q : {0.001, 0.004, 0.02, 0.1, 0.3}) {
+      const double eps = SubsampledGaussianRdp(q, 5.0, alpha);
+      EXPECT_GE(eps, prev - 1e-15) << "q=" << q << " alpha=" << alpha;
+      prev = eps;
+    }
+  }
+}
+
+TEST(SubsampledRdpTest, MonotoneInNoise) {
+  for (double q : {0.01, 0.1}) {
+    EXPECT_GT(SubsampledGaussianRdp(q, 1.0, 8),
+              SubsampledGaussianRdp(q, 2.0, 8));
+    EXPECT_GT(SubsampledGaussianRdp(q, 2.0, 8),
+              SubsampledGaussianRdp(q, 8.0, 8));
+  }
+}
+
+TEST(SubsampledRdpTest, QuadraticScalingAtSmallRates) {
+  // For γ -> 0 the j=2 term dominates: ε'(α) ≈ γ² C(α,2) c / (α-1),
+  // so quartering γ should divide ε' by ~16.
+  const double e1 = SubsampledGaussianRdp(0.004, 5.0, 8);
+  const double e2 = SubsampledGaussianRdp(0.001, 5.0, 8);
+  // The γ³ terms contribute ~10% at the larger rate, so the ratio slightly
+  // exceeds the pure-quadratic 16.
+  EXPECT_NEAR(e1 / e2, 16.0, 2.0);
+}
+
+TEST(SubsampledRdpTest, MatchesHandComputedLeadingTerm) {
+  // At tiny γ and small σ-RDP, ε'(α) ≈ log1p(γ²C(α,2)·min(4(e^{ε2}-1),
+  // 2e^{ε2}))/(α-1). Verify against a direct evaluation for α = 4.
+  const double q = 1e-3, sigma = 5.0;
+  const int alpha = 4;
+  const double eps2 = 2.0 / (2.0 * sigma * sigma);
+  const double min_term =
+      std::min(4.0 * std::expm1(eps2), 2.0 * std::exp(eps2));
+  const double lead = std::log1p(q * q * 6.0 * min_term) / 3.0;  // C(4,2)=6
+  const double full = SubsampledGaussianRdp(q, sigma, alpha);
+  EXPECT_NEAR(full, lead, lead * 0.01);  // higher-order terms are ~γ³
+}
+
+TEST(SubsampledRdpTest, LargeAlphaStaysFinite) {
+  // The log-space evaluation must not overflow even at α = 256 where the
+  // e^{(j-1)ε(j)} factors are astronomically large.
+  const double eps = SubsampledGaussianRdp(0.01, 1.0, 256);
+  EXPECT_TRUE(std::isfinite(eps));
+  EXPECT_GT(eps, 0.0);
+}
+
+TEST(SubsampledRdpTest, PaperParameterRegime) {
+  // Paper defaults: σ = 5, B = 128, |E| = 31421 (Chameleon) -> γ ≈ 0.00407.
+  const double gamma = 128.0 / 31421.0;
+  const double eps = SubsampledGaussianRdp(gamma, 5.0, 32);
+  EXPECT_GT(eps, 0.0);
+  EXPECT_LT(eps, 1e-3);  // strong amplification in this regime
+}
+
+TEST(SubsampledRdpDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH(SubsampledGaussianRdp(0.0, 5.0, 2), "sampling rate");
+  EXPECT_DEATH(SubsampledGaussianRdp(1.5, 5.0, 2), "sampling rate");
+  EXPECT_DEATH(SubsampledGaussianRdp(0.1, -1.0, 2), "positive");
+  EXPECT_DEATH(SubsampledGaussianRdp(0.1, 5.0, 1), "alpha");
+}
+
+}  // namespace
+}  // namespace sepriv

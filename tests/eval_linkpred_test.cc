@@ -1,0 +1,115 @@
+#include "eval/link_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+TEST(LinkPredSplitTest, SizesRespectFraction) {
+  Graph g = BarabasiAlbert(300, 4, 3);
+  LinkPredictionOptions opts;
+  opts.test_fraction = 0.1;
+  const auto split = MakeLinkPredictionSplit(g, opts);
+  const size_t expect_test = static_cast<size_t>(g.num_edges() * 0.1);
+  EXPECT_EQ(split.test_pos.size(), expect_test);
+  EXPECT_EQ(split.test_neg.size(), expect_test);
+  EXPECT_EQ(split.train_graph.num_edges() + split.test_pos.size(),
+            g.num_edges());
+  EXPECT_EQ(split.train_graph.num_nodes(), g.num_nodes());
+}
+
+TEST(LinkPredSplitTest, TestEdgesNotInTrainGraph) {
+  Graph g = BarabasiAlbert(200, 3, 5);
+  const auto split = MakeLinkPredictionSplit(g);
+  for (const Edge& e : split.test_pos) {
+    EXPECT_FALSE(split.train_graph.HasEdge(e.u, e.v));
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));  // but they are real edges
+  }
+}
+
+TEST(LinkPredSplitTest, NegativesAreTrueNonEdges) {
+  Graph g = BarabasiAlbert(200, 3, 7);
+  const auto split = MakeLinkPredictionSplit(g);
+  for (const Edge& e : split.test_neg) {
+    EXPECT_FALSE(g.HasEdge(e.u, e.v));
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(LinkPredSplitTest, NegativesDistinct) {
+  Graph g = BarabasiAlbert(200, 3, 9);
+  const auto split = MakeLinkPredictionSplit(g);
+  std::unordered_set<uint64_t> seen;
+  for (const Edge& e : split.test_neg) {
+    const uint64_t key = (static_cast<uint64_t>(e.u) << 32) | e.v;
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST(LinkPredSplitTest, DeterministicPerSeed) {
+  Graph g = BarabasiAlbert(150, 3, 11);
+  LinkPredictionOptions opts;
+  opts.seed = 31;
+  const auto a = MakeLinkPredictionSplit(g, opts);
+  const auto b = MakeLinkPredictionSplit(g, opts);
+  ASSERT_EQ(a.test_pos.size(), b.test_pos.size());
+  for (size_t i = 0; i < a.test_pos.size(); ++i) {
+    EXPECT_EQ(a.test_pos[i], b.test_pos[i]);
+  }
+}
+
+TEST(ScorePairTest, InnerProductVariants) {
+  Matrix w_in(3, 2), w_out(3, 2);
+  w_in(0, 0) = 1.0;
+  w_in(1, 0) = 2.0;
+  w_out(1, 0) = 3.0;
+  w_out(0, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(ScorePair(w_in, w_out, 0, 1, PairScore::kInnerProductInIn),
+                   2.0);
+  // Symmetrised in-out: 0.5·(w_in0·w_out1 + w_in1·w_out0) = 0.5(3 + 8).
+  EXPECT_DOUBLE_EQ(ScorePair(w_in, w_out, 0, 1, PairScore::kInnerProductInOut),
+                   5.5);
+  EXPECT_DOUBLE_EQ(ScorePair(w_in, w_out, 0, 1, PairScore::kNegativeDistance),
+                   -1.0);
+}
+
+TEST(LinkPredAucTest, OracleEmbeddingScoresHigh) {
+  // Use adjacency rows of the FULL graph as the embedding: test positives
+  // share neighbourhoods far more than random non-edges, so common-neighbour
+  // inner products separate them well on a clustered graph.
+  Graph g = PowerLawCluster(300, 5, 0.8, 13);
+  const auto split = MakeLinkPredictionSplit(g);
+  Matrix emb(g.num_nodes(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (NodeId u : g.Neighbors(v)) emb(v, u) = 1.0;
+  const double auc =
+      LinkPredictionAuc(split, emb, emb, PairScore::kInnerProductInIn);
+  EXPECT_GT(auc, 0.8);
+}
+
+TEST(LinkPredAucTest, RandomEmbeddingNearChance) {
+  Graph g = BarabasiAlbert(200, 3, 17);
+  const auto split = MakeLinkPredictionSplit(g);
+  Rng rng(18);
+  Matrix emb(g.num_nodes(), 16);
+  emb.FillGaussian(rng);
+  const double auc = LinkPredictionAuc(split, emb, emb);
+  EXPECT_NEAR(auc, 0.5, 0.15);
+}
+
+TEST(LinkPredSplitDeathTest, BadFractionAborts) {
+  Graph g = PathGraph(10);
+  LinkPredictionOptions opts;
+  opts.test_fraction = 0.0;
+  EXPECT_DEATH(MakeLinkPredictionSplit(g, opts), "fraction");
+  opts.test_fraction = 1.0;
+  EXPECT_DEATH(MakeLinkPredictionSplit(g, opts), "fraction");
+}
+
+}  // namespace
+}  // namespace sepriv

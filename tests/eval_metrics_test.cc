@@ -1,0 +1,69 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sepriv {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(AucFromScores({3.0, 4.0, 5.0}, {0.0, 1.0, 2.0}), 1.0);
+}
+
+TEST(AucTest, PerfectInversion) {
+  EXPECT_DOUBLE_EQ(AucFromScores({0.0, 1.0}, {2.0, 3.0}), 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  EXPECT_DOUBLE_EQ(AucFromScores({1.0, 1.0, 1.0}, {1.0, 1.0}), 0.5);
+}
+
+TEST(AucTest, HandComputedMixedCase) {
+  // pos = {0.8, 0.4}, neg = {0.6, 0.2}.
+  // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4.
+  EXPECT_DOUBLE_EQ(AucFromScores({0.8, 0.4}, {0.6, 0.2}), 0.75);
+}
+
+TEST(AucTest, TieBetweenClassesCountsHalf) {
+  // pos = {0.5}, neg = {0.5, 0.0}: pair1 tie (0.5), pair2 win (1) -> 0.75.
+  EXPECT_DOUBLE_EQ(AucFromScores({0.5}, {0.5, 0.0}), 0.75);
+}
+
+TEST(AucTest, EmptyInputsGiveHalf) {
+  EXPECT_DOUBLE_EQ(AucFromScores({}, {1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(AucFromScores({1.0}, {}), 0.5);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  const std::vector<double> pos = {0.1, 0.7, 0.3};
+  const std::vector<double> neg = {0.2, 0.05, 0.4};
+  const double base = AucFromScores(pos, neg);
+  std::vector<double> pos2, neg2;
+  for (double x : pos) pos2.push_back(std::exp(3.0 * x));
+  for (double x : neg) neg2.push_back(std::exp(3.0 * x));
+  EXPECT_DOUBLE_EQ(AucFromScores(pos2, neg2), base);
+}
+
+TEST(AucTest, UnbalancedClassSizes) {
+  std::vector<double> pos = {10.0};
+  std::vector<double> neg;
+  for (int i = 0; i < 99; ++i) neg.push_back(static_cast<double>(i) / 10.0);
+  EXPECT_DOUBLE_EQ(AucFromScores(pos, neg), 1.0);
+}
+
+TEST(SummarizeTest, MeanAndSd) {
+  const RunSummary s = Summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
+  EXPECT_EQ(s.runs, 3);
+}
+
+TEST(SummarizeTest, SingleRun) {
+  const RunSummary s = Summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace sepriv

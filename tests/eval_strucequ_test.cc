@@ -1,0 +1,96 @@
+#include "eval/strucequ.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+/// Embedding whose rows are exactly the adjacency rows: embedding distance
+/// equals structural distance, so StrucEqu must be 1.
+Matrix AdjacencyEmbedding(const Graph& g) {
+  Matrix m(g.num_nodes(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.Neighbors(v)) m(v, u) = 1.0;
+  }
+  return m;
+}
+
+TEST(StrucEquTest, AdjacencyEmbeddingIsPerfect) {
+  Graph g = KarateClub();
+  EXPECT_NEAR(StrucEqu(g, AdjacencyEmbedding(g)), 1.0, 1e-9);
+}
+
+TEST(StrucEquTest, ConstantEmbeddingIsZero) {
+  Graph g = KarateClub();
+  Matrix m(g.num_nodes(), 8, 1.0);
+  EXPECT_DOUBLE_EQ(StrucEqu(g, m), 0.0);  // zero variance -> defined as 0
+}
+
+TEST(StrucEquTest, RandomEmbeddingNearZero) {
+  Graph g = BarabasiAlbert(200, 3, 3);
+  Rng rng(4);
+  Matrix m(g.num_nodes(), 16);
+  m.FillGaussian(rng);
+  EXPECT_NEAR(StrucEqu(g, m), 0.0, 0.1);
+}
+
+TEST(StrucEquTest, ScaledAdjacencyStillPerfect) {
+  // Pearson is scale-invariant; scaling the embedding changes nothing.
+  Graph g = CycleGraph(20);
+  Matrix m = AdjacencyEmbedding(g);
+  m.Scale(7.3);
+  EXPECT_NEAR(StrucEqu(g, m), 1.0, 1e-9);
+}
+
+TEST(StrucEquTest, SampledEstimateTracksExact) {
+  Graph g = BarabasiAlbert(300, 3, 5);
+  Matrix m = AdjacencyEmbedding(g);
+  StrucEquOptions exact_opts;
+  exact_opts.max_pairs = 1u << 30;  // force all pairs
+  StrucEquOptions sampled_opts;
+  sampled_opts.max_pairs = 5000;  // force sampling (44850 pairs exist)
+  const double exact = StrucEqu(g, m, exact_opts);
+  const double sampled = StrucEqu(g, m, sampled_opts);
+  EXPECT_NEAR(sampled, exact, 0.05);
+}
+
+TEST(StrucEquTest, SamplingDeterministicPerSeed) {
+  Graph g = BarabasiAlbert(300, 3, 6);
+  Rng rng(7);
+  Matrix m(g.num_nodes(), 8);
+  m.FillGaussian(rng);
+  StrucEquOptions opts;
+  opts.max_pairs = 2000;
+  opts.seed = 55;
+  EXPECT_DOUBLE_EQ(StrucEqu(g, m, opts), StrucEqu(g, m, opts));
+}
+
+TEST(StrucEquTest, DistinguishesGoodFromCorruptedEmbedding) {
+  Graph g = BarabasiAlbert(150, 4, 8);
+  Matrix good = AdjacencyEmbedding(g);
+  Matrix corrupted = good;
+  Rng rng(9);
+  for (size_t i = 0; i < corrupted.size(); ++i)
+    corrupted.data()[i] += rng.Normal(0.0, 2.0);
+  EXPECT_GT(StrucEqu(g, good), StrucEqu(g, corrupted) + 0.2);
+}
+
+TEST(StrucEquTest, TinyGraphEdgeCases) {
+  Graph g = PathGraph(2);
+  Matrix m(2, 4);
+  EXPECT_DOUBLE_EQ(StrucEqu(g, m), 0.0);  // single pair: no variance
+}
+
+TEST(StrucEquDeathTest, RowMismatchAborts) {
+  Graph g = PathGraph(5);
+  Matrix m(4, 4);
+  EXPECT_DEATH(StrucEqu(g, m), "embedding rows");
+}
+
+}  // namespace
+}  // namespace sepriv

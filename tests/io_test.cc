@@ -1,0 +1,124 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.h"
+
+namespace sepriv {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(IoTest, RoundTripPreservesGraph) {
+  const Graph original = ErdosRenyiGnm(60, 150, 5);
+  const std::string path = TempPath("roundtrip.edges");
+  ASSERT_TRUE(WriteEdgeList(original, path));
+  const auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  for (const Edge& e : original.Edges()) {
+    EXPECT_TRUE(loaded->HasEdge(e.u, e.v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, CommentsAndBlankLinesSkipped) {
+  const std::string path = TempPath("comments.edges");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\n% konect style\n0 1\n1 2\n";
+  }
+  const auto g = ReadEdgeList(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, NonContiguousIdsRemappedOnRequest) {
+  const std::string path = TempPath("sparseids.edges");
+  {
+    std::ofstream out(path);
+    out << "1000 2000\n2000 30000\n";
+  }
+  const auto g = ReadEdgeList(path, /*remap_ids=*/true);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, LiteralIdsKeepIsolatedNodes) {
+  const std::string path = TempPath("literal.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1\n5 6\n";
+  }
+  const auto g = ReadEdgeList(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_nodes(), 7u);  // nodes 2..4 exist but are isolated
+  EXPECT_TRUE(g->HasEdge(5, 6));
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, AbsurdLiteralIdRejected) {
+  const std::string path = TempPath("absurd.edges");
+  {
+    std::ofstream out(path);
+    out << "0 999999999999\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadEdgeList("/nonexistent/path/to.edges").has_value());
+}
+
+TEST_F(IoTest, MalformedLineReturnsNullopt) {
+  const std::string path = TempPath("malformed.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot numbers\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, SelfLoopsInFileDropped) {
+  const std::string path = TempPath("selfloop.edges");
+  {
+    std::ofstream out(path);
+    out << "0 0\n0 1\n";
+  }
+  const auto g = ReadEdgeList(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, WriteToUnwritablePathFails) {
+  Graph g = PathGraph(3);
+  EXPECT_FALSE(WriteEdgeList(g, "/nonexistent/dir/out.edges"));
+}
+
+TEST_F(IoTest, WrittenFileStartsWithSummaryComment) {
+  const std::string path = TempPath("header.edges");
+  ASSERT_TRUE(WriteEdgeList(PathGraph(3), path));
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first[0], '#');
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/stats.h"
+
+namespace sepriv {
+namespace {
+
+TEST(MathTest, SigmoidAtZeroIsHalf) { EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5); }
+
+TEST(MathTest, SigmoidSymmetry) {
+  for (double x : {0.1, 1.0, 3.7, 10.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(MathTest, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(Sigmoid(708.0)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-708.0)));
+}
+
+TEST(MathTest, Log1pExpMatchesDirectInSafeRange) {
+  for (double x = -20.0; x <= 20.0; x += 0.37) {
+    EXPECT_NEAR(Log1pExp(x), std::log1p(std::exp(x)), 1e-10);
+  }
+}
+
+TEST(MathTest, Log1pExpAsymptotics) {
+  EXPECT_NEAR(Log1pExp(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(Log1pExp(-100.0), std::exp(-100.0), 1e-50);
+}
+
+TEST(MathTest, LogSigmoidConsistentWithSigmoid) {
+  for (double x : {-5.0, -1.0, 0.0, 2.0, 8.0}) {
+    EXPECT_NEAR(LogSigmoid(x), std::log(Sigmoid(x)), 1e-10);
+  }
+}
+
+TEST(MathTest, LogSigmoidStable) {
+  EXPECT_NEAR(LogSigmoid(-1000.0), -1000.0, 1e-9);
+  EXPECT_NEAR(LogSigmoid(1000.0), 0.0, 1e-12);
+}
+
+TEST(MathTest, LogBinomialSmallCases) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-10);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-10);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-6);
+}
+
+TEST(MathTest, LogBinomialOutOfRangeIsMinusInfinity) {
+  EXPECT_EQ(LogBinomial(5, 6), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(LogBinomial(5, -1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, LogBinomialSymmetry) {
+  for (int n : {10, 30, 64}) {
+    for (int k = 0; k <= n; k += 3) {
+      EXPECT_NEAR(LogBinomial(n, k), LogBinomial(n, n - k), 1e-8);
+    }
+  }
+}
+
+TEST(MathTest, LogSumExpBasics) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1.0}), 1.0, 1e-12);
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, LogSumExpLargeMagnitudes) {
+  // Without the max-shift this would overflow.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp({-1000.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(MathTest, LogAddExpMatchesLogSumExp) {
+  EXPECT_NEAR(LogAddExp(3.0, 4.0), LogSumExp({3.0, 4.0}), 1e-12);
+  EXPECT_NEAR(LogAddExp(0.0, -50.0), LogSumExp({0.0, -50.0}), 1e-12);
+}
+
+TEST(MathTest, DotAndNorms) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 3), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a, 3), 14.0);
+  EXPECT_NEAR(Norm(a, 3), std::sqrt(14.0), 1e-12);
+}
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, SampleStdDevKnownValue) {
+  // Var of {2,4,4,4,5,5,7,9} is 4.571... with n-1 denominator.
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, SampleStdDevDegenerate) {
+  EXPECT_DOUBLE_EQ(SampleStdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {-2, -4, -6, -8}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonShiftAndScaleInvariant) {
+  const std::vector<double> x = {0.3, 1.7, -2.0, 5.5, 0.0};
+  const std::vector<double> y = {1.0, 0.4, 2.2, -3.0, 0.9};
+  const double base = PearsonCorrelation(x, y);
+  std::vector<double> x2;
+  for (double v : x) x2.push_back(10.0 * v - 7.0);
+  EXPECT_NEAR(PearsonCorrelation(x2, y), base, 1e-10);
+}
+
+TEST(StatsTest, PearsonDegenerateReturnsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 5, 9}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(StatsTest, PearsonKnownValue) {
+  // Hand-computed: x={1,2,3}, y={1,3,2} -> r = 0.5.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {1, 3, 2}), 0.5, 1e-12);
+}
+
+TEST(StatsTest, AccumulatorMatchesBatchPearson) {
+  const std::vector<double> x = {1.2, -0.7, 3.3, 2.1, 0.0, -5.0, 4.2};
+  const std::vector<double> y = {0.3, 1.1, -2.0, 0.7, 0.9, 2.5, -1.0};
+  PearsonAccumulator acc;
+  for (size_t i = 0; i < x.size(); ++i) acc.Add(x[i], y[i]);
+  EXPECT_NEAR(acc.Correlation(), PearsonCorrelation(x, y), 1e-12);
+  EXPECT_EQ(acc.count(), x.size());
+}
+
+TEST(StatsTest, AccumulatorStreamingStability) {
+  // Large offset stresses the online update; Welford should stay accurate.
+  PearsonAccumulator acc;
+  std::vector<double> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    const double xv = 1e9 + i;
+    const double yv = 1e9 + 2.0 * i;
+    x.push_back(xv);
+    y.push_back(yv);
+    acc.Add(xv, yv);
+  }
+  EXPECT_NEAR(acc.Correlation(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,116 @@
+#include "nn/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+template <typename LayerT>
+void CheckBackwardAgainstFiniteDifference(uint64_t seed) {
+  Rng rng(seed);
+  LayerT layer;
+  Matrix x(3, 4);
+  x.FillGaussian(rng);
+  layer.Forward(x);
+  Matrix gy(3, 4, 1.0);
+  const Matrix gx = layer.Backward(gy);
+  const double h = 1e-6;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      Matrix xp = x, xm = x;
+      xp(i, j) += h;
+      xm(i, j) -= h;
+      LayerT fresh;
+      double up = 0.0, dn = 0.0;
+      {
+        const Matrix y = fresh.Forward(xp);
+        for (size_t t = 0; t < y.size(); ++t) up += y.data()[t];
+      }
+      {
+        const Matrix y = fresh.Forward(xm);
+        for (size_t t = 0; t < y.size(); ++t) dn += y.data()[t];
+      }
+      EXPECT_NEAR(gx(i, j), (up - dn) / (2 * h), 1e-4)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  ReluLayer relu;
+  Matrix x(1, 4);
+  x(0, 0) = -1.0;
+  x(0, 1) = 0.0;
+  x(0, 2) = 2.0;
+  x(0, 3) = -0.1;
+  const Matrix y = relu.Forward(x);
+  EXPECT_EQ(y(0, 0), 0.0);
+  EXPECT_EQ(y(0, 1), 0.0);
+  EXPECT_EQ(y(0, 2), 2.0);
+  EXPECT_EQ(y(0, 3), 0.0);
+}
+
+TEST(ReluTest, BackwardMasksGradient) {
+  ReluLayer relu;
+  Matrix x(1, 2);
+  x(0, 0) = -1.0;
+  x(0, 1) = 3.0;
+  relu.Forward(x);
+  Matrix gy(1, 2, 5.0);
+  const Matrix gx = relu.Backward(gy);
+  EXPECT_EQ(gx(0, 0), 0.0);
+  EXPECT_EQ(gx(0, 1), 5.0);
+}
+
+TEST(ReluTest, FiniteDifference) {
+  // Note: ReLU is non-differentiable at 0; gaussian inputs avoid that point
+  // with probability 1.
+  CheckBackwardAgainstFiniteDifference<ReluLayer>(11);
+}
+
+TEST(SigmoidLayerTest, ForwardMatchesScalarSigmoid) {
+  SigmoidLayer s;
+  Matrix x(1, 3);
+  x(0, 0) = 0.0;
+  x(0, 1) = 2.0;
+  x(0, 2) = -2.0;
+  const Matrix y = s.Forward(x);
+  EXPECT_NEAR(y(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(y(0, 1), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(y(0, 1) + y(0, 2), 1.0, 1e-12);
+}
+
+TEST(SigmoidLayerTest, FiniteDifference) {
+  CheckBackwardAgainstFiniteDifference<SigmoidLayer>(12);
+}
+
+TEST(TanhLayerTest, ForwardRange) {
+  TanhLayer t;
+  Matrix x(1, 3);
+  x(0, 0) = -10.0;
+  x(0, 1) = 0.0;
+  x(0, 2) = 10.0;
+  const Matrix y = t.Forward(x);
+  EXPECT_NEAR(y(0, 0), -1.0, 1e-6);
+  EXPECT_EQ(y(0, 1), 0.0);
+  EXPECT_NEAR(y(0, 2), 1.0, 1e-6);
+}
+
+TEST(TanhLayerTest, FiniteDifference) {
+  CheckBackwardAgainstFiniteDifference<TanhLayer>(13);
+}
+
+TEST(ActivationDeathTest, BackwardShapeMismatchAborts) {
+  ReluLayer relu;
+  Matrix x(2, 2);
+  relu.Forward(x);
+  Matrix bad(3, 2, 1.0);
+  EXPECT_DEATH(relu.Backward(bad), "shape mismatch");
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,110 @@
+#include "nn/gcn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+TEST(GcnTest, SelfLoopOnlyForIsolatedNode) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});  // node 2 isolated
+  NormalizedAdjacency a_hat(g, true);
+  Matrix x(3, 1);
+  x(2, 0) = 4.0;
+  const Matrix y = a_hat.Multiply(x);
+  // Isolated node with self-loop: degree 1, weight 1/1 -> value preserved.
+  EXPECT_NEAR(y(2, 0), 4.0, 1e-12);
+}
+
+TEST(GcnTest, HandComputedPathPropagation) {
+  Graph g = PathGraph(2);  // single edge 0-1
+  NormalizedAdjacency a_hat(g, true);
+  Matrix x(2, 1);
+  x(0, 0) = 1.0;
+  const Matrix y = a_hat.Multiply(x);
+  // d̃ = 2 for both. y0 = x0/2, y1 = x0/sqrt(2·2) = 0.5.
+  EXPECT_NEAR(y(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(y(1, 0), 0.5, 1e-12);
+}
+
+TEST(GcnTest, ConstantVectorOnRegularGraphIsInvariant) {
+  // On a k-regular graph with self-loops, Â·1 = 1 exactly.
+  Graph g = CycleGraph(10);  // 2-regular
+  NormalizedAdjacency a_hat(g, true);
+  Matrix ones(10, 1, 1.0);
+  const Matrix y = a_hat.Multiply(ones);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(y(i, 0), 1.0, 1e-12);
+}
+
+TEST(GcnTest, OperatorIsSymmetric) {
+  // <Âx, y> == <x, Ây> for the symmetric normalisation.
+  Graph g = KarateClub();
+  NormalizedAdjacency a_hat(g, true);
+  Rng rng(3);
+  Matrix x(g.num_nodes(), 1), y(g.num_nodes(), 1);
+  x.FillGaussian(rng);
+  y.FillGaussian(rng);
+  const Matrix ax = a_hat.Multiply(x);
+  const Matrix ay = a_hat.Multiply(y);
+  double lhs = 0.0, rhs = 0.0;
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    lhs += ax(i, 0) * y(i, 0);
+    rhs += x(i, 0) * ay(i, 0);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(GcnTest, WithoutSelfLoopsIsolatedRowIsZero) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  NormalizedAdjacency a(g, false);
+  Matrix x(3, 2, 1.0);
+  const Matrix y = a.Multiply(x);
+  EXPECT_EQ(y(2, 0), 0.0);
+  EXPECT_GT(y(0, 0), 0.0);
+}
+
+TEST(GcnTest, SpectralRadiusAtMostOne) {
+  // Power iteration on Â must not blow up (λ_max <= 1).
+  Graph g = BarabasiAlbert(100, 3, 5);
+  NormalizedAdjacency a_hat(g, true);
+  Rng rng(7);
+  Matrix v(g.num_nodes(), 1);
+  v.FillGaussian(rng);
+  double prev_norm = v.FrobeniusNorm();
+  for (int it = 0; it < 30; ++it) {
+    v = a_hat.Multiply(v);
+    const double norm = v.FrobeniusNorm();
+    EXPECT_LE(norm, prev_norm * (1.0 + 1e-9));
+    prev_norm = norm;
+  }
+}
+
+TEST(RowNormalizeTest, UnitRows) {
+  Rng rng(9);
+  Matrix m(5, 4);
+  m.FillGaussian(rng);
+  RowNormalizeInPlace(m);
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(m.RowNorm(i), 1.0, 1e-12);
+}
+
+TEST(RowNormalizeTest, ZeroRowsLeftIntact) {
+  Matrix m(2, 3);
+  m(0, 0) = 2.0;
+  RowNormalizeInPlace(m);
+  EXPECT_NEAR(m.RowNorm(0), 1.0, 1e-12);
+  EXPECT_EQ(m.RowNorm(1), 0.0);
+}
+
+TEST(GcnDeathTest, RowCountMismatchAborts) {
+  Graph g = PathGraph(4);
+  NormalizedAdjacency a_hat(g);
+  Matrix x(3, 2);
+  EXPECT_DEATH(a_hat.Multiply(x), "rows");
+}
+
+}  // namespace
+}  // namespace sepriv

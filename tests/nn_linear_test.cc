@@ -1,0 +1,152 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+/// Scalar loss L = sum of elements of Forward(x); its logit-gradient is all
+/// ones, which makes finite-difference checking straightforward.
+double SumForward(Linear& layer, const Matrix& x) {
+  const Matrix y = layer.Forward(x);
+  double s = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) s += y.data()[i];
+  return s;
+}
+
+TEST(LinearTest, ForwardHandComputed) {
+  Rng rng(1);
+  Linear layer(2, 2, rng);
+  layer.w()(0, 0) = 1.0;
+  layer.w()(0, 1) = 2.0;
+  layer.w()(1, 0) = 3.0;
+  layer.w()(1, 1) = 4.0;
+  layer.b()(0, 0) = 0.5;
+  layer.b()(0, 1) = -0.5;
+  Matrix x(1, 2);
+  x(0, 0) = 1.0;
+  x(0, 1) = 1.0;
+  const Matrix y = layer.Forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 4.5);
+  EXPECT_DOUBLE_EQ(y(0, 1), 5.5);
+}
+
+TEST(LinearTest, WeightGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Linear layer(3, 4, rng);
+  Matrix x(5, 3);
+  x.FillGaussian(rng);
+  layer.ZeroGrad();
+  layer.Forward(x);
+  Matrix gy(5, 4, 1.0);
+  layer.Backward(gy);
+  const double h = 1e-6;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      const double orig = layer.w()(i, j);
+      layer.w()(i, j) = orig + h;
+      const double up = SumForward(layer, x);
+      layer.w()(i, j) = orig - h;
+      const double dn = SumForward(layer, x);
+      layer.w()(i, j) = orig;
+      EXPECT_NEAR(layer.grad_w()(i, j), (up - dn) / (2 * h), 1e-5);
+    }
+  }
+}
+
+TEST(LinearTest, BiasGradientIsColumnSumOfUpstream) {
+  Rng rng(3);
+  Linear layer(2, 3, rng);
+  Matrix x(4, 2);
+  x.FillGaussian(rng);
+  layer.ZeroGrad();
+  layer.Forward(x);
+  Matrix gy(4, 3);
+  gy.FillGaussian(rng);
+  layer.Backward(gy);
+  for (size_t j = 0; j < 3; ++j) {
+    double expect = 0.0;
+    for (size_t i = 0; i < 4; ++i) expect += gy(i, j);
+    EXPECT_NEAR(layer.grad_b()(0, j), expect, 1e-12);
+  }
+}
+
+TEST(LinearTest, InputGradientMatchesFiniteDifference) {
+  Rng rng(4);
+  Linear layer(3, 2, rng);
+  Matrix x(2, 3);
+  x.FillGaussian(rng);
+  layer.ZeroGrad();
+  layer.Forward(x);
+  Matrix gy(2, 2, 1.0);
+  const Matrix gx = layer.Backward(gy);
+  const double h = 1e-6;
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      Matrix xp = x, xm = x;
+      xp(i, j) += h;
+      xm(i, j) -= h;
+      const double up = SumForward(layer, xp);
+      const double dn = SumForward(layer, xm);
+      EXPECT_NEAR(gx(i, j), (up - dn) / (2 * h), 1e-5);
+    }
+  }
+}
+
+TEST(LinearTest, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(5);
+  Linear layer(2, 2, rng);
+  Matrix x(1, 2, 1.0);
+  layer.ZeroGrad();
+  layer.Forward(x);
+  Matrix gy(1, 2, 1.0);
+  layer.Backward(gy);
+  const double first = layer.grad_w()(0, 0);
+  layer.Forward(x);
+  layer.Backward(gy);
+  EXPECT_NEAR(layer.grad_w()(0, 0), 2.0 * first, 1e-12);
+}
+
+TEST(LinearTest, ZeroGradResets) {
+  Rng rng(6);
+  Linear layer(2, 2, rng);
+  Matrix x(1, 2, 1.0);
+  layer.Forward(x);
+  Matrix gy(1, 2, 1.0);
+  layer.Backward(gy);
+  layer.ZeroGrad();
+  EXPECT_DOUBLE_EQ(layer.grad_w().FrobeniusNorm(), 0.0);
+  EXPECT_DOUBLE_EQ(layer.grad_b().FrobeniusNorm(), 0.0);
+}
+
+TEST(LinearTest, GradNormScaleAndNoise) {
+  Rng rng(7);
+  Linear layer(3, 3, rng);
+  Matrix x(2, 3, 1.0);
+  layer.ZeroGrad();
+  layer.Forward(x);
+  Matrix gy(2, 3, 1.0);
+  layer.Backward(gy);
+  const double norm_sq = layer.GradSquaredNorm();
+  EXPECT_GT(norm_sq, 0.0);
+  layer.ScaleGrads(0.5);
+  EXPECT_NEAR(layer.GradSquaredNorm(), norm_sq * 0.25, 1e-9);
+  const double before = layer.grad_w()(0, 0);
+  layer.AddGradNoise(1.0, rng);
+  EXPECT_NE(layer.grad_w()(0, 0), before);
+}
+
+TEST(LinearDeathTest, DimensionMismatchAborts) {
+  Rng rng(8);
+  Linear layer(3, 2, rng);
+  Matrix x(1, 4);
+  EXPECT_DEATH(layer.Forward(x), "input dim");
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,137 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+TEST(BceTest, ZeroLogitsGiveLog2) {
+  Matrix logits(2, 2), targets(2, 2);
+  targets(0, 0) = 1.0;
+  targets(1, 1) = 0.0;
+  const LossResult r = BceWithLogits(logits, targets);
+  EXPECT_NEAR(r.value, std::log(2.0), 1e-12);
+}
+
+TEST(BceTest, ConfidentCorrectPredictionNearZeroLoss) {
+  Matrix logits(1, 2), targets(1, 2);
+  logits(0, 0) = 20.0;
+  targets(0, 0) = 1.0;
+  logits(0, 1) = -20.0;
+  targets(0, 1) = 0.0;
+  EXPECT_LT(BceWithLogits(logits, targets).value, 1e-8);
+}
+
+TEST(BceTest, GradientIsSigmoidMinusTargetOverN) {
+  Matrix logits(1, 2), targets(1, 2);
+  logits(0, 0) = 0.7;
+  targets(0, 0) = 1.0;
+  logits(0, 1) = -1.2;
+  targets(0, 1) = 0.0;
+  const LossResult r = BceWithLogits(logits, targets);
+  EXPECT_NEAR(r.grad(0, 0), (Sigmoid(0.7) - 1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(r.grad(0, 1), Sigmoid(-1.2) / 2.0, 1e-12);
+}
+
+TEST(BceTest, GradientMatchesFiniteDifference) {
+  Rng rng(1);
+  Matrix logits(3, 3), targets(3, 3);
+  logits.FillGaussian(rng);
+  for (size_t i = 0; i < targets.size(); ++i)
+    targets.data()[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  const LossResult r = BceWithLogits(logits, targets);
+  const double h = 1e-6;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    Matrix lp = logits, lm = logits;
+    lp.data()[i] += h;
+    lm.data()[i] -= h;
+    const double up = BceWithLogits(lp, targets).value;
+    const double dn = BceWithLogits(lm, targets).value;
+    EXPECT_NEAR(r.grad.data()[i], (up - dn) / (2 * h), 1e-5);
+  }
+}
+
+TEST(BceTest, StableAtExtremeLogits) {
+  Matrix logits(1, 2), targets(1, 2);
+  logits(0, 0) = 500.0;
+  targets(0, 0) = 0.0;  // very wrong prediction
+  logits(0, 1) = -500.0;
+  targets(0, 1) = 1.0;
+  const LossResult r = BceWithLogits(logits, targets);
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_NEAR(r.value, 500.0, 1e-9);
+}
+
+TEST(MseTest, ZeroForIdenticalInputs) {
+  Matrix a(2, 3, 1.5);
+  const LossResult r = MseLoss(a, a);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_DOUBLE_EQ(r.grad.FrobeniusNorm(), 0.0);
+}
+
+TEST(MseTest, HandComputed) {
+  Matrix pred(1, 2), target(1, 2);
+  pred(0, 0) = 3.0;
+  target(0, 0) = 1.0;  // err 2, sq 4
+  pred(0, 1) = 0.0;
+  target(0, 1) = 1.0;  // err -1, sq 1
+  const LossResult r = MseLoss(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, 2.5);
+  EXPECT_DOUBLE_EQ(r.grad(0, 0), 2.0);   // 2·2/2
+  EXPECT_DOUBLE_EQ(r.grad(0, 1), -1.0);  // 2·(-1)/2
+}
+
+TEST(KlTest, StandardNormalIsZero) {
+  Matrix mu(3, 4), logvar(3, 4);
+  const KlResult r = GaussianKl(mu, logvar, 1.0);
+  EXPECT_NEAR(r.value, 0.0, 1e-12);
+  EXPECT_NEAR(r.grad_mu.FrobeniusNorm(), 0.0, 1e-12);
+  EXPECT_NEAR(r.grad_logvar.FrobeniusNorm(), 0.0, 1e-12);
+}
+
+TEST(KlTest, PositiveForNonStandard) {
+  Matrix mu(1, 1), logvar(1, 1);
+  mu(0, 0) = 2.0;
+  const KlResult r = GaussianKl(mu, logvar, 1.0);
+  EXPECT_NEAR(r.value, 2.0, 1e-12);  // 0.5·mu² = 2
+}
+
+TEST(KlTest, GradientsMatchFiniteDifference) {
+  Rng rng(2);
+  Matrix mu(2, 3), logvar(2, 3);
+  mu.FillGaussian(rng, 0.0, 0.5);
+  logvar.FillGaussian(rng, 0.0, 0.3);
+  const double weight = 0.7;
+  const KlResult r = GaussianKl(mu, logvar, weight);
+  const double h = 1e-6;
+  for (size_t i = 0; i < mu.size(); ++i) {
+    Matrix mp = mu, mm = mu;
+    mp.data()[i] += h;
+    mm.data()[i] -= h;
+    const double up = GaussianKl(mp, logvar, weight).value;
+    const double dn = GaussianKl(mm, logvar, weight).value;
+    EXPECT_NEAR(r.grad_mu.data()[i], (up - dn) / (2 * h), 1e-5);
+
+    Matrix lp = logvar, lm = logvar;
+    lp.data()[i] += h;
+    lm.data()[i] -= h;
+    const double up2 = GaussianKl(mu, lp, weight).value;
+    const double dn2 = GaussianKl(mu, lm, weight).value;
+    EXPECT_NEAR(r.grad_logvar.data()[i], (up2 - dn2) / (2 * h), 1e-5);
+  }
+}
+
+TEST(LossDeathTest, ShapeMismatchesAbort) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_DEATH(BceWithLogits(a, b), "shape mismatch");
+  EXPECT_DEATH(MseLoss(a, b), "shape mismatch");
+  EXPECT_DEATH(GaussianKl(a, b, 1.0), "shape mismatch");
+}
+
+}  // namespace
+}  // namespace sepriv

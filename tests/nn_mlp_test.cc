@@ -1,0 +1,136 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+double SumForward(Mlp& mlp, const Matrix& x) {
+  const Matrix y = mlp.Forward(x);
+  double s = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) s += y.data()[i];
+  return s;
+}
+
+TEST(MlpTest, OutputShape) {
+  Rng rng(1);
+  Mlp mlp({5, 8, 3}, rng);
+  Matrix x(7, 5);
+  x.FillGaussian(rng);
+  const Matrix y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(MlpTest, InputGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Mlp mlp({3, 6, 2}, rng);
+  Matrix x(2, 3);
+  x.FillGaussian(rng);
+  mlp.ZeroGrad();
+  mlp.Forward(x);
+  Matrix gy(2, 2, 1.0);
+  const Matrix gx = mlp.Backward(gy);
+  const double h = 1e-6;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      Matrix xp = x, xm = x;
+      xp(i, j) += h;
+      xm(i, j) -= h;
+      EXPECT_NEAR(gx(i, j), (SumForward(mlp, xp) - SumForward(mlp, xm)) / (2 * h),
+                  1e-4);
+    }
+  }
+}
+
+TEST(MlpTest, ParameterGradientSpotCheck) {
+  Rng rng(3);
+  Mlp mlp({2, 4, 1}, rng);
+  Matrix x(3, 2);
+  x.FillGaussian(rng);
+  mlp.ZeroGrad();
+  mlp.Forward(x);
+  Matrix gy(3, 1, 1.0);
+  mlp.Backward(gy);
+  const double h = 1e-6;
+  Linear& first = mlp.layers()[0];
+  const double analytic = first.grad_w()(0, 0);
+  const double orig = first.w()(0, 0);
+  first.w()(0, 0) = orig + h;
+  const double up = SumForward(mlp, x);
+  first.w()(0, 0) = orig - h;
+  const double dn = SumForward(mlp, x);
+  first.w()(0, 0) = orig;
+  EXPECT_NEAR(analytic, (up - dn) / (2 * h), 1e-4);
+}
+
+TEST(MlpTest, ClipGradsBoundsJointNorm) {
+  Rng rng(4);
+  Mlp mlp({4, 8, 2}, rng);
+  Matrix x(10, 4);
+  x.FillGaussian(rng, 0.0, 5.0);
+  mlp.ZeroGrad();
+  mlp.Forward(x);
+  Matrix gy(10, 2, 3.0);
+  mlp.Backward(gy);
+  mlp.ClipGrads(1.0);
+  EXPECT_LE(mlp.GradNorm(), 1.0 + 1e-9);
+}
+
+TEST(MlpTest, ClipIsNoOpWhenWithinBound) {
+  Rng rng(5);
+  Mlp mlp({2, 2}, rng);
+  Matrix x(1, 2, 0.01);
+  mlp.ZeroGrad();
+  mlp.Forward(x);
+  Matrix gy(1, 2, 1e-4);
+  mlp.Backward(gy);
+  const double norm = mlp.GradNorm();
+  mlp.ClipGrads(100.0);
+  EXPECT_DOUBLE_EQ(mlp.GradNorm(), norm);
+}
+
+TEST(MlpTest, LearnsLinearMap) {
+  // Fit y = 2x1 - x2 with a 1-hidden-layer net and Adam.
+  Rng rng(6);
+  Mlp mlp({2, 16, 1}, rng);
+  Matrix x(64, 2), y(64, 1);
+  for (size_t i = 0; i < 64; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y(i, 0) = 2.0 * x(i, 0) - x(i, 1);
+  }
+  double final_loss = 1e9;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    mlp.ZeroGrad();
+    const Matrix pred = mlp.Forward(x);
+    const LossResult l = MseLoss(pred, y);
+    mlp.Backward(l.grad);
+    mlp.AdamStep(0.01);
+    final_loss = l.value;
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+TEST(MlpTest, GradNoisePerturbsAllLayers) {
+  Rng rng(7);
+  Mlp mlp({3, 3, 3}, rng);
+  mlp.ZeroGrad();
+  EXPECT_DOUBLE_EQ(mlp.GradNorm(), 0.0);
+  mlp.AddGradNoise(1.0, rng);
+  EXPECT_GT(mlp.GradNorm(), 0.0);
+  for (Linear& l : mlp.layers()) EXPECT_GT(l.GradSquaredNorm(), 0.0);
+}
+
+TEST(MlpDeathTest, NeedsTwoDims) {
+  Rng rng(8);
+  EXPECT_DEATH(Mlp({5}, rng), "at least");
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -1,0 +1,117 @@
+#include "proximity/proximity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace sepriv {
+namespace {
+
+TEST(EdgeProximityTest, AlignedWithEdgeList) {
+  Graph g = KarateClub();
+  auto p = MakeProximity(ProximityKind::kCommonNeighbors, g);
+  const EdgeProximity ep = ComputeEdgeProximities(g, *p);
+  ASSERT_EQ(ep.values.size(), g.num_edges());
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.Edges()[e];
+    const double expect = p->Symmetric(ed.u, ed.v);
+    if (expect > 0.0) {
+      EXPECT_NEAR(ep.values[e], expect, 1e-12);
+    }
+  }
+}
+
+TEST(EdgeProximityTest, MinPositiveIsGlobalMinimum) {
+  Graph g = KarateClub();
+  auto p = MakeProximity(ProximityKind::kDeepWalk, g);
+  const EdgeProximity ep = ComputeEdgeProximities(g, *p);
+  const double lo = *std::min_element(ep.values.begin(), ep.values.end());
+  EXPECT_DOUBLE_EQ(ep.min_positive, lo);
+  EXPECT_GT(ep.min_positive, 0.0);
+}
+
+TEST(EdgeProximityTest, NormalizedMaxIsOne) {
+  Graph g = KarateClub();
+  auto p = MakeProximity(ProximityKind::kAdamicAdar, g);
+  const EdgeProximity ep = ComputeEdgeProximities(g, *p);
+  const double hi =
+      *std::max_element(ep.normalized.begin(), ep.normalized.end());
+  EXPECT_NEAR(hi, 1.0, 1e-12);
+  // Ratios preserved by normalisation (Theorem 3 scale-invariance).
+  EXPECT_NEAR(ep.normalized_min_positive * ep.max_value, ep.min_positive,
+              1e-9);
+}
+
+TEST(EdgeProximityTest, ZeroProximityEdgesFloored) {
+  // Path graph: adjacent nodes share no common neighbours -> CN = 0 on all
+  // edges; the floor must kick in so no weight is zero.
+  Graph g = PathGraph(6);
+  auto p = MakeProximity(ProximityKind::kCommonNeighbors, g);
+  const EdgeProximity ep = ComputeEdgeProximities(g, *p);
+  for (double v : ep.values) EXPECT_GT(v, 0.0);
+}
+
+TEST(EdgeProximityTest, DegreeKindMatchesDegreesOnStar) {
+  Graph g = StarGraph(5);
+  auto p = MakeProximity(ProximityKind::kPreferentialAttachment, g);
+  const EdgeProximity ep = ComputeEdgeProximities(g, *p);
+  // All edges are center(deg 4)-leaf(deg 1): identical proximity.
+  for (double v : ep.values) EXPECT_NEAR(v, ep.values[0], 1e-12);
+}
+
+TEST(ProximityFactoryTest, AllKindsConstructible) {
+  Graph g = KarateClub();
+  for (ProximityKind kind : AllProximityKinds()) {
+    auto p = MakeProximity(kind, g);
+    ASSERT_NE(p, nullptr) << ProximityKindName(kind);
+    EXPECT_FALSE(p->Name().empty());
+  }
+}
+
+TEST(ProximityFactoryTest, KindNamesUnique) {
+  std::vector<std::string> names;
+  for (ProximityKind kind : AllProximityKinds())
+    names.push_back(ProximityKindName(kind));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+class AllKindsEdgeTest : public ::testing::TestWithParam<ProximityKind> {};
+
+TEST_P(AllKindsEdgeTest, EdgeProximitiesFiniteAndPositive) {
+  Graph g = KarateClub();
+  ProximityOptions opts;
+  opts.dw_walks_per_node = 200;
+  auto p = MakeProximity(GetParam(), g, opts);
+  const EdgeProximity ep = ComputeEdgeProximities(g, *p);
+  ASSERT_EQ(ep.values.size(), g.num_edges());
+  for (double v : ep.values) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0);
+  }
+  EXPECT_GT(ep.min_positive, 0.0);
+  EXPECT_GE(ep.max_value, ep.min_positive);
+}
+
+TEST_P(AllKindsEdgeTest, WorksOnSparseRandomGraph) {
+  Graph g = ErdosRenyiGnm(120, 240, 17);
+  ProximityOptions opts;
+  opts.dw_walks_per_node = 100;
+  auto p = MakeProximity(GetParam(), g, opts);
+  const EdgeProximity ep = ComputeEdgeProximities(g, *p);
+  for (double v : ep.normalized) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllKindsEdgeTest, ::testing::ValuesIn(AllProximityKinds()),
+    [](const auto& info) { return ProximityKindName(info.param); });
+
+}  // namespace
+}  // namespace sepriv

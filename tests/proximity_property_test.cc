@@ -1,0 +1,104 @@
+// Cross-provider property sweeps: invariants every proximity measure must
+// satisfy on every graph family.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "graph/generators.h"
+#include "proximity/proximity.h"
+
+namespace sepriv {
+namespace {
+
+enum class GraphFamily { kKarate, kBa, kWs, kSbm, kClique };
+
+Graph MakeFamily(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kKarate: return KarateClub();
+    case GraphFamily::kBa: return BarabasiAlbert(120, 3, 5);
+    case GraphFamily::kWs: return WattsStrogatz(120, 2, 0.1, 20, 5);
+    case GraphFamily::kSbm: return StochasticBlockModel(120, 4, 0.2, 0.01, 5);
+    case GraphFamily::kClique: return CompleteGraph(20);
+  }
+  return Graph();
+}
+
+const char* FamilyName(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kKarate: return "karate";
+    case GraphFamily::kBa: return "ba";
+    case GraphFamily::kWs: return "ws";
+    case GraphFamily::kSbm: return "sbm";
+    case GraphFamily::kClique: return "clique";
+  }
+  return "?";
+}
+
+using PropCase = std::tuple<ProximityKind, GraphFamily>;
+
+class ProximityPropertyTest : public ::testing::TestWithParam<PropCase> {
+ protected:
+  ProximityOptions Opts() const {
+    ProximityOptions o;
+    o.dw_walks_per_node = 100;
+    return o;
+  }
+};
+
+TEST_P(ProximityPropertyTest, NonNegativeAndFinite) {
+  const Graph g = MakeFamily(std::get<1>(GetParam()));
+  auto p = MakeProximity(std::get<0>(GetParam()), g, Opts());
+  // Scan a band of pairs including self, adjacent and distant.
+  for (NodeId i = 0; i < std::min<NodeId>(12, g.num_nodes()); ++i) {
+    for (NodeId j = 0; j < std::min<NodeId>(12, g.num_nodes()); ++j) {
+      const double v = p->At(i, j);
+      EXPECT_TRUE(std::isfinite(v)) << i << "," << j;
+      EXPECT_GE(v, 0.0) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(ProximityPropertyTest, SymmetricHelperIsSymmetric) {
+  const Graph g = MakeFamily(std::get<1>(GetParam()));
+  auto p = MakeProximity(std::get<0>(GetParam()), g, Opts());
+  for (NodeId i = 0; i < std::min<NodeId>(8, g.num_nodes()); ++i) {
+    for (NodeId j = 0; j < std::min<NodeId>(8, g.num_nodes()); ++j) {
+      EXPECT_NEAR(p->Symmetric(i, j), p->Symmetric(j, i), 1e-9);
+    }
+  }
+}
+
+TEST_P(ProximityPropertyTest, EdgeTableIsUsableAsPreference) {
+  const Graph g = MakeFamily(std::get<1>(GetParam()));
+  auto p = MakeProximity(std::get<0>(GetParam()), g, Opts());
+  const EdgeProximity ep = ComputeEdgeProximities(g, *p);
+  ASSERT_EQ(ep.values.size(), g.num_edges());
+  ASSERT_EQ(ep.normalized.size(), g.num_edges());
+  EXPECT_GT(ep.min_positive, 0.0);
+  EXPECT_GE(ep.max_value, ep.min_positive);
+  double max_norm = 0.0;
+  for (size_t e = 0; e < ep.values.size(); ++e) {
+    EXPECT_GT(ep.values[e], 0.0);
+    EXPECT_NEAR(ep.normalized[e] * ep.max_value, ep.values[e], 1e-9);
+    max_norm = std::max(max_norm, ep.normalized[e]);
+  }
+  EXPECT_NEAR(max_norm, 1.0, 1e-9);
+}
+
+std::string PropCaseName(const ::testing::TestParamInfo<PropCase>& info) {
+  return ProximityKindName(std::get<0>(info.param)) + "_" +
+         FamilyName(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllFamilies, ProximityPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(AllProximityKinds()),
+                       ::testing::Values(GraphFamily::kKarate, GraphFamily::kBa,
+                                         GraphFamily::kWs, GraphFamily::kSbm,
+                                         GraphFamily::kClique)),
+    PropCaseName);
+
+}  // namespace
+}  // namespace sepriv

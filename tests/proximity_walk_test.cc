@@ -1,0 +1,173 @@
+#include "proximity/walk_proximity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace sepriv {
+namespace {
+
+TEST(DeepWalkProximityTest, OneStepRowIsNormalizedAdjacency) {
+  Graph g = PathGraph(4);  // 0-1-2-3
+  DeepWalkProximity p(g, /*window=*/1);
+  // Row of node 1: uniform over neighbours {0, 2}.
+  EXPECT_NEAR(p.At(1, 0), 0.5, 1e-12);
+  EXPECT_NEAR(p.At(1, 2), 0.5, 1e-12);
+  EXPECT_NEAR(p.At(1, 3), 0.0, 1e-12);
+  // Endpoint: all mass to the single neighbour.
+  EXPECT_NEAR(p.At(0, 1), 1.0, 1e-12);
+}
+
+TEST(DeepWalkProximityTest, RowSumsToOne) {
+  Graph g = KarateClub();
+  for (int window : {1, 2, 4}) {
+    DeepWalkProximity p(g, window);
+    for (NodeId i : {NodeId(0), NodeId(5), NodeId(33)}) {
+      double sum = 0.0;
+      for (NodeId j = 0; j < g.num_nodes(); ++j) sum += p.At(i, j);
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "window=" << window << " node " << i;
+    }
+  }
+}
+
+TEST(DeepWalkProximityTest, PositiveOnEveryEdge) {
+  Graph g = KarateClub();
+  DeepWalkProximity p(g, 2);
+  for (const Edge& e : g.Edges()) {
+    EXPECT_GT(p.At(e.u, e.v), 0.0);
+    EXPECT_GT(p.At(e.v, e.u), 0.0);
+  }
+}
+
+TEST(DeepWalkProximityTest, TwoStepHandComputed) {
+  Graph g = PathGraph(3);  // 0-1-2
+  DeepWalkProximity p(g, 2);
+  // W = rows: 0->{1:1}, 1->{0:.5,2:.5}, 2->{1:1}
+  // W² row 0: {0:.5, 2:.5}. M = (W + W²)/2.
+  EXPECT_NEAR(p.At(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(p.At(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(p.At(0, 2), 0.25, 1e-12);
+}
+
+TEST(DeepWalkProximityTest, CachedRowConsistentAcrossQueries) {
+  Graph g = CycleGraph(10);
+  DeepWalkProximity p(g, 3);
+  const double first = p.At(2, 5);
+  p.At(7, 1);  // evict
+  EXPECT_DOUBLE_EQ(p.At(2, 5), first);
+}
+
+TEST(SampledDeepWalkTest, ApproximatesExactOnEdges) {
+  Graph g = KarateClub();
+  DeepWalkProximity exact(g, 2);
+  SampledDeepWalkProximity sampled(g, 2, /*walks=*/4000, /*seed=*/11);
+  double max_err = 0.0;
+  for (size_t e = 0; e < 20; ++e) {
+    const Edge& ed = g.Edges()[e];
+    max_err = std::max(max_err, std::abs(exact.At(ed.u, ed.v) -
+                                         sampled.At(ed.u, ed.v)));
+  }
+  EXPECT_LT(max_err, 0.03);
+}
+
+TEST(SampledDeepWalkTest, DeterministicPerSeed) {
+  Graph g = KarateClub();
+  SampledDeepWalkProximity a(g, 2, 100, 5), b(g, 2, 100, 5);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), b.At(0, 1));
+  EXPECT_DOUBLE_EQ(a.At(33, 32), b.At(33, 32));
+}
+
+TEST(SampledDeepWalkTest, RowMassAtMostOne) {
+  Graph g = KarateClub();
+  SampledDeepWalkProximity p(g, 3, 500, 7);
+  double sum = 0.0;
+  for (NodeId j = 0; j < g.num_nodes(); ++j) sum += p.At(0, j);
+  EXPECT_NEAR(sum, 1.0, 1e-9);  // every step lands somewhere
+}
+
+TEST(KatzProximityTest, SinglePathCounts) {
+  Graph g = PathGraph(3);  // 0-1-2
+  KatzProximity p(g, /*max_length=*/2, /*beta=*/0.1);
+  // Paths 0->1: one of length 1 -> 0.1; plus none of length 2.
+  EXPECT_NEAR(p.At(0, 1), 0.1, 1e-12);
+  // 0->2: one walk of length 2 -> 0.01.
+  EXPECT_NEAR(p.At(0, 2), 0.01, 1e-12);
+  // 0->0: walk 0-1-0 -> 0.01.
+  EXPECT_NEAR(p.At(0, 0), 0.01, 1e-12);
+}
+
+TEST(KatzProximityTest, TriangleWalkCounts) {
+  Graph g = CycleGraph(3);
+  KatzProximity p(g, 3, 0.5);
+  // A^1_01=1, A^2_01=1 (0-2-1), A^3_01=2 (0-1-0-1? no: walks of length 3
+  // from 0 to 1 in K3/triangle: 0-1-0-1, 0-1-2-1? wait those revisit; walks
+  // allow revisits: 0-1-0-1, 0-2-0-1, 0-2-1... count = A³ = 2·A + A? For C3,
+  // A³_01 = 3? Compute directly: A²=2I+A (for triangle), so A³=2A+A²=2A+2I+A
+  // = 3A+2I -> A³_01 = 3.
+  EXPECT_NEAR(p.At(0, 1), 0.5 * 1 + 0.25 * 1 + 0.125 * 3, 1e-12);
+}
+
+TEST(KatzProximityTest, MonotoneInPathLength) {
+  Graph g = PathGraph(6);
+  KatzProximity p(g, 5, 0.2);
+  // Closer along the path => larger Katz score.
+  EXPECT_GT(p.At(0, 1), p.At(0, 2));
+  EXPECT_GT(p.At(0, 2), p.At(0, 3));
+  EXPECT_GT(p.At(0, 3), p.At(0, 4));
+}
+
+TEST(KatzProximityTest, SymmetricOnUndirectedGraphs) {
+  Graph g = KarateClub();
+  KatzProximity p(g, 4, 0.05);
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = 0; j < 8; ++j) {
+      EXPECT_NEAR(p.At(i, j), p.At(j, i), 1e-9);
+    }
+  }
+}
+
+TEST(PprProximityTest, MassConcentratesNearSource) {
+  Graph g = PathGraph(7);
+  PersonalizedPageRankProximity p(g, 0.2, 30);
+  EXPECT_GT(p.At(0, 1), p.At(0, 3));
+  EXPECT_GT(p.At(0, 3), p.At(0, 6));
+}
+
+TEST(PprProximityTest, RowSumsToAtMostOne) {
+  Graph g = KarateClub();
+  PersonalizedPageRankProximity p(g, 0.15, 25);
+  for (NodeId i : {NodeId(0), NodeId(16), NodeId(33)}) {
+    double sum = 0.0;
+    for (NodeId j = 0; j < g.num_nodes(); ++j) sum += p.At(i, j);
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    EXPECT_GT(sum, 0.9);  // most mass retained after 25 iterations
+  }
+}
+
+TEST(PprProximityTest, HigherAlphaStaysCloserToSource) {
+  Graph g = CycleGraph(20);
+  PersonalizedPageRankProximity lo(g, 0.1, 40);
+  PersonalizedPageRankProximity hi(g, 0.6, 40);
+  // With a larger restart probability the walk stays near the source.
+  EXPECT_GT(hi.At(0, 0), lo.At(0, 0));
+  EXPECT_LT(hi.At(0, 10), lo.At(0, 10) + 1e-12);
+}
+
+TEST(WalkProximityDeathTest, BadParametersAbort) {
+  Graph g = PathGraph(3);
+  EXPECT_DEATH(KatzProximity(g, 0, 0.1), "max_length");
+  EXPECT_DEATH(PersonalizedPageRankProximity(g, 1.5, 10), "alpha");
+  EXPECT_DEATH(DeepWalkProximity(g, 0), "window");
+}
+
+TEST(WalkProximityTest, NamesEncodeParameters) {
+  Graph g = PathGraph(3);
+  EXPECT_EQ(KatzProximity(g, 4, 0.05).Name(), "katz(L=4,beta=0.050)");
+  EXPECT_EQ(DeepWalkProximity(g, 2).Name(), "deepwalk(T=2)");
+}
+
+}  // namespace
+}  // namespace sepriv

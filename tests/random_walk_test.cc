@@ -1,0 +1,121 @@
+#include "embedding/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "embedding/negative_sampler.h"
+#include "graph/generators.h"
+
+namespace sepriv {
+namespace {
+
+TEST(RandomWalkTest, WalkStepsFollowEdges) {
+  Graph g = KarateClub();
+  RandomWalkEngine engine(g);
+  Rng rng(1);
+  const auto walk = engine.Walk(0, 20, rng);
+  ASSERT_GE(walk.size(), 2u);
+  EXPECT_EQ(walk[0], 0u);
+  for (size_t i = 0; i + 1 < walk.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(walk[i], walk[i + 1]));
+  }
+}
+
+TEST(RandomWalkTest, WalkLengthIsStepsPlusStart) {
+  Graph g = CompleteGraph(10);
+  RandomWalkEngine engine(g);
+  Rng rng(2);
+  EXPECT_EQ(engine.Walk(3, 15, rng).size(), 16u);
+}
+
+TEST(RandomWalkTest, DanglingNodeStopsWalk) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});  // node 2 isolated
+  RandomWalkEngine engine(g);
+  Rng rng(3);
+  const auto walk = engine.Walk(2, 10, rng);
+  EXPECT_EQ(walk.size(), 1u);
+}
+
+TEST(RandomWalkTest, DeterministicPerSeed) {
+  Graph g = KarateClub();
+  RandomWalkEngine engine(g);
+  Rng a(7), b(7);
+  EXPECT_EQ(engine.Walk(5, 30, a), engine.Walk(5, 30, b));
+}
+
+TEST(RandomWalkTest, BiasedWalkUnitParamsValid) {
+  Graph g = KarateClub();
+  RandomWalkEngine engine(g);
+  Rng rng(4);
+  const auto walk = engine.BiasedWalk(0, 25, 1.0, 1.0, rng);
+  for (size_t i = 0; i + 1 < walk.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(walk[i], walk[i + 1]));
+  }
+}
+
+TEST(RandomWalkTest, HighReturnParameterDiscouragesBacktracking) {
+  Graph g = CycleGraph(50);
+  RandomWalkEngine engine(g);
+  Rng rng(5);
+  size_t backtracks_low_p = 0, backtracks_high_p = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto w1 = engine.BiasedWalk(0, 20, 0.05, 1.0, rng);  // return-happy
+    for (size_t i = 2; i < w1.size(); ++i)
+      backtracks_low_p += (w1[i] == w1[i - 2]);
+    const auto w2 = engine.BiasedWalk(0, 20, 20.0, 1.0, rng);  // exploring
+    for (size_t i = 2; i < w2.size(); ++i)
+      backtracks_high_p += (w2[i] == w2[i - 2]);
+  }
+  EXPECT_GT(backtracks_low_p, backtracks_high_p * 2);
+}
+
+TEST(RandomWalkTest, CorpusShapeAndCoverage) {
+  Graph g = KarateClub();
+  RandomWalkEngine engine(g);
+  Rng rng(6);
+  const auto corpus = engine.Corpus(3, 10, rng);
+  EXPECT_EQ(corpus.size(), 3u * g.num_nodes());
+  // Every node starts at least one walk (start nodes are shuffled but all
+  // present).
+  std::vector<int> starts(g.num_nodes(), 0);
+  for (const auto& walk : corpus) ++starts[walk[0]];
+  for (int s : starts) EXPECT_EQ(s, 3);
+}
+
+TEST(NegativeSamplerTest, UniformNonNeighborExcludesNeighbors) {
+  Graph g = StarGraph(20);
+  UniformNonNeighborSampler sampler(g);
+  Rng rng(7);
+  // Center 0 is adjacent to everyone: the fallback must still return != 0.
+  for (int i = 0; i < 50; ++i) EXPECT_NE(sampler.Sample(0, rng), 0u);
+  // A leaf's negatives are never the center.
+  for (int i = 0; i < 200; ++i) {
+    const NodeId n = sampler.Sample(1, rng);
+    EXPECT_NE(n, 1u);
+    EXPECT_NE(n, 0u);
+  }
+}
+
+TEST(NegativeSamplerTest, DegreeSamplerMatchesDegreeDistribution) {
+  Graph g = StarGraph(11);  // center degree 10, leaves degree 1
+  DegreeNegativeSampler sampler(g, 1.0);
+  Rng rng(8);
+  int center_hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) center_hits += (sampler.Sample(rng) == 0u);
+  // Center holds 10 of 20 total degree mass.
+  EXPECT_NEAR(static_cast<double>(center_hits) / n, 0.5, 0.02);
+}
+
+TEST(NegativeSamplerTest, DegreePowerDampensHubs) {
+  Graph g = StarGraph(11);
+  DegreeNegativeSampler damped(g, 0.5);
+  Rng rng(9);
+  int center_hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) center_hits += (damped.Sample(rng) == 0u);
+  // sqrt(10) / (sqrt(10) + 10·1) ≈ 0.24.
+  EXPECT_NEAR(static_cast<double>(center_hits) / n, 0.24, 0.03);
+}
+
+}  // namespace
+}  // namespace sepriv

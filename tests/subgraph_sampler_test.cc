@@ -1,0 +1,122 @@
+#include "embedding/subgraph_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace sepriv {
+namespace {
+
+TEST(SubgraphSamplerTest, OneSubgraphPerEdge) {
+  Graph g = KarateClub();
+  SubgraphSampler sampler(g, 5, 1);
+  EXPECT_EQ(sampler.size(), g.num_edges());
+}
+
+TEST(SubgraphSamplerTest, EdgeIndexAlignedWithEdgeList) {
+  Graph g = KarateClub();
+  SubgraphSampler sampler(g, 3, 2, EdgeOrientation::kCanonical);
+  for (size_t e = 0; e < sampler.size(); ++e) {
+    const Subgraph& s = sampler.All()[e];
+    EXPECT_EQ(s.edge_index, e);
+    const Edge& edge = g.Edges()[e];
+    EXPECT_EQ(s.center, edge.u);   // canonical: min endpoint is the center
+    EXPECT_EQ(s.context, edge.v);
+  }
+}
+
+TEST(SubgraphSamplerTest, RandomOrientationCoversBothDirections) {
+  Graph g = ErdosRenyiGnm(100, 400, 3);
+  SubgraphSampler sampler(g, 1, 4, EdgeOrientation::kRandom);
+  size_t canonical = 0;
+  for (const Subgraph& s : sampler.All()) {
+    const Edge& e = g.Edges()[s.edge_index];
+    ASSERT_TRUE((s.center == e.u && s.context == e.v) ||
+                (s.center == e.v && s.context == e.u));
+    canonical += (s.center == e.u);
+  }
+  // Roughly half the edges should keep the canonical orientation.
+  EXPECT_GT(canonical, sampler.size() / 3);
+  EXPECT_LT(canonical, sampler.size() * 2 / 3);
+}
+
+TEST(SubgraphSamplerTest, NegativesAreNonAdjacentToCenter) {
+  Graph g = KarateClub();
+  SubgraphSampler sampler(g, 5, 5);
+  for (const Subgraph& s : sampler.All()) {
+    ASSERT_EQ(s.negatives.size(), 5u);
+    for (NodeId n : s.negatives) {
+      EXPECT_NE(n, s.center);
+      EXPECT_FALSE(g.HasEdge(s.center, n))
+          << "negative " << n << " adjacent to center " << s.center;
+    }
+  }
+}
+
+TEST(SubgraphSamplerTest, ZeroNegativesSupported) {
+  Graph g = PathGraph(10);
+  SubgraphSampler sampler(g, 0, 6);
+  for (const Subgraph& s : sampler.All()) EXPECT_TRUE(s.negatives.empty());
+}
+
+TEST(SubgraphSamplerTest, DeterministicPerSeed) {
+  Graph g = KarateClub();
+  SubgraphSampler a(g, 4, 77), b(g, 4, 77);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.All()[i].center, b.All()[i].center);
+    EXPECT_EQ(a.All()[i].negatives, b.All()[i].negatives);
+  }
+}
+
+TEST(SubgraphSamplerTest, BatchWithoutReplacement) {
+  Graph g = KarateClub();
+  SubgraphSampler sampler(g, 2, 8);
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto batch = sampler.SampleBatch(30, rng);
+    ASSERT_EQ(batch.size(), 30u);
+    std::set<uint32_t> unique(batch.begin(), batch.end());
+    EXPECT_EQ(unique.size(), batch.size());
+    for (uint32_t idx : batch) EXPECT_LT(idx, sampler.size());
+  }
+}
+
+TEST(SubgraphSamplerTest, BatchLargerThanPopulationClamped) {
+  Graph g = PathGraph(5);  // 4 edges
+  SubgraphSampler sampler(g, 1, 10);
+  Rng rng(1);
+  const auto batch = sampler.SampleBatch(100, rng);
+  EXPECT_EQ(batch.size(), 4u);
+  std::set<uint32_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(SubgraphSamplerTest, BatchSamplingApproximatelyUniform) {
+  Graph g = CycleGraph(40);  // 40 edges
+  SubgraphSampler sampler(g, 1, 13);
+  Rng rng(13);
+  std::vector<int> hits(40, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    for (uint32_t idx : sampler.SampleBatch(4, rng)) ++hits[idx];
+  }
+  // Each index expected trials·4/40 = 400 times.
+  for (int h : hits) EXPECT_NEAR(h, 400, 100);
+}
+
+TEST(SubgraphSamplerTest, DenseGraphFallbackTerminates) {
+  // Nearly complete graph: few valid negatives exist; construction must not
+  // hang and negatives must differ from the center.
+  Graph g = CompleteGraph(6);
+  SubgraphSampler sampler(g, 3, 21);
+  for (const Subgraph& s : sampler.All()) {
+    for (NodeId n : s.negatives) EXPECT_NE(n, s.center);
+  }
+}
+
+}  // namespace
+}  // namespace sepriv

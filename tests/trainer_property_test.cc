@@ -1,0 +1,140 @@
+// Parameterized property sweeps over the trainer's configuration matrix:
+// invariants that must hold for EVERY combination of perturbation strategy,
+// negative weighting, and structure preference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/se_privgemb.h"
+#include "graph/generators.h"
+
+namespace sepriv {
+namespace {
+
+using TrainerCase =
+    std::tuple<PerturbationStrategy, NegativeWeighting, ProximityKind>;
+
+class TrainerMatrixTest : public ::testing::TestWithParam<TrainerCase> {
+ protected:
+  SePrivGEmbConfig Config() const {
+    SePrivGEmbConfig cfg;
+    cfg.dim = 8;
+    cfg.negatives = 3;
+    cfg.batch_size = 32;
+    cfg.max_epochs = 25;
+    cfg.track_loss = true;
+    cfg.seed = 77;
+    cfg.perturbation = std::get<0>(GetParam());
+    cfg.negative_weighting = std::get<1>(GetParam());
+    return cfg;
+  }
+};
+
+TEST_P(TrainerMatrixTest, ProducesFiniteEmbeddingsOfRightShape) {
+  Graph g = KarateClub();
+  SePrivGEmb trainer(g, std::get<2>(GetParam()), Config());
+  const TrainResult r = trainer.Train();
+  EXPECT_EQ(r.model.w_in.rows(), g.num_nodes());
+  EXPECT_EQ(r.model.w_out.rows(), g.num_nodes());
+  EXPECT_EQ(r.model.w_in.cols(), 8u);
+  EXPECT_TRUE(std::isfinite(r.model.w_in.FrobeniusNorm()));
+  EXPECT_TRUE(std::isfinite(r.model.w_out.FrobeniusNorm()));
+  EXPECT_GT(r.model.w_in.FrobeniusNorm(), 0.0);
+}
+
+TEST_P(TrainerMatrixTest, LossCurveFiniteAndPositive) {
+  Graph g = KarateClub();
+  SePrivGEmb trainer(g, std::get<2>(GetParam()), Config());
+  const TrainResult r = trainer.Train();
+  ASSERT_EQ(r.loss_curve.size(), r.epochs_run);
+  for (double loss : r.loss_curve) {
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GE(loss, 0.0);  // -w·logσ terms are non-negative
+  }
+}
+
+TEST_P(TrainerMatrixTest, PrivacySpentWithinTarget) {
+  Graph g = KarateClub();
+  const auto cfg = Config();
+  SePrivGEmb trainer(g, std::get<2>(GetParam()), cfg);
+  const TrainResult r = trainer.Train();
+  if (cfg.perturbation == PerturbationStrategy::kNone) {
+    EXPECT_EQ(r.spent_epsilon, 0.0);
+  } else {
+    EXPECT_LE(r.spent_epsilon, cfg.epsilon + 1e-9);
+    EXPECT_LT(r.spent_delta, cfg.delta);
+  }
+}
+
+TEST_P(TrainerMatrixTest, EdgeWeightsPositiveAndAligned) {
+  Graph g = KarateClub();
+  SePrivGEmb trainer(g, std::get<2>(GetParam()), Config());
+  ASSERT_EQ(trainer.edge_weights().size(), g.num_edges());
+  for (double w : trainer.edge_weights()) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0 + 1e-12);  // normalized preference
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<TrainerCase>& info) {
+  const char* pert = "";
+  switch (std::get<0>(info.param)) {
+    case PerturbationStrategy::kNone: pert = "none"; break;
+    case PerturbationStrategy::kNaive: pert = "naive"; break;
+    case PerturbationStrategy::kNonZero: pert = "nonzero"; break;
+  }
+  const char* weight = "";
+  switch (std::get<1>(info.param)) {
+    case NegativeWeighting::kPaperPij: weight = "pij"; break;
+    case NegativeWeighting::kUnifiedMinP: weight = "minp"; break;
+    case NegativeWeighting::kUnit: weight = "unit"; break;
+  }
+  return std::string(pert) + "_" + weight + "_" +
+         ProximityKindName(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigMatrix, TrainerMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(PerturbationStrategy::kNone,
+                          PerturbationStrategy::kNaive,
+                          PerturbationStrategy::kNonZero),
+        ::testing::Values(NegativeWeighting::kPaperPij,
+                          NegativeWeighting::kUnifiedMinP,
+                          NegativeWeighting::kUnit),
+        ::testing::Values(ProximityKind::kDeepWalk,
+                          ProximityKind::kPreferentialAttachment,
+                          ProximityKind::kAdamicAdar)),
+    CaseName);
+
+// --- ε-ladder property: allowed epochs monotone over the full grid --------
+
+class EpsilonLadderTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsilonLadderTest, SpentEpsilonScalesWithTarget) {
+  Graph g = KarateClub();
+  SePrivGEmbConfig cfg;
+  cfg.dim = 8;
+  cfg.batch_size = 16;
+  cfg.max_epochs = 1u << 28;  // budget-limited
+  cfg.track_loss = false;
+  cfg.epsilon = GetParam();
+  SePrivGEmb trainer(g, ProximityKind::kPreferentialAttachment, cfg);
+  const TrainResult r = trainer.Train();
+  EXPECT_TRUE(r.stopped_by_budget);
+  EXPECT_LE(r.spent_epsilon, cfg.epsilon + 1e-9);
+  // The budget should be nearly saturated (within one epoch's worth).
+  EXPECT_GT(r.spent_epsilon, 0.5 * cfg.epsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLadder, EpsilonLadderTest,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5),
+                         [](const auto& info) {
+                           return "eps" + std::to_string(static_cast<int>(
+                                              info.param * 10));
+                         });
+
+}  // namespace
+}  // namespace sepriv
