@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "dp/subsampled_rdp.h"
 #include "util/check.h"
@@ -48,10 +49,16 @@ size_t RdpAccountant::MaxSteps(double epsilon, double delta) const {
     const double slack = epsilon - log_inv_delta / (orders_[i] - 1.0);
     if (slack <= 0.0) continue;
     if (per_step_rdp_[i] <= 0.0) {
-      // Degenerate (infinite steps); cap at a huge sentinel.
-      return static_cast<size_t>(1) << 62;
+      // Degenerate (zero per-step RDP ⇒ unbounded steps). Use the same
+      // "unlimited" sentinel as TrainResult::epochs_allowed.
+      return std::numeric_limits<size_t>::max();
     }
     const double n = std::floor(slack / per_step_rdp_[i]);
+    // Tiny-positive RDP can push n past SIZE_MAX; the double→size_t cast
+    // would be UB there, so clamp to the same "unlimited" sentinel.
+    if (n >= static_cast<double>(std::numeric_limits<size_t>::max())) {
+      return std::numeric_limits<size_t>::max();
+    }
     best = std::max(best, static_cast<size_t>(n));
   }
   return best;

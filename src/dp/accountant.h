@@ -41,6 +41,9 @@ class RdpAccountant {
   /// Largest number of steps whose conversion stays within (ε, δ);
   /// 0 if even one step exceeds the budget. Closed form per order:
   ///   n_α = floor( (ε - log(1/δ)/(α-1)) / rdp_step(α) ), maximised over α.
+  /// When some order has zero per-step RDP (a degenerate mechanism that
+  /// consumes no budget), returns std::numeric_limits<size_t>::max(), the
+  /// same "unlimited" sentinel TrainResult::epochs_allowed uses.
   size_t MaxSteps(double epsilon, double delta) const;
 
   /// Per-step RDP curve (aligned with orders()).

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "dp/calibration.h"
 #include "dp/subsampled_rdp.h"
@@ -109,6 +110,30 @@ TEST(AccountantTest, ImpossibleBudgetGivesZeroSteps) {
   // ε smaller than the conversion tax at every order.
   RdpAccountant acct(0.5, 1.0, 4);
   EXPECT_EQ(acct.MaxSteps(1e-6, 1e-5), 0u);
+}
+
+TEST(AccountantTest, ZeroRdpGivesUnlimitedStepsSentinel) {
+  // Regression: an astronomically small sampling rate underflows the
+  // amplified per-step RDP to exactly 0 at every order. MaxSteps must report
+  // "unlimited" with the same sentinel TrainResult::epochs_allowed uses
+  // (SIZE_MAX), not an ad-hoc 1<<62 cap.
+  RdpAccountant acct(10.0, 1e-200);
+  bool has_zero_order = false;
+  for (double r : acct.per_step_rdp()) has_zero_order |= (r == 0.0);
+  ASSERT_TRUE(has_zero_order) << "expected the zero-RDP degenerate regime";
+  EXPECT_EQ(acct.MaxSteps(1.0, 1e-5), std::numeric_limits<size_t>::max());
+}
+
+TEST(AccountantTest, TinyPositiveRdpClampsToUnlimitedSentinel) {
+  // Companion regression: per-step RDP that is positive but so small that
+  // floor(slack / rdp) exceeds SIZE_MAX must clamp to the sentinel instead
+  // of hitting UB in the double→size_t cast.
+  RdpAccountant acct(10.0, 1e-100);
+  bool has_tiny_positive = false;
+  for (double r : acct.per_step_rdp())
+    has_tiny_positive |= (r > 0.0 && r < 1e-150);
+  ASSERT_TRUE(has_tiny_positive) << "expected the tiny-positive-RDP regime";
+  EXPECT_EQ(acct.MaxSteps(1.0, 1e-5), std::numeric_limits<size_t>::max());
 }
 
 TEST(AccountantTest, ResetClearsSteps) {

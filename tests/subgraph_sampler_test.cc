@@ -118,5 +118,65 @@ TEST(SubgraphSamplerTest, DenseGraphFallbackTerminates) {
   }
 }
 
+TEST(SubgraphSamplerTest, CompleteGraphFallbackFillsAllNegatives) {
+  // On a complete graph every non-center node is adjacent, so the bounded
+  // rejection loop exhausts its 256 tries and the `found == false` fallback
+  // must supply every negative: full count, valid ids, never the center.
+  Graph g = CompleteGraph(8);
+  SubgraphSampler sampler(g, 4, 33, EdgeOrientation::kCanonical,
+                          /*exclude_neighbors=*/true);
+  for (const Subgraph& s : sampler.All()) {
+    ASSERT_EQ(s.negatives.size(), 4u);
+    for (NodeId n : s.negatives) {
+      EXPECT_NE(n, s.center);
+      EXPECT_LT(n, g.num_nodes());
+      // Proof the fallback (not a lucky rejection draw) produced it: on K_8
+      // every non-center node is a neighbour.
+      EXPECT_TRUE(g.HasEdge(s.center, n));
+    }
+  }
+}
+
+TEST(SubgraphSamplerTest, TwoNodeGraphFallbackAvoidsCenter) {
+  // Smallest legal graph: the fallback's modular step lands on the single
+  // non-center node, and the post-adjustment can never return the center.
+  Graph g = Graph::FromEdges(2, {{0, 1}});
+  SubgraphSampler sampler(g, 3, 7, EdgeOrientation::kCanonical,
+                          /*exclude_neighbors=*/true);
+  ASSERT_EQ(sampler.size(), 1u);
+  const Subgraph& s = sampler.All()[0];
+  ASSERT_EQ(s.negatives.size(), 3u);
+  for (NodeId n : s.negatives) {
+    EXPECT_NE(n, s.center);
+    EXPECT_EQ(n, s.context);  // only one other node exists
+  }
+}
+
+TEST(SubgraphSamplerTest, NearCompleteGraphFindsTheOnlyValidNegative) {
+  // K_8 minus the single edge (0, 1): for subgraphs centered at 0 the sole
+  // non-adjacent candidate is node 1, and vice versa. Under the canonical
+  // orientation both 0 and 1 occur as centers (each is the min endpoint of
+  // its remaining edges), so both directions are exercised, and rejection
+  // sampling must find the unique valid negative rather than dropping into
+  // the fallback.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 8; ++u)
+    for (NodeId v = u + 1; v < 8; ++v)
+      if (!(u == 0 && v == 1)) edges.push_back({u, v});
+  Graph g = Graph::FromEdges(8, std::move(edges));
+  SubgraphSampler sampler(g, 2, 11, EdgeOrientation::kCanonical,
+                          /*exclude_neighbors=*/true);
+  bool saw_center0 = false, saw_center1 = false;
+  for (const Subgraph& s : sampler.All()) {
+    if (s.center != 0 && s.center != 1) continue;
+    saw_center0 |= (s.center == 0);
+    saw_center1 |= (s.center == 1);
+    const NodeId only_valid = (s.center == 0) ? 1 : 0;
+    for (NodeId n : s.negatives) EXPECT_EQ(n, only_valid);
+  }
+  EXPECT_TRUE(saw_center0);
+  EXPECT_TRUE(saw_center1);
+}
+
 }  // namespace
 }  // namespace sepriv

@@ -27,8 +27,9 @@
 namespace sepriv {
 namespace {
 
-/// Per-pair loss of objective (13).
-double PairLoss(double x, double w_pos, double w_neg) {
+/// Per-pair loss of objective (13). Kept as executable documentation of what
+/// OptimizePair's closed-form gradient descends on.
+[[maybe_unused]] double PairLoss(double x, double w_pos, double w_neg) {
   return -w_pos * LogSigmoid(x) - w_neg * LogSigmoid(-x);
 }
 
