@@ -1,0 +1,131 @@
+// Thread-scaling benchmark for the batch-gradient engine.
+//
+// Generates a Barabási–Albert graph (100k nodes by default — the scale the
+// ROADMAP's "as fast as the hardware allows" target cares about), then runs
+// the full private batch step (per-sample gradients + clipping, sample-order
+// reduction, non-zero Gaussian perturbation, row-parallel apply) at 1/2/4/8
+// worker threads and reports samples/second plus the speedup over the
+// single-thread baseline. A per-configuration checksum of the final Win is
+// printed to witness the engine's bit-identical-across-thread-counts
+// guarantee on real workloads.
+//
+// Environment knobs:
+//   SEPRIV_BENCH_NODES   graph size             (default 100000)
+//   SEPRIV_BENCH_DIM     embedding dimension    (default 128)
+//   SEPRIV_BENCH_BATCH   batch size             (default 2048)
+//   SEPRIV_BENCH_STEPS   timed batch steps      (default 15)
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "core/batch_gradient_engine.h"
+#include "embedding/skipgram.h"
+#include "embedding/subgraph_sampler.h"
+#include "graph/generators.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  return sepriv::ParseSizeEnv(name, /*max=*/1000000000, fallback);
+}
+
+// FNV-1a over the raw bytes of the matrix: unlike a norm, any single-bit
+// difference — including two rows swapping their noise draws — changes the
+// digest, so matching values really do witness bit-identical output.
+uint64_t MatrixDigest(const sepriv::Matrix& m) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(m.data());
+  const size_t len = m.size() * sizeof(double);
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sepriv;
+
+  const size_t nodes = EnvSize("SEPRIV_BENCH_NODES", 100000);
+  const size_t dim = EnvSize("SEPRIV_BENCH_DIM", 128);
+  const size_t batch_size = EnvSize("SEPRIV_BENCH_BATCH", 2048);
+  const size_t steps = EnvSize("SEPRIV_BENCH_STEPS", 15);
+  const int negatives = 5;
+  const double clip = 2.0;
+  const double stddev = clip * 5.0;  // C·σ, the non-zero noise scale
+  const double lr = 0.1;
+
+  std::printf("# bench_parallel_scaling\n");
+  std::printf("# hardware threads: %zu\n", ThreadPool::ResolveThreads(0));
+  std::printf("# graph: BA n=%zu, dim=%zu, k=%d, B=%zu, steps=%zu\n", nodes,
+              dim, negatives, batch_size, steps);
+
+  WallTimer setup;
+  Graph graph = BarabasiAlbert(nodes, 5, /*seed=*/1);
+  SubgraphSampler sampler(graph, negatives, /*seed=*/2);
+  std::vector<double> edge_weights(graph.num_edges(), 1.0);
+  std::printf("# setup: |E|=%zu subgraphs in %.2fs\n", sampler.size(),
+              setup.ElapsedSeconds());
+
+  // One fixed batch schedule shared by every thread count so the work (and
+  // therefore the output checksum) is identical across configurations.
+  Rng batch_rng(3);
+  std::vector<std::vector<uint32_t>> batches;
+  batches.reserve(steps);
+  for (size_t i = 0; i < steps; ++i) {
+    batches.push_back(sampler.SampleBatch(batch_size, batch_rng));
+  }
+
+  Rng init_rng(4);
+  const SkipGramModel init_model(graph.num_nodes(), dim, init_rng);
+
+  std::printf("%-8s %14s %14s %10s %18s\n", "threads", "time_s",
+              "samples/s", "speedup", "digest(w_in)");
+
+  double base_rate = 0.0;
+  for (size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+    BatchGradientEngineOptions opts;
+    opts.num_nodes = graph.num_nodes();
+    opts.dim = dim;
+    opts.clip_per_sample = true;
+    opts.clip_threshold = clip;
+    opts.num_threads = threads;
+    BatchGradientEngine engine(opts, edge_weights);
+
+    SkipGramModel model = init_model;
+    Rng noise_rng(5);
+
+    // Warm-up step: touches the scratch allocations and page-faults the
+    // accumulators so the timed region measures steady-state throughput.
+    engine.AccumulateBatch(model, sampler.All(), batches[0]);
+    engine.PerturbNonZero(stddev, noise_rng);
+    engine.ApplyUpdate(model, lr);
+
+    model = init_model;
+    noise_rng.Seed(5);
+    WallTimer timer;
+    for (const auto& batch : batches) {
+      engine.AccumulateBatch(model, sampler.All(), batch);
+      engine.PerturbNonZero(stddev, noise_rng);
+      engine.ApplyUpdate(model, lr);
+    }
+    const double secs = timer.ElapsedSeconds();
+    const double rate =
+        static_cast<double>(steps) * static_cast<double>(batch_size) / secs;
+    if (threads == 1) base_rate = rate;
+    std::printf("%-8zu %14.3f %14.0f %9.2fx %18" PRIx64 "\n", threads, secs,
+                rate, rate / base_rate, MatrixDigest(model.w_in));
+  }
+
+  std::printf(
+      "# digests must be identical: the engine is bit-identical across "
+      "thread counts\n");
+  return 0;
+}

@@ -1,0 +1,228 @@
+#include "core/batch_gradient_engine.h"
+
+#include <algorithm>
+
+#include "dp/clipping.h"
+#include "embedding/sgns.h"
+#include "util/check.h"
+
+namespace sepriv {
+namespace {
+
+// Samples per work chunk in the gradient phase. Small enough to balance a
+// B=128 batch over 8 workers, large enough to amortise chunk dispatch.
+constexpr size_t kSampleGrain = 8;
+
+// Rows per noise substream. Fixed (never derived from the thread count) so
+// the noise a given row receives depends only on the master seed and the
+// row's position, keeping output thread-count invariant.
+constexpr size_t kNoiseBlockRows = 32;
+
+// Touched rows per chunk in the apply phase.
+constexpr size_t kApplyGrain = 64;
+
+size_t NumBlocks(size_t n) {
+  return (n + kNoiseBlockRows - 1) / kNoiseBlockRows;
+}
+
+}  // namespace
+
+BatchGradientEngine::BatchGradientEngine(
+    const BatchGradientEngineOptions& opts,
+    std::span<const double> edge_weights)
+    : opts_(opts),
+      edge_weights_(edge_weights),
+      pool_(std::max<size_t>(1, opts.num_threads)),
+      grad_in_(opts.num_nodes, opts.dim),
+      grad_out_(opts.num_nodes, opts.dim) {
+  SEPRIV_CHECK(opts_.num_nodes > 0 && opts_.dim > 0,
+               "engine needs a non-empty model shape");
+}
+
+void BatchGradientEngine::ResolveWeights(const Subgraph& s, double& w_pos,
+                                         double& w_neg) const {
+  const double pij = edge_weights_[s.edge_index];
+  w_pos = pij;
+  w_neg = pij;
+  switch (opts_.negative_weighting) {
+    case NegativeWeighting::kPaperPij:
+      break;  // literal Eq. (5)
+    case NegativeWeighting::kUnifiedMinP:
+      w_neg = opts_.min_weight;
+      break;
+    case NegativeWeighting::kUnit:
+      w_pos = w_neg = 1.0;
+      break;
+  }
+}
+
+double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
+                                            std::span<const Subgraph> subgraphs,
+                                            std::span<const uint32_t> batch) {
+  const size_t m = batch.size();
+  if (m == 0) return 0.0;
+  const size_t dim = opts_.dim;
+
+  // Slot width: every sample gets room for the widest (k+1) in this batch.
+  size_t ctx_slot = 0;
+  for (uint32_t idx : batch) {
+    ctx_slot = std::max(ctx_slot, subgraphs[idx].negatives.size() + 1);
+  }
+  ctx_slot_ = std::max(ctx_slot_, ctx_slot);
+  if (center_grads_.size() < m * dim) center_grads_.resize(m * dim);
+  if (context_grads_.size() < m * ctx_slot_ * dim) {
+    context_grads_.resize(m * ctx_slot_ * dim);
+  }
+  if (context_nodes_.size() < m * ctx_slot_) {
+    context_nodes_.resize(m * ctx_slot_);
+  }
+  if (context_counts_.size() < m) context_counts_.resize(m);
+  if (losses_.size() < m) losses_.resize(m);
+
+  // Phase 1: per-sample gradients + clipping into private slots. Safe to
+  // fan out because sample i only writes slot i.
+  const size_t slot = ctx_slot_;
+  pool_.ParallelFor(m, kSampleGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Subgraph& s = subgraphs[batch[i]];
+      double w_pos, w_neg;
+      ResolveWeights(s, w_pos, w_neg);
+
+      const size_t contexts = s.negatives.size() + 1;
+      std::span<double> center(center_grads_.data() + i * dim, dim);
+      std::span<NodeId> nodes(context_nodes_.data() + i * slot, contexts);
+      std::span<double> rows(context_grads_.data() + i * slot * dim,
+                             contexts * dim);
+      losses_[i] = ComputeSgnsGradientInto(model, s, w_pos, w_neg, center,
+                                           nodes, rows);
+      context_counts_[i] = static_cast<uint32_t>(contexts);
+
+      if (opts_.clip_per_sample) {
+        // Per-sample clipping, separately per parameter matrix: e∇_{v_i}
+        // (center, Win) and the joint e∇_{v_j} block (contexts, Wout).
+        ClipL2InPlace(center, opts_.clip_threshold);
+        ClipL2InPlace(rows, opts_.clip_threshold);
+      }
+    }
+  });
+
+  // Phase 2 (serial, cheap): loss in sample order and touched lists in
+  // first-touch sample order — both independent of worker scheduling.
+  double batch_loss = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    batch_loss += losses_[i];
+    grad_in_.Touch(subgraphs[batch[i]].center);
+    const NodeId* nodes = context_nodes_.data() + i * slot;
+    for (uint32_t k = 0; k < context_counts_[i]; ++k) {
+      grad_out_.Touch(nodes[k]);
+    }
+  }
+
+  // Phase 3: sample-order reduction, sharded by row ownership. Shard s adds
+  // only rows with id ≡ s (mod shards), walking samples in order — so every
+  // accumulator row receives its additions in exactly the serial order no
+  // matter how many shards run.
+  const size_t shards = pool_.num_threads();
+  pool_.ParallelFor(shards, 1, [&](size_t begin, size_t end) {
+    for (size_t shard = begin; shard < end; ++shard) {
+      for (size_t i = 0; i < m; ++i) {
+        const NodeId center = subgraphs[batch[i]].center;
+        if (center % shards == shard) {
+          auto dst = grad_in_.matrix().Row(center);
+          const double* src = center_grads_.data() + i * dim;
+          for (size_t d = 0; d < dim; ++d) dst[d] += src[d];
+        }
+        const NodeId* nodes = context_nodes_.data() + i * slot;
+        const double* rows = context_grads_.data() + i * slot * dim;
+        for (uint32_t k = 0; k < context_counts_[i]; ++k) {
+          const NodeId row = nodes[k];
+          if (row % shards != shard) continue;
+          auto dst = grad_out_.matrix().Row(row);
+          const double* src = rows + static_cast<size_t>(k) * dim;
+          for (size_t d = 0; d < dim; ++d) dst[d] += src[d];
+        }
+      }
+    }
+  });
+
+  return batch_loss;
+}
+
+void BatchGradientEngine::PerturbNonZero(double stddev, Rng& rng) {
+  const Rng base = rng.Fork();  // one master draw per perturbation
+  if (stddev == 0.0) return;
+  const std::vector<uint32_t>& in_rows = grad_in_.touched();
+  const std::vector<uint32_t>& out_rows = grad_out_.touched();
+  const size_t in_blocks = NumBlocks(in_rows.size());
+  const size_t out_blocks = NumBlocks(out_rows.size());
+  const size_t dim = opts_.dim;
+
+  // Block b < in_blocks perturbs grad_in rows [b·R, ...); the rest map to
+  // grad_out. Each block's noise comes from substream Fork(b), so the noise
+  // a given touched row receives is a function of (master seed, epoch,
+  // position in the touched list) only.
+  pool_.ParallelFor(in_blocks + out_blocks, 1, [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      Rng block_rng = base.Fork(b);
+      const bool is_in = b < in_blocks;
+      const std::vector<uint32_t>& rows = is_in ? in_rows : out_rows;
+      Matrix& mat = is_in ? grad_in_.matrix() : grad_out_.matrix();
+      const size_t block = is_in ? b : b - in_blocks;
+      const size_t lo = block * kNoiseBlockRows;
+      const size_t hi = std::min(rows.size(), lo + kNoiseBlockRows);
+      for (size_t r = lo; r < hi; ++r) {
+        auto row = mat.Row(rows[r]);
+        for (size_t d = 0; d < dim; ++d) {
+          row[d] += block_rng.Normal(0.0, stddev);
+        }
+      }
+    }
+  });
+}
+
+void BatchGradientEngine::PerturbNaiveIntoModel(SkipGramModel& model,
+                                                double learning_rate,
+                                                double stddev, Rng& rng) {
+  const Rng base = rng.Fork();
+  if (stddev == 0.0) return;
+  const size_t n = opts_.num_nodes;
+  const size_t dim = opts_.dim;
+  pool_.ParallelFor(NumBlocks(n), 1, [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      Rng block_rng = base.Fork(b);
+      const size_t lo = b * kNoiseBlockRows;
+      const size_t hi = std::min(n, lo + kNoiseBlockRows);
+      for (size_t v = lo; v < hi; ++v) {
+        auto in_row = model.w_in.Row(v);
+        auto out_row = model.w_out.Row(v);
+        for (size_t d = 0; d < dim; ++d) {
+          in_row[d] -= learning_rate * block_rng.Normal(0.0, stddev);
+        }
+        for (size_t d = 0; d < dim; ++d) {
+          out_row[d] -= learning_rate * block_rng.Normal(0.0, stddev);
+        }
+      }
+    }
+  });
+}
+
+void BatchGradientEngine::ApplyUpdate(SkipGramModel& model,
+                                      double learning_rate) {
+  const size_t dim = opts_.dim;
+  const auto apply = [&](const std::vector<uint32_t>& rows, Matrix& weights,
+                         const Matrix& grads) {
+    pool_.ParallelFor(rows.size(), kApplyGrain, [&](size_t begin, size_t end) {
+      for (size_t r = begin; r < end; ++r) {
+        auto dst = weights.Row(rows[r]);
+        const auto src = grads.Row(rows[r]);
+        for (size_t d = 0; d < dim; ++d) dst[d] -= learning_rate * src[d];
+      }
+    });
+  };
+  apply(grad_in_.touched(), model.w_in, grad_in_.matrix());
+  apply(grad_out_.touched(), model.w_out, grad_out_.matrix());
+  grad_in_.Clear();
+  grad_out_.Clear();
+}
+
+}  // namespace sepriv

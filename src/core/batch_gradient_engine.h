@@ -1,0 +1,115 @@
+// Parallel batch-gradient engine: the compute substrate of Algorithm 2.
+//
+// SePrivGEmb::Train() used to compute every per-sample skip-gram gradient,
+// clip, and noise draw serially with per-negative heap allocations. This
+// engine fans the batch out over a persistent ThreadPool while keeping the
+// result BIT-IDENTICAL for every thread count:
+//
+//   1. gradient phase — workers compute ComputeSgnsGradient + per-sample
+//      clipping into preallocated per-sample scratch slots (no allocation on
+//      the hot path); which worker computes a sample never affects its slot;
+//   2. touch phase   — the touched-row lists are built serially in
+//      first-touch sample order, so they are independent of scheduling;
+//   3. reduce phase  — accumulator rows are partitioned over workers by
+//      row id; every worker walks the batch in sample order and adds only
+//      the rows it owns, so each row receives its floating-point additions
+//      in exactly the serial order regardless of the partition;
+//   4. noise phase   — Gaussian perturbation (both the non-zero Eq. 9 and
+//      naive Eq. 6 strategies) is generated in fixed-size row blocks, each
+//      block drawing from its own Rng::Fork(block) substream.
+//
+// Fixed block/grain sizes (never derived from num_threads) are what make
+// phases 1 and 4 scheduling-invariant.
+
+#ifndef SEPRIVGEMB_CORE_BATCH_GRADIENT_ENGINE_H_
+#define SEPRIVGEMB_CORE_BATCH_GRADIENT_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/sparse_row_grad.h"
+#include "embedding/skipgram.h"
+#include "embedding/subgraph_sampler.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sepriv {
+
+struct BatchGradientEngineOptions {
+  size_t num_nodes = 0;
+  size_t dim = 0;
+
+  /// Per-sample L2 clipping to clip_threshold (Eq. 3) when true — the
+  /// private path. false skips clipping entirely (SE-GEmb counterpart).
+  bool clip_per_sample = false;
+  double clip_threshold = 0.0;
+
+  NegativeWeighting negative_weighting = NegativeWeighting::kPaperPij;
+  double min_weight = 0.0;  // min(P); the kUnifiedMinP negative weight
+
+  /// Worker count, already resolved (>= 1). 1 runs everything inline on the
+  /// calling thread.
+  size_t num_threads = 1;
+};
+
+class BatchGradientEngine {
+ public:
+  /// `edge_weights` are the per-edge preferences p_ij (indexed by
+  /// Subgraph::edge_index); the span must outlive the engine.
+  BatchGradientEngine(const BatchGradientEngineOptions& opts,
+                      std::span<const double> edge_weights);
+
+  /// Computes the clipped per-sample gradients of `batch` (indices into
+  /// `subgraphs`) in parallel and reduces them in sample order into the
+  /// internal accumulators. Returns the summed batch loss (sample order, so
+  /// also thread-count invariant).
+  double AccumulateBatch(const SkipGramModel& model,
+                         std::span<const Subgraph> subgraphs,
+                         std::span<const uint32_t> batch);
+
+  /// Ñ(·) of Eq. (9): adds N(0, stddev²) to every touched accumulator row,
+  /// generated in row blocks on the pool. Consumes one draw from `rng` to
+  /// key the epoch's noise substreams.
+  void PerturbNonZero(double stddev, Rng& rng);
+
+  /// Eq. (6): dense noise on every row of both model matrices, applied
+  /// directly as  w -= lr · N(0, stddev²)  so the accumulators' touched-row
+  /// invariant stays intact. Row-block parallel, same substream scheme.
+  void PerturbNaiveIntoModel(SkipGramModel& model, double learning_rate,
+                             double stddev, Rng& rng);
+
+  /// Applies w -= lr · grad for every touched row of both accumulators,
+  /// then clears them. Row-parallel (rows are disjoint).
+  void ApplyUpdate(SkipGramModel& model, double learning_rate);
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  const SparseRowGrad& grad_in() const { return grad_in_; }
+  const SparseRowGrad& grad_out() const { return grad_out_; }
+
+ private:
+  /// Resolves (w_pos, w_neg) for one sample under the weighting mode.
+  void ResolveWeights(const Subgraph& s, double& w_pos, double& w_neg) const;
+
+  BatchGradientEngineOptions opts_;
+  std::span<const double> edge_weights_;
+  ThreadPool pool_;
+
+  SparseRowGrad grad_in_;   // ∂L/∂Win accumulator (B touched rows max)
+  SparseRowGrad grad_out_;  // ∂L/∂Wout accumulator (B·(k+1) rows max)
+
+  // Per-sample scratch, sized on first AccumulateBatch and reused. Sample i
+  // owns center_grads_[i·dim ..), context slab i·ctx_slot_.. of
+  // context_nodes_/context_grads_, losses_[i], context_counts_[i].
+  size_t ctx_slot_ = 0;  // max contexts (k+1) per sample in the current batch
+  std::vector<double> center_grads_;
+  std::vector<double> context_grads_;
+  std::vector<NodeId> context_nodes_;
+  std::vector<uint32_t> context_counts_;
+  std::vector<double> losses_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_CORE_BATCH_GRADIENT_ENGINE_H_

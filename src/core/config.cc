@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "util/env.h"
+#include "util/thread_pool.h"
+
 namespace sepriv {
 namespace {
 
@@ -16,14 +19,24 @@ const char* PerturbationName(PerturbationStrategy s) {
 
 }  // namespace
 
+size_t SePrivGEmbConfig::ResolvedThreads() const {
+  if (num_threads > 0) return num_threads;
+  constexpr size_t kMaxThreads = 1024;
+  const size_t parsed = ParseSizeEnv("SEPRIV_NUM_THREADS", kMaxThreads,
+                                     /*fallback=*/0,
+                                     /*zero_means_fallback=*/true);
+  if (parsed > 0) return parsed;
+  return ThreadPool::ResolveThreads(0);
+}
+
 std::string SePrivGEmbConfig::DebugString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "r=%zu k=%d B=%zu eta=%.3g C=%.3g sigma=%.3g eps=%.3g "
-                "delta=%.1e epochs<=%zu perturb=%s",
+                "delta=%.1e epochs<=%zu perturb=%s threads=%zu",
                 dim, negatives, batch_size, learning_rate, clip_threshold,
                 noise_multiplier, epsilon, delta, max_epochs,
-                PerturbationName(perturbation));
+                PerturbationName(perturbation), num_threads);
   return buf;
 }
 

@@ -62,6 +62,15 @@ struct SePrivGEmbConfig {
   /// Record mean batch loss every epoch into TrainResult::loss_curve.
   bool track_loss = true;
 
+  /// Worker threads for the batch-gradient engine. 0 = auto: the
+  /// SEPRIV_NUM_THREADS environment variable if set, else hardware
+  /// concurrency. Output is bit-identical for every value; 1 runs the whole
+  /// hot path inline on the calling thread.
+  size_t num_threads = 0;
+
+  /// num_threads with the auto policy applied (always >= 1).
+  size_t ResolvedThreads() const;
+
   std::string DebugString() const;
 };
 

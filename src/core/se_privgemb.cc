@@ -5,34 +5,12 @@
 #include <cstdio>
 #include <limits>
 
-#include "core/sparse_row_grad.h"
-#include "dp/clipping.h"
-#include "dp/gaussian_mechanism.h"
-#include "embedding/sgns.h"
+#include "core/batch_gradient_engine.h"
 #include "embedding/subgraph_sampler.h"
 #include "util/alias_table.h"
 #include "util/check.h"
 
 namespace sepriv {
-namespace {
-
-/// Clips the per-sample gradient jointly across its touched rows of one
-/// parameter matrix (standard per-example DPSGD clipping, Eq. 3).
-void ClipJointly(std::vector<std::pair<NodeId, std::vector<double>>>& rows,
-                 double threshold) {
-  double sq = 0.0;
-  for (const auto& [_, grad] : rows) {
-    for (double g : grad) sq += g * g;
-  }
-  const double scale = ClipScale(std::sqrt(sq), threshold);
-  if (scale != 1.0) {
-    for (auto& [_, grad] : rows) {
-      for (double& g : grad) g *= scale;
-    }
-  }
-}
-
-}  // namespace
 
 SePrivGEmb::SePrivGEmb(const Graph& graph, ProximityKind preference,
                        const SePrivGEmbConfig& config,
@@ -69,6 +47,19 @@ TrainResult SePrivGEmb::Train() {
   SEPRIV_CHECK(graph_.num_edges() > 0, "cannot train on an empty graph");
   SEPRIV_CHECK(cfg.dim >= 1 && cfg.batch_size >= 1, "bad dim/batch config");
 
+  const bool is_private = cfg.perturbation != PerturbationStrategy::kNone;
+  // Proximity-weighted positive sampling draws edges WITH replacement from a
+  // non-uniform distribution; the subsampled-RDP accountant below assumes
+  // uniform without-replacement batches (Definition 6), so combining the two
+  // would under-report ε. Reject rather than silently publish an invalid
+  // privacy claim.
+  SEPRIV_CHECK(
+      !(is_private &&
+        cfg.positive_sampling == PositiveSampling::kProximityWeighted),
+      "proximity-weighted positive sampling is incompatible with private "
+      "training: the RDP accountant's sampling_rate assumes uniform "
+      "without-replacement batches (use PerturbationStrategy::kNone)");
+
   Rng rng(cfg.seed);
   TrainResult result;
   result.min_proximity = min_weight_;
@@ -88,7 +79,6 @@ TrainResult SePrivGEmb::Train() {
     positive_alias.Build(edge_weights_);
   }
 
-  const bool is_private = cfg.perturbation != PerturbationStrategy::kNone;
   const double sampling_rate =
       std::min(1.0, static_cast<double>(cfg.batch_size) /
                         static_cast<double>(sampler.size()));
@@ -103,9 +93,18 @@ TrainResult SePrivGEmb::Train() {
     result.epochs_allowed = accountant->MaxSteps(cfg.epsilon, cfg.delta);
   }
 
-  // Per-batch gradient accumulators (touched-row tracking).
-  SparseRowGrad grad_in(graph_.num_nodes(), cfg.dim);
-  SparseRowGrad grad_out(graph_.num_nodes(), cfg.dim);
+  // The parallel batch-gradient engine does the per-sample work (gradients,
+  // clipping, reduction, noise); this loop stays a thin orchestrator. The
+  // engine's output is bit-identical for every thread count.
+  BatchGradientEngineOptions eopts;
+  eopts.num_nodes = graph_.num_nodes();
+  eopts.dim = cfg.dim;
+  eopts.clip_per_sample = is_private;
+  eopts.clip_threshold = cfg.clip_threshold;
+  eopts.negative_weighting = cfg.negative_weighting;
+  eopts.min_weight = min_weight_;
+  eopts.num_threads = cfg.ResolvedThreads();
+  BatchGradientEngine engine(eopts, edge_weights_);
 
   const double lr = cfg.learning_rate;
   const double c = cfg.clip_threshold;
@@ -140,75 +139,23 @@ TrainResult SePrivGEmb::Train() {
       batch = sampler.SampleBatch(cfg.batch_size, rng);
     }
 
-    double batch_loss = 0.0;
-    for (uint32_t idx : batch) {
-      const Subgraph& s = sampler.All()[idx];
-      const double pij = edge_weights_[s.edge_index];
-      double w_pos = pij, w_neg = pij;
-      switch (cfg.negative_weighting) {
-        case NegativeWeighting::kPaperPij:
-          break;  // literal Eq. (5)
-        case NegativeWeighting::kUnifiedMinP:
-          w_neg = min_weight_;
-          break;
-        case NegativeWeighting::kUnit:
-          w_pos = w_neg = 1.0;
-          break;
-      }
+    // Per-sample gradients + clipping (Eq. 7/8, Eq. 3), fanned out over the
+    // pool, reduced in sample order.
+    const double batch_loss =
+        engine.AccumulateBatch(model, sampler.All(), batch);
 
-      SgnsGradient g = ComputeSgnsGradient(model, s, w_pos, w_neg);
-      batch_loss += g.loss;
-
-      if (is_private) {
-        // Per-sample clipping, separately per parameter matrix (the paper's
-        // e∇_{v_i} for Win and e∇_{v_j} for Wout).
-        ClipL2InPlace(g.center_grad, c);
-        ClipJointly(g.context_grads, c);
-      }
-      grad_in.AddToRow(g.center, g.center_grad);
-      for (const auto& [row, grad] : g.context_grads) {
-        grad_out.AddToRow(row, grad);
-      }
-    }
-
-    // Perturb (lines 6-7) and apply the averaged update.
+    // Perturb (lines 6-7) and apply the update.
     switch (cfg.perturbation) {
       case PerturbationStrategy::kNone:
         break;
       case PerturbationStrategy::kNonZero:
-        AddGaussianNoiseToRows(grad_in.matrix(), grad_in.touched(),
-                               nonzero_stddev, rng);
-        AddGaussianNoiseToRows(grad_out.matrix(), grad_out.touched(),
-                               nonzero_stddev, rng);
+        engine.PerturbNonZero(nonzero_stddev, rng);
         break;
-      case PerturbationStrategy::kNaive: {
-        // Eq. (6): every row of both gradients is perturbed, so every row of
-        // the model moves. Materialise noise directly into the update to
-        // keep the accumulator's touched-row invariant intact.
-        for (size_t v = 0; v < graph_.num_nodes(); ++v) {
-          auto in_row = model.w_in.Row(v);
-          auto out_row = model.w_out.Row(v);
-          for (size_t d = 0; d < cfg.dim; ++d) {
-            in_row[d] -= lr * rng.Normal(0.0, naive_stddev);
-            out_row[d] -= lr * rng.Normal(0.0, naive_stddev);
-          }
-        }
+      case PerturbationStrategy::kNaive:
+        engine.PerturbNaiveIntoModel(model, lr, naive_stddev, rng);
         break;
-      }
     }
-
-    for (uint32_t row : grad_in.touched()) {
-      auto dst = model.w_in.Row(row);
-      const auto src = grad_in.matrix().Row(row);
-      for (size_t d = 0; d < cfg.dim; ++d) dst[d] -= lr * src[d];
-    }
-    for (uint32_t row : grad_out.touched()) {
-      auto dst = model.w_out.Row(row);
-      const auto src = grad_out.matrix().Row(row);
-      for (size_t d = 0; d < cfg.dim; ++d) dst[d] -= lr * src[d];
-    }
-    grad_in.Clear();
-    grad_out.Clear();
+    engine.ApplyUpdate(model, lr);
 
     if (is_private) accountant->Step();
     ++result.epochs_run;

@@ -26,6 +26,14 @@ class SparseRowGrad {
   void AddToRow(uint32_t r, std::span<const double> values) {
     auto row = grad_.Row(r);
     for (size_t d = 0; d < row.size(); ++d) row[d] += values[d];
+    Touch(r);
+  }
+
+  /// Marks r touched without modifying values. The batch-gradient engine
+  /// builds the touched list serially (first-touch order, so it is
+  /// independent of worker scheduling) and then accumulates values into
+  /// matrix() rows concurrently.
+  void Touch(uint32_t r) {
     if (!is_touched_[r]) {
       is_touched_[r] = 1;
       touched_.push_back(r);

@@ -14,51 +14,91 @@ double SgnsLoss(const SkipGramModel& model, const Subgraph& s, double w_pos,
   return loss;
 }
 
-SgnsGradient ComputeSgnsGradient(const SkipGramModel& model, const Subgraph& s,
-                                 double w_pos, double w_neg) {
+double ComputeSgnsGradientInto(const SkipGramModel& model, const Subgraph& s,
+                               double w_pos, double w_neg,
+                               std::span<double> center_grad,
+                               std::span<NodeId> context_nodes,
+                               std::span<double> context_grads) {
   const size_t dim = model.dim();
-  SgnsGradient g;
-  g.center = s.center;
-  g.center_grad.assign(dim, 0.0);
-  g.context_grads.reserve(s.negatives.size() + 1);
+  const size_t contexts = s.negatives.size() + 1;
+  SEPRIV_DCHECK(center_grad.size() == dim);
+  SEPRIV_DCHECK(context_nodes.size() >= contexts);
+  SEPRIV_DCHECK(context_grads.size() >= contexts * dim);
 
+  for (size_t d = 0; d < dim; ++d) center_grad[d] = 0.0;
   const auto vi = model.w_in.Row(s.center);
 
-  auto accumulate = [&](NodeId ctx, double indicator, double weight) {
+  double loss = 0.0;
+  auto accumulate = [&](size_t slot, NodeId ctx, double indicator,
+                        double weight) {
     const auto vn = model.w_out.Row(ctx);
     const double x = Dot(vi.data(), vn.data(), dim);
     const double coeff = weight * (Sigmoid(x) - indicator);
     // ∂L/∂v_i += coeff · v_n   (Eq. 7)
-    for (size_t d = 0; d < dim; ++d) g.center_grad[d] += coeff * vn[d];
+    for (size_t d = 0; d < dim; ++d) center_grad[d] += coeff * vn[d];
     // ∂L/∂v_n  = coeff · v_i   (Eq. 8)
-    std::vector<double> row(dim);
+    double* row = context_grads.data() + slot * dim;
     for (size_t d = 0; d < dim; ++d) row[d] = coeff * vi[d];
-    g.context_grads.emplace_back(ctx, std::move(row));
+    context_nodes[slot] = ctx;
     // Loss bookkeeping.
     if (indicator > 0.5) {
-      g.loss -= weight * LogSigmoid(x);
+      loss -= weight * LogSigmoid(x);
     } else {
-      g.loss -= weight * LogSigmoid(-x);
+      loss -= weight * LogSigmoid(-x);
     }
   };
 
-  accumulate(s.context, 1.0, w_pos);
-  for (NodeId n : s.negatives) accumulate(n, 0.0, w_neg);
+  accumulate(0, s.context, 1.0, w_pos);
+  for (size_t k = 0; k < s.negatives.size(); ++k) {
+    accumulate(k + 1, s.negatives[k], 0.0, w_neg);
+  }
+  return loss;
+}
+
+SgnsGradient ComputeSgnsGradient(const SkipGramModel& model, const Subgraph& s,
+                                 double w_pos, double w_neg) {
+  const size_t dim = model.dim();
+  const size_t contexts = s.negatives.size() + 1;
+  SgnsGradient g;
+  g.center = s.center;
+  g.center_grad.assign(dim, 0.0);
+
+  std::vector<NodeId> nodes(contexts);
+  std::vector<double> rows(contexts * dim);
+  g.loss = ComputeSgnsGradientInto(model, s, w_pos, w_neg, g.center_grad,
+                                   nodes, rows);
+
+  g.context_grads.reserve(contexts);
+  for (size_t k = 0; k < contexts; ++k) {
+    g.context_grads.emplace_back(
+        nodes[k],
+        std::vector<double>(rows.begin() + static_cast<ptrdiff_t>(k * dim),
+                            rows.begin() + static_cast<ptrdiff_t>((k + 1) * dim)));
+  }
   return g;
 }
 
 double SgdStep(SkipGramModel& model, const Subgraph& s, double w_pos,
                double w_neg, double learning_rate) {
-  const SgnsGradient g = ComputeSgnsGradient(model, s, w_pos, w_neg);
+  // Uses the flat-scratch form directly: this is the per-sample hot path of
+  // the non-private trainers, and the pair-of-vectors SgnsGradient would
+  // cost k+1 extra allocations per call.
+  const size_t dim = model.dim();
+  const size_t contexts = s.negatives.size() + 1;
+  std::vector<double> center(dim);
+  std::vector<NodeId> nodes(contexts);
+  std::vector<double> rows(contexts * dim);
+  const double loss =
+      ComputeSgnsGradientInto(model, s, w_pos, w_neg, center, nodes, rows);
+
   auto vi = model.w_in.Row(s.center);
-  for (size_t d = 0; d < model.dim(); ++d)
-    vi[d] -= learning_rate * g.center_grad[d];
-  for (const auto& [row, grad] : g.context_grads) {
-    auto vn = model.w_out.Row(row);
-    for (size_t d = 0; d < model.dim(); ++d)
-      vn[d] -= learning_rate * grad[d];
+  for (size_t d = 0; d < dim; ++d) vi[d] -= learning_rate * center[d];
+  for (size_t k = 0; k < contexts; ++k) {
+    auto vn = model.w_out.Row(nodes[k]);
+    const double* g = rows.data() + k * dim;
+    for (size_t d = 0; d < dim; ++d) vn[d] -= learning_rate * g[d];
   }
-  return g.loss;
+  return loss;
 }
 
 }  // namespace sepriv

@@ -1,6 +1,7 @@
 #include "embedding/subgraph_sampler.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/check.h"
 
@@ -27,8 +28,6 @@ SubgraphSampler::SubgraphSampler(const Graph& graph, int negatives_per_edge,
     s.edge_index = static_cast<uint32_t>(e);
     s.negatives.reserve(static_cast<size_t>(negatives_per_edge));
     // Algorithm 1 lines 4–12: rejection-sample nodes non-adjacent to center.
-    // On near-complete neighbourhoods (no valid negative may exist) fall
-    // back to any non-center node after a bounded number of rejections.
     for (int k = 0; k < negatives_per_edge; ++k) {
       NodeId cand = s.center;
       bool found = false;
@@ -40,7 +39,26 @@ SubgraphSampler::SubgraphSampler(const Graph& graph, int negatives_per_edge,
           break;
         }
       }
+      if (!found && exclude_neighbors) {
+        // Rejection exhausted its budget (dense neighbourhood). Before
+        // relaxing the non-adjacency constraint, reservoir-sample the node
+        // range: if ANY valid non-neighbor exists one must be used — falling
+        // straight back to "any non-center node" would violate
+        // exclude_neighbors whenever the valid set is merely small — and the
+        // reservoir keeps the pick uniform over the valid set, matching the
+        // distribution rejection sampling targets.
+        uint64_t valid_seen = 0;
+        for (size_t probe = 0; probe < n; ++probe) {
+          const auto node = static_cast<NodeId>(probe);
+          if (node == s.center || graph.HasEdge(s.center, node)) continue;
+          ++valid_seen;
+          if (valid_seen == 1 || rng.UniformInt(valid_seen) == 0) cand = node;
+        }
+        found = valid_seen > 0;
+      }
       if (!found) {
+        // Truly no valid negative (e.g. complete graph): relax to any
+        // non-center node so construction still terminates.
         cand = static_cast<NodeId>((s.center + 1 + rng.UniformInt(n - 1)) % n);
         if (cand == s.center) cand = static_cast<NodeId>((cand + 1) % n);
       }
@@ -56,15 +74,18 @@ std::vector<uint32_t> SubgraphSampler::SampleBatch(size_t batch_size,
   SEPRIV_CHECK(n > 0, "no subgraphs to sample");
   const size_t m = std::min(batch_size, n);
   // Floyd's algorithm: uniform m-subset without replacement in O(m).
+  // Membership is tracked in a flat hash set keyed by index — the previous
+  // std::find over the picked vector made large private batches O(m²).
   std::vector<uint32_t> picked;
   picked.reserve(m);
+  std::unordered_set<uint32_t> in_pick;
+  in_pick.reserve(m);
   for (size_t j = n - m; j < n; ++j) {
     const auto t = static_cast<uint32_t>(rng.UniformInt(j + 1));
-    if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
-      picked.push_back(t);
-    } else {
-      picked.push_back(static_cast<uint32_t>(j));
-    }
+    const uint32_t pick =
+        in_pick.insert(t).second ? t : static_cast<uint32_t>(j);
+    if (pick != t) in_pick.insert(pick);
+    picked.push_back(pick);
   }
   return picked;
 }

@@ -1,0 +1,40 @@
+// Environment-variable parsing shared by the library's runtime knobs
+// (SEPRIV_NUM_THREADS) and the bench binaries' SEPRIV_BENCH_* overrides.
+
+#ifndef SEPRIVGEMB_UTIL_ENV_H_
+#define SEPRIVGEMB_UTIL_ENV_H_
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sepriv {
+
+/// Parses a positive-integer environment variable. Returns `fallback` when
+/// the variable is unset; warns on stderr and returns `fallback` when the
+/// value is not an integer in [1, max] (negative input wraps and overflow
+/// saturates in strtoull — both land above any sane `max` and are rejected
+/// rather than handed to a thread pool or allocator). With
+/// `zero_means_fallback`, an explicit "0" is accepted as a silent request
+/// for the fallback — matching knobs whose documented auto value is 0.
+inline size_t ParseSizeEnv(const char* name, size_t max, size_t fallback,
+                           bool zero_means_fallback = false) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  const bool is_number = end != v && *end == '\0' && errno == 0;
+  if (is_number && parsed == 0 && zero_means_fallback) return fallback;
+  if (is_number && parsed > 0 &&
+      parsed <= static_cast<unsigned long long>(max)) {
+    return static_cast<size_t>(parsed);
+  }
+  std::fprintf(stderr, "[seprivgemb] ignoring invalid %s=%s\n", name, v);
+  return fallback;
+}
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_ENV_H_

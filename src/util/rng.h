@@ -32,8 +32,13 @@ class Rng {
   explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
 
   /// Re-seeds the whole state from a single 64-bit value via splitmix64.
+  /// Also drops the Box–Muller cache: a reseeded engine must be
+  /// indistinguishable from a freshly constructed one, never emitting a
+  /// normal draw left over from the previous stream.
   void Seed(uint64_t seed) {
     for (auto& word : s_) word = SplitMix64(seed);
+    has_cached_ = false;
+    cached_ = 0.0;
   }
 
   static constexpr result_type min() { return 0; }
@@ -100,7 +105,19 @@ class Rng {
   double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
 
   /// Derives an independent child stream (for per-worker determinism).
+  /// Advances this engine by one draw.
   Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Derives the `stream`-th independent child from the current state
+  /// WITHOUT advancing it: the same (state, stream) pair always yields the
+  /// same child. This is the substream primitive parallel code uses to give
+  /// every sample/row-block its own generator regardless of which worker
+  /// thread processes it.
+  Rng Fork(uint64_t stream) const {
+    uint64_t mix = (s_[0] ^ Rotl(s_[2], 31)) +
+                   (stream + 1) * 0x9e3779b97f4a7c15ULL;
+    return Rng(SplitMix64(mix));
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

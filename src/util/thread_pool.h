@@ -1,0 +1,134 @@
+// Persistent worker pool with a blocking parallel-for primitive.
+//
+// Built for the batch-gradient hot path: one pool lives for the whole
+// training run, ParallelFor is invoked a few times per epoch, and the
+// calling thread always participates so `num_threads == 1` costs nothing
+// over a plain loop. Work is dealt in caller-chosen contiguous chunks via an
+// atomic cursor, so load balances dynamically while the mapping from index
+// to computation stays fixed — callers that write results to per-index slots
+// (and reduce in index order afterwards) get bit-identical output for every
+// thread count.
+
+#ifndef SEPRIVGEMB_UTIL_THREAD_POOL_H_
+#define SEPRIVGEMB_UTIL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sepriv {
+
+class ThreadPool {
+ public:
+  /// Body of one parallel-for chunk: processes indices [begin, end).
+  using ChunkFn = std::function<void(size_t begin, size_t end)>;
+
+  /// Resolves a thread-count knob: 0 means "use the hardware", anything else
+  /// is taken literally. hardware_concurrency() may itself report 0 on
+  /// exotic platforms, hence the final clamp.
+  static size_t ResolveThreads(size_t requested) {
+    if (requested > 0) return requested;
+    return std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  explicit ThreadPool(size_t num_threads) {
+    num_threads = std::max<size_t>(1, num_threads);
+    workers_.reserve(num_threads - 1);  // the calling thread is worker 0
+    for (size_t t = 0; t + 1 < num_threads; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `body` over [0, n) split into chunks of at most `grain` indices;
+  /// blocks until every index has been processed. `body` must be safe to
+  /// call concurrently on disjoint ranges. Only one ParallelFor may be in
+  /// flight at a time (nested calls would deadlock).
+  void ParallelFor(size_t n, size_t grain, const ChunkFn& body) {
+    if (n == 0) return;
+    grain = std::max<size_t>(1, grain);
+    if (workers_.empty() || n <= grain) {
+      body(0, n);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body_ = &body;
+      n_ = n;
+      grain_ = grain;
+      cursor_.store(0, std::memory_order_relaxed);
+      pending_workers_ = workers_.size();
+      ++job_id_;
+    }
+    work_cv_.notify_all();
+    RunChunks();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+    body_ = nullptr;
+  }
+
+ private:
+  void RunChunks() {
+    const ChunkFn* body = body_;
+    size_t begin;
+    while ((begin = cursor_.fetch_add(grain_, std::memory_order_relaxed)) <
+           n_) {
+      (*body)(begin, std::min(n_, begin + grain_));
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_job = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen_job; });
+        if (stop_) return;
+        seen_job = job_id_;
+      }
+      RunChunks();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_workers_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  uint64_t job_id_ = 0;        // bumped per ParallelFor; workers join once each
+  size_t pending_workers_ = 0;
+
+  // Current job (valid while a ParallelFor is in flight).
+  const ChunkFn* body_ = nullptr;
+  size_t n_ = 0;
+  size_t grain_ = 1;
+  std::atomic<size_t> cursor_{0};
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,230 @@
+#include "core/batch_gradient_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/clipping.h"
+#include "embedding/sgns.h"
+#include "embedding/subgraph_sampler.h"
+#include "graph/generators.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  SubgraphSampler sampler;
+  SkipGramModel model;
+  std::vector<double> weights;
+  std::vector<uint32_t> batch;
+
+  explicit Fixture(uint64_t seed = 3, size_t dim = 12)
+      : graph(BarabasiAlbert(80, 3, seed)),
+        sampler(graph, 4, seed + 1) {
+    Rng rng(seed + 2);
+    model = SkipGramModel(graph.num_nodes(), dim, rng);
+    weights.assign(graph.num_edges(), 0.0);
+    for (size_t e = 0; e < weights.size(); ++e) {
+      weights[e] = 0.1 + 0.9 * rng.Uniform();
+    }
+    batch = sampler.SampleBatch(40, rng);
+  }
+
+  BatchGradientEngineOptions Options(size_t threads, bool clip) const {
+    BatchGradientEngineOptions o;
+    o.num_nodes = graph.num_nodes();
+    o.dim = model.dim();
+    o.clip_per_sample = clip;
+    o.clip_threshold = 0.7;
+    o.negative_weighting = NegativeWeighting::kPaperPij;
+    o.min_weight = 0.05;
+    o.num_threads = threads;
+    return o;
+  }
+};
+
+/// The pre-engine serial reference: per-sample gradient, per-matrix clip,
+/// accumulate in sample order (what SePrivGEmb::Train used to inline).
+void SerialReference(const Fixture& f, bool clip, double clip_threshold,
+                     SparseRowGrad& grad_in, SparseRowGrad& grad_out,
+                     double& loss_out) {
+  loss_out = 0.0;
+  for (uint32_t idx : f.batch) {
+    const Subgraph& s = f.sampler.All()[idx];
+    const double pij = f.weights[s.edge_index];
+    SgnsGradient g = ComputeSgnsGradient(f.model, s, pij, pij);
+    loss_out += g.loss;
+    if (clip) {
+      ClipL2InPlace(g.center_grad, clip_threshold);
+      double sq = 0.0;
+      for (const auto& [_, grad] : g.context_grads) {
+        for (double x : grad) sq += x * x;
+      }
+      const double scale = ClipScale(std::sqrt(sq), clip_threshold);
+      if (scale != 1.0) {
+        for (auto& [_, grad] : g.context_grads) {
+          for (double& x : grad) x *= scale;
+        }
+      }
+    }
+    grad_in.AddToRow(g.center, g.center_grad);
+    for (const auto& [row, grad] : g.context_grads) {
+      grad_out.AddToRow(row, grad);
+    }
+  }
+}
+
+TEST(BatchGradientEngineTest, MatchesSerialReferenceBitwise) {
+  const Fixture f;
+  for (bool clip : {false, true}) {
+    SparseRowGrad ref_in(f.graph.num_nodes(), f.model.dim());
+    SparseRowGrad ref_out(f.graph.num_nodes(), f.model.dim());
+    double ref_loss = 0.0;
+    SerialReference(f, clip, 0.7, ref_in, ref_out, ref_loss);
+
+    for (size_t threads : {1UL, 2UL, 4UL}) {
+      BatchGradientEngine engine(f.Options(threads, clip), f.weights);
+      const double loss =
+          engine.AccumulateBatch(f.model, f.sampler.All(), f.batch);
+      EXPECT_EQ(loss, ref_loss) << threads << " threads, clip=" << clip;
+      EXPECT_EQ(MaxAbsDiff(engine.grad_in().matrix(), ref_in.matrix()), 0.0);
+      EXPECT_EQ(MaxAbsDiff(engine.grad_out().matrix(), ref_out.matrix()), 0.0);
+      EXPECT_EQ(engine.grad_in().touched(), ref_in.touched());
+      EXPECT_EQ(engine.grad_out().touched(), ref_out.touched());
+    }
+  }
+}
+
+TEST(BatchGradientEngineTest, NonZeroPerturbationThreadCountInvariant) {
+  const Fixture f;
+  Matrix base_in, base_out;
+  for (size_t threads : {1UL, 2UL, 4UL}) {
+    BatchGradientEngine engine(f.Options(threads, true), f.weights);
+    engine.AccumulateBatch(f.model, f.sampler.All(), f.batch);
+    Rng noise_rng(777);
+    engine.PerturbNonZero(2.5, noise_rng);
+    if (threads == 1) {
+      base_in = engine.grad_in().matrix();
+      base_out = engine.grad_out().matrix();
+    } else {
+      EXPECT_EQ(MaxAbsDiff(engine.grad_in().matrix(), base_in), 0.0)
+          << threads << " threads";
+      EXPECT_EQ(MaxAbsDiff(engine.grad_out().matrix(), base_out), 0.0)
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchGradientEngineTest, NonZeroPerturbationOnlyTouchesTouchedRows) {
+  const Fixture f;
+  BatchGradientEngine engine(f.Options(2, true), f.weights);
+  engine.AccumulateBatch(f.model, f.sampler.All(), f.batch);
+  std::vector<bool> touched(f.graph.num_nodes(), false);
+  for (uint32_t r : engine.grad_out().touched()) touched[r] = true;
+  Rng noise_rng(5);
+  engine.PerturbNonZero(1.0, noise_rng);
+  for (size_t v = 0; v < f.graph.num_nodes(); ++v) {
+    if (touched[v]) continue;
+    for (double x : engine.grad_out().matrix().Row(v)) {
+      EXPECT_EQ(x, 0.0) << "untouched row " << v << " was perturbed";
+    }
+  }
+}
+
+TEST(BatchGradientEngineTest, NaivePerturbationThreadCountInvariant) {
+  const Fixture f;
+  Matrix base_in;
+  for (size_t threads : {1UL, 2UL, 4UL}) {
+    BatchGradientEngine engine(f.Options(threads, true), f.weights);
+    SkipGramModel model = f.model;  // perturbed in place
+    Rng noise_rng(888);
+    engine.PerturbNaiveIntoModel(model, 0.1, 3.0, noise_rng);
+    EXPECT_GT(MaxAbsDiff(model.w_in, f.model.w_in), 0.0);  // noise landed
+    if (threads == 1) {
+      base_in = model.w_in;
+    } else {
+      EXPECT_EQ(MaxAbsDiff(model.w_in, base_in), 0.0) << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchGradientEngineTest, ApplyUpdateSubtractsScaledGradientAndClears) {
+  const Fixture f;
+  BatchGradientEngine engine(f.Options(3, false), f.weights);
+  engine.AccumulateBatch(f.model, f.sampler.All(), f.batch);
+  const Matrix grads_in = engine.grad_in().matrix();
+
+  SkipGramModel model = f.model;
+  const double lr = 0.25;
+  engine.ApplyUpdate(model, lr);
+
+  for (size_t v = 0; v < f.graph.num_nodes(); ++v) {
+    for (size_t d = 0; d < f.model.dim(); ++d) {
+      EXPECT_DOUBLE_EQ(model.w_in(v, d),
+                       f.model.w_in(v, d) - lr * grads_in(v, d));
+    }
+  }
+  EXPECT_TRUE(engine.grad_in().touched().empty());
+  EXPECT_TRUE(engine.grad_out().touched().empty());
+  EXPECT_EQ(engine.grad_in().matrix().FrobeniusNorm(), 0.0);
+}
+
+TEST(BatchGradientEngineTest, ScratchReuseAcrossBatchesStaysCorrect) {
+  // Repeated AccumulateBatch/ApplyUpdate cycles must not leak state between
+  // batches (the scratch slots are reused, the accumulators cleared).
+  const Fixture f;
+  BatchGradientEngine a(f.Options(1, true), f.weights);
+  BatchGradientEngine b(f.Options(4, true), f.weights);
+  SkipGramModel model_a = f.model;
+  SkipGramModel model_b = f.model;
+  Rng rng_a(99), rng_b(99);
+  for (int round = 0; round < 5; ++round) {
+    const auto batch = [&] {
+      Rng batch_rng(1000 + round);
+      return f.sampler.SampleBatch(24, batch_rng);
+    }();
+    const double la = a.AccumulateBatch(model_a, f.sampler.All(), batch);
+    const double lb = b.AccumulateBatch(model_b, f.sampler.All(), batch);
+    EXPECT_EQ(la, lb);
+    a.PerturbNonZero(0.8, rng_a);
+    b.PerturbNonZero(0.8, rng_b);
+    a.ApplyUpdate(model_a, 0.1);
+    b.ApplyUpdate(model_b, 0.1);
+    EXPECT_EQ(MaxAbsDiff(model_a.w_in, model_b.w_in), 0.0) << "round " << round;
+    EXPECT_EQ(MaxAbsDiff(model_a.w_out, model_b.w_out), 0.0);
+  }
+}
+
+TEST(SgnsGradientIntoTest, MatchesAllocatingForm) {
+  const Fixture f;
+  for (uint32_t idx : f.batch) {
+    const Subgraph& s = f.sampler.All()[idx];
+    const double pij = f.weights[s.edge_index];
+    const SgnsGradient g = ComputeSgnsGradient(f.model, s, pij, 0.4);
+
+    const size_t dim = f.model.dim();
+    const size_t contexts = s.negatives.size() + 1;
+    std::vector<double> center(dim);
+    std::vector<NodeId> nodes(contexts);
+    std::vector<double> rows(contexts * dim);
+    const double loss =
+        ComputeSgnsGradientInto(f.model, s, pij, 0.4, center, nodes, rows);
+
+    EXPECT_EQ(loss, g.loss);
+    EXPECT_EQ(center, g.center_grad);
+    ASSERT_EQ(g.context_grads.size(), contexts);
+    for (size_t k = 0; k < contexts; ++k) {
+      EXPECT_EQ(nodes[k], g.context_grads[k].first);
+      for (size_t d = 0; d < dim; ++d) {
+        EXPECT_EQ(rows[k * dim + d], g.context_grads[k].second[d]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -228,8 +228,84 @@ TEST(TrainerTest, ProximityWeightedPositiveSampling) {
   auto cfg = SmallConfig();
   cfg.max_epochs = 10;
   cfg.positive_sampling = PositiveSampling::kProximityWeighted;
+  // Only valid non-privately: alias draws are with replacement, which the
+  // subsampled-RDP accountant cannot cover (see the rejection test below).
+  cfg.perturbation = PerturbationStrategy::kNone;
   SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
   EXPECT_EQ(trainer.Train().epochs_run, 10u);
+}
+
+TEST(TrainerDeathTest, ProximityWeightedPrivateTrainingRejected) {
+  // With-replacement proximity-weighted batches break the accountant's
+  // uniform without-replacement sampling_rate assumption; a private run
+  // would publish an invalid ε. Train() must refuse the combination.
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.positive_sampling = PositiveSampling::kProximityWeighted;
+  for (auto strategy :
+       {PerturbationStrategy::kNonZero, PerturbationStrategy::kNaive}) {
+    cfg.perturbation = strategy;
+    SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+    EXPECT_DEATH(trainer.Train(), "without-replacement");
+  }
+}
+
+// The batch-gradient engine's determinism contract: for a fixed seed the
+// ENTIRE TrainResult — weights, loss curve, privacy spend — is bit-identical
+// for every thread count, in private and non-private modes alike.
+void ExpectThreadCountInvariant(PerturbationStrategy strategy) {
+  Graph g = BarabasiAlbert(150, 4, 7);
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 25;
+  cfg.batch_size = 48;
+  cfg.perturbation = strategy;
+
+  cfg.num_threads = 1;
+  SePrivGEmb t1(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult base = t1.Train();
+
+  for (size_t threads : {2UL, 4UL}) {
+    cfg.num_threads = threads;
+    SePrivGEmb tn(g, ProximityKind::kDeepWalk, cfg);
+    const TrainResult r = tn.Train();
+    EXPECT_EQ(MaxAbsDiff(base.model.w_in, r.model.w_in), 0.0)
+        << "w_in differs at " << threads << " threads";
+    EXPECT_EQ(MaxAbsDiff(base.model.w_out, r.model.w_out), 0.0)
+        << "w_out differs at " << threads << " threads";
+    EXPECT_EQ(base.loss_curve, r.loss_curve)
+        << "loss curve differs at " << threads << " threads";
+    EXPECT_EQ(base.epochs_run, r.epochs_run);
+    EXPECT_EQ(base.spent_epsilon, r.spent_epsilon);
+    EXPECT_EQ(base.spent_delta, r.spent_delta);
+  }
+}
+
+TEST(TrainerTest, ThreadCountInvariantNonPrivate) {
+  ExpectThreadCountInvariant(PerturbationStrategy::kNone);
+}
+
+TEST(TrainerTest, ThreadCountInvariantPrivateNonZero) {
+  ExpectThreadCountInvariant(PerturbationStrategy::kNonZero);
+}
+
+TEST(TrainerTest, ThreadCountInvariantPrivateNaive) {
+  ExpectThreadCountInvariant(PerturbationStrategy::kNaive);
+}
+
+TEST(TrainerTest, AutoThreadsMatchesExplicitThreadCount) {
+  // num_threads = 0 resolves to SEPRIV_NUM_THREADS/hardware concurrency;
+  // whatever it resolves to, the result must equal an explicit run.
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 15;
+  cfg.num_threads = 0;
+  SePrivGEmb auto_t(g, ProximityKind::kDeepWalk, cfg);
+  cfg.num_threads = cfg.ResolvedThreads();
+  EXPECT_GE(cfg.num_threads, 1u);
+  SePrivGEmb explicit_t(g, ProximityKind::kDeepWalk, cfg);
+  EXPECT_EQ(MaxAbsDiff(auto_t.Train().model.w_in,
+                       explicit_t.Train().model.w_in),
+            0.0);
 }
 
 TEST(TrainerDeathTest, EmptyGraphAborts) {

@@ -1,0 +1,46 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sepriv {
+namespace {
+
+class ParseSizeEnvTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVar = "SEPRIV_TEST_ENV_VALUE";
+  void TearDown() override { unsetenv(kVar); }
+  void Set(const char* value) { setenv(kVar, value, /*overwrite=*/1); }
+};
+
+TEST_F(ParseSizeEnvTest, UnsetReturnsFallback) {
+  EXPECT_EQ(ParseSizeEnv(kVar, 100, 7), 7u);
+}
+
+TEST_F(ParseSizeEnvTest, ValidValueParsed) {
+  Set("42");
+  EXPECT_EQ(ParseSizeEnv(kVar, 100, 7), 42u);
+  Set("100");
+  EXPECT_EQ(ParseSizeEnv(kVar, 100, 7), 100u);  // max inclusive
+  Set("1");
+  EXPECT_EQ(ParseSizeEnv(kVar, 100, 7), 1u);
+}
+
+TEST_F(ParseSizeEnvTest, GarbageFallsBack) {
+  for (const char* bad : {"", "abc", "12abc", "0", "-1", "101",
+                          "99999999999999999999999999", "5 "}) {
+    Set(bad);
+    EXPECT_EQ(ParseSizeEnv(kVar, 100, 7), 7u) << "value '" << bad << "'";
+  }
+}
+
+TEST_F(ParseSizeEnvTest, ZeroMeansFallbackWhenRequested) {
+  Set("0");
+  EXPECT_EQ(ParseSizeEnv(kVar, 100, 7, /*zero_means_fallback=*/true), 7u);
+  Set("5");
+  EXPECT_EQ(ParseSizeEnv(kVar, 100, 7, /*zero_means_fallback=*/true), 5u);
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -121,11 +121,60 @@ TEST(RngTest, BernoulliExtremes) {
   }
 }
 
+TEST(RngTest, ReseedClearsBoxMullerCache) {
+  // Box–Muller produces two normals per pair of uniforms and caches the
+  // second. An odd number of Normal() draws before Seed() used to leave the
+  // cache populated, so the first post-reseed Normal() came from the OLD
+  // stream. A reseeded engine must be indistinguishable from a fresh one.
+  Rng fresh(7);
+  std::vector<double> expected;
+  for (int i = 0; i < 5; ++i) expected.push_back(fresh.Normal());
+
+  Rng reseeded(99);
+  reseeded.Normal();  // odd draw count -> cache holds a stale second value
+  reseeded.Seed(7);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(reseeded.Normal(), expected[i]);
+}
+
+TEST(RngTest, ReseedDeterminismAcrossMixedDrawCounts) {
+  // Regression companion: whatever mixture of draws happened before Seed(),
+  // the post-reseed stream is a function of the seed alone.
+  Rng a(1), b(2);
+  a.Normal();
+  a.Normal();
+  a.Normal();
+  b.Uniform();
+  a.Seed(123);
+  b.Seed(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Normal(), b.Normal());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng parent(31);
   Rng child = parent.Fork();
   int same = 0;
   for (int i = 0; i < 64; ++i) same += (parent.Next() == child.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, KeyedForkIsDeterministicAndDoesNotAdvanceParent) {
+  Rng parent(55);
+  const Rng snapshot = parent;  // value semantics: capture the state
+  Rng child_a = parent.Fork(17);
+  Rng child_b = parent.Fork(17);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child_a.Next(), child_b.Next());
+  // The keyed overload is const: the parent stream is untouched.
+  Rng parent_copy = snapshot;
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(parent.Next(), parent_copy.Next());
+}
+
+TEST(RngTest, KeyedForkStreamsAreDistinct) {
+  Rng parent(56);
+  Rng a = parent.Fork(0);
+  Rng b = parent.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
   EXPECT_LT(same, 2);
 }
 

@@ -152,6 +152,65 @@ TEST(SubgraphSamplerTest, TwoNodeGraphFallbackAvoidsCenter) {
   }
 }
 
+TEST(SubgraphSamplerTest, FallbackScanFindsValidNegativeOnNearCompleteGraph) {
+  // K_100 minus the single edge (0, 1): for centers 0 and 1 exactly one
+  // valid negative exists (the other node), so a uniform rejection try
+  // succeeds with probability 1/100 and the 256-try budget is exhausted
+  // about 8% of the time. Across the ~200 negative draws centered at 0 or 1
+  // that makes at least one fallback essentially certain — and the fallback
+  // used to return an arbitrary non-center node, i.e. a NEIGHBOR, violating
+  // exclude_neighbors. The fixed fallback scans for a valid non-neighbor
+  // first, so every negative must be the unique valid one.
+  const size_t n = 100;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (!(u == 0 && v == 1)) edges.push_back({u, v});
+  Graph g = Graph::FromEdges(n, std::move(edges));
+  SubgraphSampler sampler(g, 2, 19, EdgeOrientation::kCanonical,
+                          /*exclude_neighbors=*/true);
+  size_t checked = 0;
+  for (const Subgraph& s : sampler.All()) {
+    if (s.center != 0 && s.center != 1) continue;
+    const NodeId only_valid = (s.center == 0) ? 1 : 0;
+    for (NodeId neg : s.negatives) {
+      EXPECT_EQ(neg, only_valid)
+          << "center " << s.center << " got adjacent negative " << neg;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 190u);  // centers 0/1 carry ~99 edges x 2 negatives
+}
+
+TEST(SubgraphSamplerTest, BatchMatchesReferenceFloydForFixedSeed) {
+  // SampleBatch replaced an O(m²) std::find membership probe with a hash
+  // set; the sequence of picks must be unchanged. Reference: the original
+  // Floyd loop with linear membership scans.
+  Graph g = ErdosRenyiGnm(300, 900, 5);
+  SubgraphSampler sampler(g, 1, 5);
+  for (uint64_t seed : {1ULL, 42ULL, 99ULL}) {
+    for (size_t batch_size : {1UL, 7UL, 128UL, 900UL}) {
+      Rng rng_new(seed), rng_ref(seed);
+      const auto batch = sampler.SampleBatch(batch_size, rng_new);
+
+      const size_t n = sampler.size();
+      const size_t m = std::min(batch_size, n);
+      std::vector<uint32_t> reference;
+      reference.reserve(m);
+      for (size_t j = n - m; j < n; ++j) {
+        const auto t = static_cast<uint32_t>(rng_ref.UniformInt(j + 1));
+        if (std::find(reference.begin(), reference.end(), t) ==
+            reference.end()) {
+          reference.push_back(t);
+        } else {
+          reference.push_back(static_cast<uint32_t>(j));
+        }
+      }
+      EXPECT_EQ(batch, reference) << "seed " << seed << " m " << batch_size;
+    }
+  }
+}
+
 TEST(SubgraphSamplerTest, NearCompleteGraphFindsTheOnlyValidNegative) {
   // K_8 minus the single edge (0, 1): for subgraphs centered at 0 the sole
   // non-adjacent candidate is node 1, and vice versa. Under the canonical
