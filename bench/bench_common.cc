@@ -5,6 +5,7 @@
 
 #include "baselines/embedder.h"
 #include "eval/strucequ.h"
+#include "proximity/proximity_engine.h"
 #include "util/check.h"
 
 namespace sepriv::bench {
@@ -49,7 +50,12 @@ EdgeProximity BuildEdgeProximity(const Graph& graph, ProximityKind kind,
     opts.dw_walks_per_node = 200;
   }
   const auto provider = MakeProximity(kind, graph, opts);
-  return ComputeEdgeProximities(graph, *provider);
+  // Parallel precompute with cache-through persistence: every sweep binary
+  // recomputes a given (graph, preference) pair at most once per machine
+  // when SEPRIV_PROXIMITY_CACHE points at a directory.
+  return CachedEdgeProximities(graph, *provider, opts,
+                               SePrivGEmbConfig{}.ResolvedThreads(),
+                               ProximityCacheDirFromEnv());
 }
 
 SePrivGEmbConfig DefaultConfig(const Profile& profile) {

@@ -1,0 +1,149 @@
+// Thread-scaling + cache benchmark for the parallel proximity engine.
+//
+// Generates a Barabási–Albert graph (100k nodes by default) and runs the
+// full structure-preference precompute (both edge passes of
+// ParallelEdgeProximities) for the high-order preferences the paper
+// evaluates — Katz, personalized PageRank, DeepWalk (exact and sampled) —
+// at 1/2/4/8 worker threads, reporting edges/second and speedup over the
+// single-thread baseline. A per-configuration digest over the full
+// EdgeProximity (values, normalized, min/max fields) witnesses the engine's
+// bit-identical-across-thread-counts guarantee.
+//
+// A second table times the persistent cache: cold = parallel compute + save,
+// warm = validated load from disk, plus the cold/warm ratio. The warm path
+// is what repeated trainer runs and the bench/ sweep family hit.
+//
+// High-order options are reduced (Katz L=2, PPR 3 iterations) so the bench
+// finishes in minutes at 100k nodes: per-source cost, not series depth, is
+// what the engine parallelises, so speedups transfer to deeper settings.
+//
+// Environment knobs:
+//   SEPRIV_BENCH_NODES     graph size              (default 100000)
+//   SEPRIV_BENCH_DEGREE    BA attachment per node  (default 5)
+//   SEPRIV_BENCH_PPR_ITERS PPR power iterations    (default 3)
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "proximity/proximity_engine.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  return sepriv::ParseSizeEnv(name, /*max=*/1000000000, fallback);
+}
+
+// FNV-1a over the raw bytes of the whole EdgeProximity: any single-bit
+// difference in any value or summary field changes the digest.
+uint64_t ProximityDigest(const sepriv::EdgeProximity& ep) {
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](const void* data, size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(ep.values.data(), ep.values.size() * sizeof(double));
+  mix(ep.normalized.data(), ep.normalized.size() * sizeof(double));
+  mix(&ep.min_positive, sizeof(ep.min_positive));
+  mix(&ep.max_value, sizeof(ep.max_value));
+  mix(&ep.normalized_min_positive, sizeof(ep.normalized_min_positive));
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sepriv;
+
+  const size_t nodes = EnvSize("SEPRIV_BENCH_NODES", 100000);
+  const size_t degree = EnvSize("SEPRIV_BENCH_DEGREE", 5);
+  const int ppr_iters =
+      static_cast<int>(EnvSize("SEPRIV_BENCH_PPR_ITERS", 3));
+
+  std::printf("# bench_proximity_scaling\n");
+  std::printf("# hardware threads: %zu\n", ThreadPool::ResolveThreads(0));
+
+  WallTimer setup;
+  const Graph graph = BarabasiAlbert(nodes, degree, /*seed=*/1);
+  std::printf("# graph: BA %s (built in %.2fs)\n", graph.Summary().c_str(),
+              setup.ElapsedSeconds());
+
+  ProximityOptions opts;
+  opts.katz_max_length = 2;  // see file comment: reduced depth, same sharding
+  opts.ppr_iterations = ppr_iters;
+  opts.dw_window = 2;
+  opts.dw_walks_per_node = 40;
+
+  const std::vector<ProximityKind> kinds = {
+      ProximityKind::kKatz,
+      ProximityKind::kPersonalizedPageRank,
+      ProximityKind::kDeepWalk,
+      ProximityKind::kDeepWalkSampled,
+  };
+
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "sepriv_bench_prox_cache")
+          .string();
+
+  std::printf("\n== thread scaling (both edge passes, %zu edges) ==\n",
+              graph.num_edges());
+  std::printf("%-18s %-8s %12s %14s %10s %18s\n", "preference", "threads",
+              "time_s", "edges/s", "speedup", "digest");
+
+  std::vector<double> cold_times(kinds.size(), 0.0);
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    const auto provider = MakeProximity(kinds[k], graph, opts);
+    double base_time = 0.0;
+    for (size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+      ThreadPool pool(threads);
+      WallTimer timer;
+      const EdgeProximity ep = ParallelEdgeProximities(graph, *provider, pool);
+      const double secs = timer.ElapsedSeconds();
+      if (threads == 1) base_time = secs;
+      if (threads == 4) cold_times[k] = secs;
+      std::printf("%-18s %-8zu %12.3f %14.0f %9.2fx %18" PRIx64 "\n",
+                  ProximityKindName(kinds[k]).c_str(), threads, secs,
+                  static_cast<double>(graph.num_edges()) / secs,
+                  base_time / secs, ProximityDigest(ep));
+    }
+  }
+  std::printf("# digests must be identical per preference: the engine is "
+              "bit-identical across thread counts\n");
+
+  std::printf("\n== persistent cache (dir: %s) ==\n", cache_dir.c_str());
+  std::printf("%-18s %12s %12s %10s %18s\n", "preference", "cold_s",
+              "warm_s", "ratio", "digest(warm)");
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);  // guarantee a cold start
+  ThreadPool pool(ThreadPool::ResolveThreads(0));
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    const auto provider = MakeProximity(kinds[k], graph, opts);
+    WallTimer cold_timer;
+    const EdgeProximity cold =
+        CachedEdgeProximities(graph, *provider, opts, pool, cache_dir);
+    const double cold_s = cold_timer.ElapsedSeconds();
+    WallTimer warm_timer;
+    const EdgeProximity warm =
+        CachedEdgeProximities(graph, *provider, opts, pool, cache_dir);
+    const double warm_s = warm_timer.ElapsedSeconds();
+    const bool identical = ProximityDigest(cold) == ProximityDigest(warm);
+    std::printf("%-18s %12.3f %12.4f %9.1fx %18" PRIx64 "%s\n",
+                ProximityKindName(kinds[k]).c_str(), cold_s, warm_s,
+                cold_s / warm_s, ProximityDigest(warm),
+                identical ? "" : "  COLD/WARM MISMATCH!");
+  }
+  std::printf("# warm runs load the validated cache file; cold = parallel "
+              "compute + save\n");
+  std::filesystem::remove_all(cache_dir, ec);
+  return 0;
+}

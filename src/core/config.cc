@@ -29,6 +29,14 @@ size_t SePrivGEmbConfig::ResolvedThreads() const {
   return ThreadPool::ResolveThreads(0);
 }
 
+std::string SePrivGEmbConfig::ResolvedProximityCachePath() const {
+  if (proximity_cache_path == "-") return "";  // forced off
+  if (!proximity_cache_path.empty()) return proximity_cache_path;
+  // Same knob ProximityCacheDirFromEnv() reads; duplicated here so the core
+  // config doesn't pull in the whole proximity-engine header for one getenv.
+  return GetStringEnv("SEPRIV_PROXIMITY_CACHE");
+}
+
 std::string SePrivGEmbConfig::DebugString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

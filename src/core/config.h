@@ -71,6 +71,20 @@ struct SePrivGEmbConfig {
   /// num_threads with the auto policy applied (always >= 1).
   size_t ResolvedThreads() const;
 
+  /// Directory of the persistent edge-weight cache consulted before the
+  /// proximity precompute (see proximity/proximity_engine.h). Empty = auto:
+  /// the SEPRIV_PROXIMITY_CACHE environment variable if set, else caching is
+  /// disabled; "-" forces caching OFF even when the environment variable is
+  /// set (e.g. an uncached baseline inside a cached test sweep). Entries are
+  /// keyed by graph fingerprint + provider name + options, so one directory
+  /// can safely serve many graphs and sweeps; stale or corrupt entries are
+  /// recomputed, never trusted.
+  std::string proximity_cache_path;
+
+  /// proximity_cache_path with the auto policy applied (may be empty:
+  /// caching off).
+  std::string ResolvedProximityCachePath() const;
+
   std::string DebugString() const;
 };
 

@@ -7,6 +7,7 @@
 
 #include "core/batch_gradient_engine.h"
 #include "embedding/subgraph_sampler.h"
+#include "proximity/proximity_engine.h"
 #include "util/alias_table.h"
 #include "util/check.h"
 
@@ -16,8 +17,15 @@ SePrivGEmb::SePrivGEmb(const Graph& graph, ProximityKind preference,
                        const SePrivGEmbConfig& config,
                        const ProximityOptions& prox_opts)
     : graph_(graph), config_(config) {
+  // The structure-preference precompute runs on the parallel proximity
+  // engine (cache-through when a cache directory is configured): the output
+  // is bit-identical to the serial ComputeEdgeProximities for every thread
+  // count and for the warm-cache path. Workers are spun up only on a miss.
   const auto provider = MakeProximity(preference, graph, prox_opts);
-  const EdgeProximity prox = ComputeEdgeProximities(graph, *provider);
+  const EdgeProximity prox =
+      CachedEdgeProximities(graph, *provider, prox_opts,
+                            config_.ResolvedThreads(),
+                            config_.ResolvedProximityCachePath());
   if (config_.normalize_proximity) {
     edge_weights_ = prox.normalized;
     min_weight_ = prox.normalized_min_positive;

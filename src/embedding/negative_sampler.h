@@ -24,16 +24,31 @@ class UniformNonNeighborSampler {
  public:
   explicit UniformNonNeighborSampler(const Graph& graph) : graph_(graph) {}
 
-  /// One negative for `center`; falls back to any node != center after a
-  /// bounded number of rejections.
+  /// One negative for `center`. When rejection sampling exhausts its budget
+  /// (dense neighbourhood), the valid non-neighbor set is reservoir-sampled
+  /// directly — the old fallback of "any node != center" could hand back a
+  /// NEIGHBOR of the center, violating Theorem 3's non-neighbor negative
+  /// design. Only a center adjacent to every other node (no valid candidate
+  /// exists at all) relaxes to an arbitrary non-center node.
   NodeId Sample(NodeId center, Rng& rng) const {
     const size_t n = graph_.num_nodes();
-    NodeId cand = center;
     for (int tries = 0; tries < 256; ++tries) {
-      cand = static_cast<NodeId>(rng.UniformInt(n));
+      const auto cand = static_cast<NodeId>(rng.UniformInt(n));
       if (cand != center && !graph_.HasEdge(center, cand)) return cand;
     }
-    return cand == center ? static_cast<NodeId>((center + 1) % n) : cand;
+    // Same scan-before-relax fallback as SubgraphSampler: uniform over the
+    // valid non-neighbor set via reservoir sampling.
+    NodeId cand = center;
+    uint64_t valid_seen = 0;
+    for (size_t probe = 0; probe < n; ++probe) {
+      const auto node = static_cast<NodeId>(probe);
+      if (node == center || graph_.HasEdge(center, node)) continue;
+      ++valid_seen;
+      if (valid_seen == 1 || rng.UniformInt(valid_seen) == 0) cand = node;
+    }
+    if (valid_seen > 0) return cand;
+    // center + 1 + r (mod n) with r in [0, n-2] covers exactly V \ {center}.
+    return static_cast<NodeId>((center + 1 + rng.UniformInt(n - 1)) % n);
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace sepriv {
 
@@ -101,6 +102,18 @@ std::vector<double> Graph::DegreeVector() const {
   for (size_t v = 0; v < num_nodes(); ++v)
     deg[v] = static_cast<double>(Degree(v));
   return deg;
+}
+
+uint64_t Graph::Fingerprint() const {
+  // splitmix64-chained word hash: every offset and adjacency entry feeds the
+  // state, so any structural difference (including trailing isolated nodes)
+  // changes the digest.
+  uint64_t h = 0x5e9e7a6b5ee2c9d1ULL;
+  h = HashMix(h, static_cast<uint64_t>(num_nodes()));
+  h = HashMix(h, static_cast<uint64_t>(num_edges()));
+  for (size_t off : offsets_) h = HashMix(h, static_cast<uint64_t>(off));
+  for (NodeId v : adjacency_) h = HashMix(h, static_cast<uint64_t>(v));
+  return h;
 }
 
 std::string Graph::Summary() const {

@@ -76,6 +76,12 @@ class Graph {
   /// Per-node degree vector (double, for samplers and proximities).
   std::vector<double> DegreeVector() const;
 
+  /// 64-bit structural hash over the CSR arrays (offsets + adjacency +
+  /// counts). Two graphs share a fingerprint iff they have identical node
+  /// count and canonical edge lists; stable across processes and platforms
+  /// of equal endianness. Keys the persistent proximity cache.
+  uint64_t Fingerprint() const;
+
   /// Human-readable one-line summary ("|V|=..., |E|=..., avg deg=...").
   std::string Summary() const;
 

@@ -1,7 +1,9 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -25,13 +27,27 @@ std::optional<Graph> ReadEdgeList(const std::string& path, bool remap_ids) {
     auto [it, inserted] = remap.emplace(raw, static_cast<NodeId>(remap.size()));
     return it->second;
   };
+  // Strict non-negative token parse. `ss >> u` on "-1" would wrap to a huge
+  // uint64_t (strtoull semantics) which remap_ids=true then happily interns
+  // as a phantom node; negative ids must be a parse FAILURE, not a wrap.
+  auto parse_id = [](const std::string& tok, uint64_t* out) {
+    if (tok.empty() || tok[0] == '-' || tok[0] == '+') return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size() || errno != 0) return false;
+    *out = parsed;
+    return true;
+  };
   std::string line;
   uint64_t max_id = 0;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ss(line);
+    std::string tu, tv;
     uint64_t u = 0, v = 0;
-    if (!(ss >> u >> v)) return std::nullopt;  // malformed line
+    if (!(ss >> tu >> tv) || !parse_id(tu, &u) || !parse_id(tv, &v))
+      return std::nullopt;  // malformed line (missing, negative, non-numeric)
     if (remap_ids) {
       edges.push_back({intern(u), intern(v)});
     } else {

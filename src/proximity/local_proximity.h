@@ -3,6 +3,7 @@
 #ifndef SEPRIVGEMB_PROXIMITY_LOCAL_PROXIMITY_H_
 #define SEPRIVGEMB_PROXIMITY_LOCAL_PROXIMITY_H_
 
+#include <memory>
 #include <string>
 
 #include "graph/graph.h"
@@ -16,6 +17,9 @@ class CommonNeighborsProximity : public ProximityProvider {
   explicit CommonNeighborsProximity(const Graph& graph) : graph_(graph) {}
   std::string Name() const override { return "common_neighbors"; }
   double At(NodeId i, NodeId j) const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<CommonNeighborsProximity>(graph_);
+  }
 
  private:
   const Graph& graph_;
@@ -27,6 +31,9 @@ class JaccardProximity : public ProximityProvider {
   explicit JaccardProximity(const Graph& graph) : graph_(graph) {}
   std::string Name() const override { return "jaccard"; }
   double At(NodeId i, NodeId j) const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<JaccardProximity>(graph_);
+  }
 
  private:
   const Graph& graph_;
@@ -43,6 +50,9 @@ class PreferentialAttachmentProximity : public ProximityProvider {
                        : 0.0) {}
   std::string Name() const override { return "degree"; }
   double At(NodeId i, NodeId j) const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<PreferentialAttachmentProximity>(graph_);
+  }
 
  private:
   const Graph& graph_;
@@ -55,6 +65,9 @@ class AdamicAdarProximity : public ProximityProvider {
   explicit AdamicAdarProximity(const Graph& graph) : graph_(graph) {}
   std::string Name() const override { return "adamic_adar"; }
   double At(NodeId i, NodeId j) const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<AdamicAdarProximity>(graph_);
+  }
 
  private:
   const Graph& graph_;
@@ -66,6 +79,9 @@ class ResourceAllocationProximity : public ProximityProvider {
   explicit ResourceAllocationProximity(const Graph& graph) : graph_(graph) {}
   std::string Name() const override { return "resource_allocation"; }
   double At(NodeId i, NodeId j) const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<ResourceAllocationProximity>(graph_);
+  }
 
  private:
   const Graph& graph_;

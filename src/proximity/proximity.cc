@@ -9,30 +9,18 @@
 
 namespace sepriv {
 
-EdgeProximity ComputeEdgeProximities(const Graph& graph,
-                                     const ProximityProvider& provider) {
+EdgeProximity FinalizeEdgeProximities(const std::vector<double>& forward,
+                                      const std::vector<double>& backward) {
+  SEPRIV_CHECK(forward.size() == backward.size(),
+               "forward/backward pass size mismatch: %zu vs %zu",
+               forward.size(), backward.size());
   EdgeProximity out;
-  const auto& edges = graph.Edges();
-  out.values.reserve(edges.size());
-
-  // Pass 1: forward direction grouped by u (row-cache friendly).
-  std::vector<double> forward(edges.size()), backward(edges.size());
-  for (size_t e = 0; e < edges.size(); ++e)
-    forward[e] = provider.At(edges[e].u, edges[e].v);
-  // Pass 2: reverse direction grouped by v. Canonical edges are sorted by u,
-  // so group by v via an index sort to keep the row cache warm.
-  std::vector<size_t> by_v(edges.size());
-  for (size_t e = 0; e < edges.size(); ++e) by_v[e] = e;
-  std::sort(by_v.begin(), by_v.end(), [&edges](size_t a, size_t b) {
-    return edges[a].v != edges[b].v ? edges[a].v < edges[b].v
-                                    : edges[a].u < edges[b].u;
-  });
-  for (size_t idx : by_v)
-    backward[idx] = provider.At(edges[idx].v, edges[idx].u);
+  if (forward.empty()) return out;
+  out.values.reserve(forward.size());
 
   double min_pos = std::numeric_limits<double>::infinity();
   double max_val = 0.0;
-  for (size_t e = 0; e < edges.size(); ++e) {
+  for (size_t e = 0; e < forward.size(); ++e) {
     const double p = 0.5 * (forward[e] + backward[e]);
     out.values.push_back(p);
     if (p > 0.0) min_pos = std::min(min_pos, p);
@@ -53,6 +41,28 @@ EdgeProximity ComputeEdgeProximities(const Graph& graph,
     out.normalized[e] = out.values[e] * inv_max;
   out.normalized_min_positive = out.min_positive * inv_max;
   return out;
+}
+
+EdgeProximity ComputeEdgeProximities(const Graph& graph,
+                                     const ProximityProvider& provider) {
+  const auto& edges = graph.Edges();
+
+  // Pass 1: forward direction grouped by u (row-cache friendly).
+  std::vector<double> forward(edges.size()), backward(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e)
+    forward[e] = provider.At(edges[e].u, edges[e].v);
+  // Pass 2: reverse direction grouped by v. Canonical edges are sorted by u,
+  // so group by v via an index sort to keep the row cache warm.
+  std::vector<size_t> by_v(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) by_v[e] = e;
+  std::sort(by_v.begin(), by_v.end(), [&edges](size_t a, size_t b) {
+    return edges[a].v != edges[b].v ? edges[a].v < edges[b].v
+                                    : edges[a].u < edges[b].u;
+  });
+  for (size_t idx : by_v)
+    backward[idx] = provider.At(edges[idx].v, edges[idx].u);
+
+  return FinalizeEdgeProximities(forward, backward);
 }
 
 std::unique_ptr<ProximityProvider> MakeProximity(ProximityKind kind,

@@ -45,17 +45,29 @@ struct ProximityOptions {
 
 /// Read-only proximity oracle over a fixed graph. Implementations may cache
 /// the most recent source row, so At() is cheap when queried grouped by i
-/// (the edge-list iteration order). Not thread-safe.
+/// (the edge-list iteration order). A single instance is not thread-safe;
+/// parallel callers give each worker its own Clone().
 class ProximityProvider {
  public:
   virtual ~ProximityProvider() = default;
 
-  /// Human-readable name, e.g. "deepwalk(T=2)".
+  /// Human-readable name, e.g. "deepwalk(T=2)". Must encode every parameter
+  /// that changes At() (it keys the persistent proximity cache together with
+  /// the graph fingerprint and ProximityOptions).
   virtual std::string Name() const = 0;
 
   /// Proximity of the (ordered) pair (i, j). Symmetrised by the caller when
   /// needed: high-order walk proximities are directional.
+  ///
+  /// At() must be a pure function of (i, j) and construction parameters —
+  /// independent of query order and of any mutable caching — so that clones
+  /// sharded across threads reproduce the serial output bit for bit.
   virtual double At(NodeId i, NodeId j) const = 0;
+
+  /// Fresh provider over the same graph with identical parameters and an
+  /// empty row cache. Each worker of ParallelEdgeProximities owns a private
+  /// clone, so the (mutable, non-thread-safe) row caches never race.
+  virtual std::unique_ptr<ProximityProvider> Clone() const = 0;
 
   /// Symmetric proximity (At(i,j) + At(j,i)) / 2.
   double Symmetric(NodeId i, NodeId j) const {
@@ -81,6 +93,13 @@ struct EdgeProximity {
 /// positive value so the preference weight never silently disables an edge.
 EdgeProximity ComputeEdgeProximities(const Graph& graph,
                                      const ProximityProvider& provider);
+
+/// Shared tail of ComputeEdgeProximities and ParallelEdgeProximities:
+/// symmetrises the per-edge forward/backward passes, floors zero values,
+/// records min/max, and normalises. Kept common so the serial and parallel
+/// engines are bit-identical by construction.
+EdgeProximity FinalizeEdgeProximities(const std::vector<double>& forward,
+                                      const std::vector<double>& backward);
 
 /// Factory. Aborts on unsupported combinations (e.g. exact high-order
 /// providers on graphs beyond their documented size limits).

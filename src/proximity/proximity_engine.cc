@@ -1,0 +1,419 @@
+#include "proximity/proximity_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parallel engine
+// ---------------------------------------------------------------------------
+
+/// Splits [0, m) into at most `target` contiguous ranges of roughly equal
+/// size whose boundaries never fall inside a run of equal `key(e)` — each
+/// distinct source node is computed by exactly one shard, so a shard's
+/// provider clone keeps its row cache warm and no row is computed twice.
+template <typename KeyFn>
+std::vector<std::pair<size_t, size_t>> AlignedShards(size_t m, size_t target,
+                                                     const KeyFn& key) {
+  std::vector<std::pair<size_t, size_t>> shards;
+  if (m == 0) return shards;
+  target = std::max<size_t>(1, target);
+  const size_t chunk = (m + target - 1) / target;
+  size_t begin = 0;
+  while (begin < m) {
+    size_t end = std::min(m, begin + chunk);
+    while (end < m && key(end) == key(end - 1)) ++end;  // don't split a group
+    shards.emplace_back(begin, end);
+    begin = end;
+  }
+  return shards;
+}
+
+/// Fixed-size pool of provider clones handed out to in-flight chunks. The
+/// pool never holds more concurrent chunks than worker threads, so Acquire
+/// cannot run dry; a mutex-guarded freelist is plenty (a few transitions per
+/// shard, not per edge).
+class ClonePool {
+ public:
+  ClonePool(const ProximityProvider& prototype, size_t count) {
+    clones_.reserve(count);
+    free_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      clones_.push_back(prototype.Clone());
+      free_.push_back(clones_.back().get());
+    }
+  }
+
+  ProximityProvider* Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    SEPRIV_CHECK(!free_.empty(), "clone pool exhausted (pool misuse)");
+    ProximityProvider* p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+
+  void Release(ProximityProvider* p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(p);
+  }
+
+ private:
+  std::vector<std::unique_ptr<ProximityProvider>> clones_;
+  std::vector<ProximityProvider*> free_;
+  std::mutex mu_;
+};
+
+/// Runs one direction pass: every shard queries a private clone for its
+/// index range. `per_index` must write to a per-index slot — determinism
+/// then follows from At() being pure in (i, j).
+template <typename PerIndex>
+void RunPass(const std::vector<std::pair<size_t, size_t>>& shards,
+             ClonePool& clones, ThreadPool& pool, const PerIndex& per_index) {
+  pool.ParallelFor(shards.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      ProximityProvider* p = clones.Acquire();
+      for (size_t i = shards[s].first; i < shards[s].second; ++i)
+        per_index(*p, i);
+      clones.Release(p);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Cache serialisation
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kCacheMagic = 0x53505843;  // "SPXC"
+constexpr uint32_t kCacheVersion = 1;
+
+/// splitmix64-chained digest over a byte range, 8 bytes at a time with a
+/// zero-padded tail. Guards the cache file against truncation/corruption.
+uint64_t DigestBytes(const char* data, size_t len) {
+  uint64_t h = 0xc3a5c85c97cb3127ULL ^ len;
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    h = HashMix(h, word);
+  }
+  if (i < len) {
+    uint64_t word = 0;
+    std::memcpy(&word, data + i, len - i);
+    h = HashMix(h, word);
+  }
+  return h;
+}
+
+/// The ProximityOptions fields in a fixed serialisation order, for both the
+/// cache-file header (stored and re-verified field by field on load — a key
+/// hash collision can therefore cause a spurious miss, never a wrong hit)
+/// and HashProximityOptions. Serialised individually, never memcpy'd as a
+/// struct: padding bytes would leak indeterminate memory into the file.
+std::vector<uint64_t> OptionWords(const ProximityOptions& opts) {
+  return {static_cast<uint64_t>(opts.katz_max_length),
+          std::bit_cast<uint64_t>(opts.katz_beta),
+          std::bit_cast<uint64_t>(opts.ppr_alpha),
+          static_cast<uint64_t>(opts.ppr_iterations),
+          static_cast<uint64_t>(opts.dw_window),
+          static_cast<uint64_t>(opts.dw_walks_per_node),
+          static_cast<uint64_t>(opts.dw_walk_length),
+          opts.seed};
+}
+
+template <typename T>
+void AppendPod(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendDoubles(std::string& out, const std::vector<double>& v) {
+  out.append(reinterpret_cast<const char*>(v.data()),
+             v.size() * sizeof(double));
+}
+
+/// Bounds-checked cursor over a loaded cache file.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t len) : data_(data), len_(len) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (cur_ + sizeof(T) > len_) return false;
+    std::memcpy(out, data_ + cur_, sizeof(T));
+    cur_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadString(size_t n, std::string* out) {
+    if (cur_ + n > len_) return false;
+    out->assign(data_ + cur_, n);
+    cur_ += n;
+    return true;
+  }
+
+  bool ReadDoubles(size_t n, std::vector<double>* out) {
+    if (n > (len_ - cur_) / sizeof(double)) return false;
+    out->resize(n);
+    std::memcpy(out->data(), data_ + cur_, n * sizeof(double));
+    cur_ += n * sizeof(double);
+    return true;
+  }
+
+  bool AtEnd() const { return cur_ == len_; }
+
+ private:
+  const char* data_;
+  size_t len_;
+  size_t cur_ = 0;
+};
+
+uint64_t CacheKeyHash(const std::string& provider_name,
+                      const ProximityOptions& opts) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ HashProximityOptions(opts);
+  for (char c : provider_name) {
+    h = HashMix(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+}  // namespace
+
+EdgeProximity ParallelEdgeProximities(const Graph& graph,
+                                      const ProximityProvider& provider,
+                                      ThreadPool& pool) {
+  const auto& edges = graph.Edges();
+  const size_t m = edges.size();
+  const size_t threads = pool.num_threads();
+  // The serial engine IS the single-thread path: bit-identity with
+  // ComputeEdgeProximities holds by construction, not by parallel text.
+  if (threads <= 1 || m < 2) return ComputeEdgeProximities(graph, provider);
+
+  std::vector<double> forward(m), backward(m);
+
+  // Reverse-direction visit order grouped by v (canonical edges are sorted
+  // by u), exactly as in the serial engine.
+  std::vector<size_t> by_v(m);
+  for (size_t e = 0; e < m; ++e) by_v[e] = e;
+  std::sort(by_v.begin(), by_v.end(), [&edges](size_t a, size_t b) {
+    return edges[a].v != edges[b].v ? edges[a].v < edges[b].v
+                                    : edges[a].u < edges[b].u;
+  });
+
+  // Over-decompose (4 shards per worker) so a shard that hits expensive hub
+  // rows doesn't straggle the pass; clones stay bounded by the thread count.
+  const size_t target_shards = threads * 4;
+  ClonePool clones(provider, threads);
+
+  const auto fwd_shards = AlignedShards(
+      m, target_shards, [&edges](size_t e) { return edges[e].u; });
+  RunPass(fwd_shards, clones, pool,
+          [&](const ProximityProvider& p, size_t i) {
+            forward[i] = p.At(edges[i].u, edges[i].v);
+          });
+
+  const auto bwd_shards = AlignedShards(
+      m, target_shards, [&](size_t e) { return edges[by_v[e]].v; });
+  RunPass(bwd_shards, clones, pool,
+          [&](const ProximityProvider& p, size_t i) {
+            const size_t idx = by_v[i];
+            backward[idx] = p.At(edges[idx].v, edges[idx].u);
+          });
+
+  return FinalizeEdgeProximities(forward, backward);
+}
+
+EdgeProximity ParallelEdgeProximities(const Graph& graph,
+                                      const ProximityProvider& provider,
+                                      size_t num_threads) {
+  ThreadPool pool(ThreadPool::ResolveThreads(num_threads));
+  return ParallelEdgeProximities(graph, provider, pool);
+}
+
+uint64_t HashProximityOptions(const ProximityOptions& opts) {
+  uint64_t h = 0xa0761d6478bd642fULL;
+  for (uint64_t word : OptionWords(opts)) h = HashMix(h, word);
+  return h;
+}
+
+std::string ProximityCacheFileName(const Graph& graph,
+                                   const std::string& provider_name,
+                                   const ProximityOptions& opts) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "prox_%016llx_%016llx.bin",
+                static_cast<unsigned long long>(graph.Fingerprint()),
+                static_cast<unsigned long long>(
+                    CacheKeyHash(provider_name, opts)));
+  return buf;
+}
+
+bool SaveEdgeProximityCache(const std::string& dir, const Graph& graph,
+                            const std::string& provider_name,
+                            const ProximityOptions& opts,
+                            const EdgeProximity& prox) {
+  if (dir.empty()) return false;
+  if (prox.values.size() != graph.num_edges() ||
+      prox.normalized.size() != graph.num_edges()) {
+    return false;  // refuse to persist an inconsistent table
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+
+  std::string blob;
+  blob.reserve(64 + provider_name.size() +
+               2 * prox.values.size() * sizeof(double));
+  AppendPod(blob, kCacheMagic);
+  AppendPod(blob, kCacheVersion);
+  AppendPod(blob, graph.Fingerprint());
+  AppendPod(blob, static_cast<uint64_t>(graph.num_nodes()));
+  AppendPod(blob, static_cast<uint64_t>(graph.num_edges()));
+  for (uint64_t word : OptionWords(opts)) AppendPod(blob, word);
+  AppendPod(blob, static_cast<uint32_t>(provider_name.size()));
+  blob.append(provider_name);
+  AppendDoubles(blob, prox.values);
+  AppendPod(blob, prox.min_positive);
+  AppendPod(blob, prox.max_value);
+  AppendDoubles(blob, prox.normalized);
+  AppendPod(blob, prox.normalized_min_positive);
+  AppendPod(blob, DigestBytes(blob.data(), blob.size()));
+
+  const std::string final_path =
+      dir + "/" + ProximityCacheFileName(graph, provider_name, opts);
+  char tmp_suffix[32];
+  std::snprintf(tmp_suffix, sizeof(tmp_suffix), ".tmp.%ld",
+                static_cast<long>(::getpid()));
+  const std::string tmp_path = final_path + tmp_suffix;
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  // Atomic publish: concurrent loaders see either the old complete file or
+  // the new complete file, never a torn write.
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<EdgeProximity> LoadEdgeProximityCache(
+    const std::string& dir, const Graph& graph,
+    const std::string& provider_name, const ProximityOptions& opts) {
+  if (dir.empty()) return std::nullopt;
+  const std::string path =
+      dir + "/" + ProximityCacheFileName(graph, provider_name, opts);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+
+  // Whole-file checksum first: truncated, appended-to, or bit-flipped files
+  // all fail here before any field is trusted.
+  if (blob.size() < sizeof(uint64_t)) return std::nullopt;
+  const size_t payload_len = blob.size() - sizeof(uint64_t);
+  uint64_t stored_digest = 0;
+  std::memcpy(&stored_digest, blob.data() + payload_len, sizeof(uint64_t));
+  if (DigestBytes(blob.data(), payload_len) != stored_digest)
+    return std::nullopt;
+
+  ByteReader reader(blob.data(), payload_len);
+  uint32_t magic = 0, version = 0, name_len = 0;
+  uint64_t fingerprint = 0, num_nodes = 0, num_edges = 0;
+  std::string name;
+  if (!reader.Read(&magic) || magic != kCacheMagic) return std::nullopt;
+  if (!reader.Read(&version) || version != kCacheVersion) return std::nullopt;
+  if (!reader.Read(&fingerprint) || fingerprint != graph.Fingerprint())
+    return std::nullopt;
+  if (!reader.Read(&num_nodes) || num_nodes != graph.num_nodes())
+    return std::nullopt;
+  if (!reader.Read(&num_edges) || num_edges != graph.num_edges())
+    return std::nullopt;
+  // The full option vector is compared field by field — a key-hash collision
+  // in the file name can only cause a spurious miss, never a wrong hit.
+  for (uint64_t expected : OptionWords(opts)) {
+    uint64_t stored = 0;
+    if (!reader.Read(&stored) || stored != expected) return std::nullopt;
+  }
+  if (!reader.Read(&name_len) || !reader.ReadString(name_len, &name) ||
+      name != provider_name) {
+    return std::nullopt;
+  }
+
+  EdgeProximity out;
+  if (!reader.ReadDoubles(static_cast<size_t>(num_edges), &out.values) ||
+      !reader.Read(&out.min_positive) || !reader.Read(&out.max_value) ||
+      !reader.ReadDoubles(static_cast<size_t>(num_edges), &out.normalized) ||
+      !reader.Read(&out.normalized_min_positive) || !reader.AtEnd()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+EdgeProximity CachedEdgeProximities(const Graph& graph,
+                                    const ProximityProvider& provider,
+                                    const ProximityOptions& opts,
+                                    ThreadPool& pool,
+                                    const std::string& cache_dir) {
+  if (!cache_dir.empty()) {
+    if (auto cached =
+            LoadEdgeProximityCache(cache_dir, graph, provider.Name(), opts)) {
+      return std::move(*cached);
+    }
+  }
+  EdgeProximity prox = ParallelEdgeProximities(graph, provider, pool);
+  if (!cache_dir.empty() && graph.num_edges() > 0) {
+    SaveEdgeProximityCache(cache_dir, graph, provider.Name(), opts, prox);
+  }
+  return prox;
+}
+
+EdgeProximity CachedEdgeProximities(const Graph& graph,
+                                    const ProximityProvider& provider,
+                                    const ProximityOptions& opts,
+                                    size_t num_threads,
+                                    const std::string& cache_dir) {
+  if (!cache_dir.empty()) {
+    if (auto cached =
+            LoadEdgeProximityCache(cache_dir, graph, provider.Name(), opts)) {
+      return std::move(*cached);
+    }
+  }
+  // The pool is constructed only on a miss — a warm hit spins up (and joins)
+  // no worker threads at all — then the pool overload owns the shared
+  // compute-and-save path (its redundant re-probe is one failed open).
+  ThreadPool pool(ThreadPool::ResolveThreads(num_threads));
+  return CachedEdgeProximities(graph, provider, opts, pool, cache_dir);
+}
+
+std::string ProximityCacheDirFromEnv() {
+  return GetStringEnv("SEPRIV_PROXIMITY_CACHE");
+}
+
+}  // namespace sepriv

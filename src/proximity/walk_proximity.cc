@@ -187,9 +187,13 @@ SampledDeepWalkProximity::SampledDeepWalkProximity(const Graph& graph,
 }
 
 std::string SampledDeepWalkProximity::Name() const {
-  char buf[80];
-  std::snprintf(buf, sizeof(buf), "deepwalk_sampled(T=%d,R=%d)", window_,
-                walks_per_node_);
+  // The seed changes At() (it keys the walk substreams), so it must appear
+  // in the name: Name() is part of the persistent-cache key, and two
+  // directly constructed providers differing only in seed may not alias.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "deepwalk_sampled(T=%d,R=%d,seed=%llu)",
+                window_, walks_per_node_,
+                static_cast<unsigned long long>(seed_));
   return buf;
 }
 
@@ -198,7 +202,10 @@ void SampledDeepWalkProximity::ComputeRow(NodeId source) const {
   // unbiased for (1/T) Σ_w (D^{-1}A)^w _ij.
   const double unit = 1.0 / (static_cast<double>(walks_per_node_) *
                              static_cast<double>(window_));
-  // Deterministic per-row stream so At(i,j) is repeatable across calls.
+  // Keyed per-source substream (Rng::Fork(stream) discipline): the walk
+  // stream depends only on (seed, source), never on query order or on which
+  // worker computes the row, so At(i,j) is repeatable across calls AND the
+  // parallel engine's sharded clones reproduce the serial output bit for bit.
   uint64_t row_seed = seed_ ^ (static_cast<uint64_t>(source) + 1) * 0x9e3779b97f4a7c15ULL;
   Rng rng(SplitMix64(row_seed));
   for (int r = 0; r < walks_per_node_; ++r) {

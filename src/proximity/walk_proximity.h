@@ -9,6 +9,7 @@
 #ifndef SEPRIVGEMB_PROXIMITY_WALK_PROXIMITY_H_
 #define SEPRIVGEMB_PROXIMITY_WALK_PROXIMITY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,9 @@ class KatzProximity : public RowCachedProximity {
  public:
   KatzProximity(const Graph& graph, int max_length, double beta);
   std::string Name() const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<KatzProximity>(graph_, max_length_, beta_);
+  }
 
  protected:
   void ComputeRow(NodeId source) const override;
@@ -63,6 +67,10 @@ class PersonalizedPageRankProximity : public RowCachedProximity {
   PersonalizedPageRankProximity(const Graph& graph, double alpha,
                                 int iterations);
   std::string Name() const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<PersonalizedPageRankProximity>(graph_, alpha_,
+                                                           iterations_);
+  }
 
  protected:
   void ComputeRow(NodeId source) const override;
@@ -79,6 +87,9 @@ class DeepWalkProximity : public RowCachedProximity {
  public:
   DeepWalkProximity(const Graph& graph, int window);
   std::string Name() const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<DeepWalkProximity>(graph_, window_);
+  }
 
  protected:
   void ComputeRow(NodeId source) const override;
@@ -95,6 +106,10 @@ class SampledDeepWalkProximity : public RowCachedProximity {
   SampledDeepWalkProximity(const Graph& graph, int window, int walks_per_node,
                            uint64_t seed);
   std::string Name() const override;
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<SampledDeepWalkProximity>(graph_, window_,
+                                                      walks_per_node_, seed_);
+  }
 
  protected:
   void ComputeRow(NodeId source) const override;

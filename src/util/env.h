@@ -8,8 +8,18 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace sepriv {
+
+/// Reads a string-valued environment variable; `fallback` when unset.
+/// (An explicitly empty value is returned as such — callers treat empty as
+/// "disabled", matching the proximity-cache knob.)
+inline std::string GetStringEnv(const char* name,
+                                const std::string& fallback = {}) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
 
 /// Parses a positive-integer environment variable. Returns `fallback` when
 /// the variable is unset; warns on stderr and returns `fallback` when the

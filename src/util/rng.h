@@ -23,6 +23,14 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// One step of a splitmix64-chained hash: folds `word` into digest `h`.
+/// Shared by Graph::Fingerprint and the proximity-cache key/checksum code so
+/// the mixing discipline cannot silently diverge between them.
+inline uint64_t HashMix(uint64_t h, uint64_t word) {
+  uint64_t x = h ^ word;
+  return SplitMix64(x);
+}
+
 /// xoshiro256** engine. Satisfies UniformRandomBitGenerator, so it can also
 /// be plugged into <random> distributions when convenient.
 class Rng {

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <limits>
+#include <string>
+#include <system_error>
 
 #include "core/sparse_row_grad.h"
 #include "eval/strucequ.h"
@@ -306,6 +310,61 @@ TEST(TrainerTest, AutoThreadsMatchesExplicitThreadCount) {
   EXPECT_EQ(MaxAbsDiff(auto_t.Train().model.w_in,
                        explicit_t.Train().model.w_in),
             0.0);
+}
+
+TEST(TrainerTest, ProximityCacheKnobResolution) {
+  // Save/restore the real variable: the CI integration job exports it for
+  // the whole binary and later tests must keep seeing it.
+  const char* saved = std::getenv("SEPRIV_PROXIMITY_CACHE");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  SePrivGEmbConfig cfg;
+  setenv("SEPRIV_PROXIMITY_CACHE", "/env/dir", /*overwrite=*/1);
+  EXPECT_EQ(cfg.ResolvedProximityCachePath(), "/env/dir");  // empty -> env
+  cfg.proximity_cache_path = "/explicit";
+  EXPECT_EQ(cfg.ResolvedProximityCachePath(), "/explicit");
+  cfg.proximity_cache_path = "-";  // forced off beats the env var
+  EXPECT_EQ(cfg.ResolvedProximityCachePath(), "");
+  unsetenv("SEPRIV_PROXIMITY_CACHE");
+  cfg.proximity_cache_path.clear();
+  EXPECT_EQ(cfg.ResolvedProximityCachePath(), "");  // unset -> disabled
+
+  if (saved != nullptr) {
+    setenv("SEPRIV_PROXIMITY_CACHE", saved_value.c_str(), /*overwrite=*/1);
+  }
+}
+
+TEST(TrainerTest, ProximityCachePathColdAndWarmBitIdentical) {
+  // End-to-end cached precompute: the first trainer writes the edge-weight
+  // cache, the second loads it; both must match a cache-less run bit for bit
+  // (weights, loss curve, min proximity).
+  const std::string dir =
+      testing::TempDir() + "/trainer_prox_cache";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  Graph g = BarabasiAlbert(120, 4, 9);
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 20;
+  // "-" forces caching OFF even when SEPRIV_PROXIMITY_CACHE is exported
+  // (as the CI integration job does), so this baseline really is uncached.
+  cfg.proximity_cache_path = "-";
+  SePrivGEmb no_cache(g, ProximityKind::kKatz, cfg);
+  const TrainResult base = no_cache.Train();
+
+  cfg.proximity_cache_path = dir;
+  SePrivGEmb cold(g, ProximityKind::kKatz, cfg);
+  const TrainResult cold_r = cold.Train();
+  SePrivGEmb warm(g, ProximityKind::kKatz, cfg);
+  const TrainResult warm_r = warm.Train();
+
+  for (const TrainResult* r : {&cold_r, &warm_r}) {
+    EXPECT_EQ(MaxAbsDiff(base.model.w_in, r->model.w_in), 0.0);
+    EXPECT_EQ(MaxAbsDiff(base.model.w_out, r->model.w_out), 0.0);
+    EXPECT_EQ(base.loss_curve, r->loss_curve);
+    EXPECT_EQ(base.min_proximity, r->min_proximity);
+  }
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST(TrainerDeathTest, EmptyGraphAborts) {

@@ -42,5 +42,22 @@ TEST_F(ParseSizeEnvTest, ZeroMeansFallbackWhenRequested) {
   EXPECT_EQ(ParseSizeEnv(kVar, 100, 7, /*zero_means_fallback=*/true), 5u);
 }
 
+class GetStringEnvTest : public ParseSizeEnvTest {};
+
+TEST_F(GetStringEnvTest, UnsetReturnsFallback) {
+  EXPECT_EQ(GetStringEnv(kVar), "");
+  EXPECT_EQ(GetStringEnv(kVar, "/default/dir"), "/default/dir");
+}
+
+TEST_F(GetStringEnvTest, SetValueReturnedVerbatim) {
+  Set("/tmp/prox cache");
+  EXPECT_EQ(GetStringEnv(kVar, "/default"), "/tmp/prox cache");
+}
+
+TEST_F(GetStringEnvTest, ExplicitEmptyBeatsFallback) {
+  Set("");
+  EXPECT_EQ(GetStringEnv(kVar, "/default"), "");
+}
+
 }  // namespace
 }  // namespace sepriv

@@ -35,6 +35,24 @@ TEST(GraphTest, InferredNodeCount) {
   EXPECT_EQ(g.num_nodes(), 6u);
 }
 
+TEST(GraphDeathTest, ExplicitNodeCountSmallerThanEndpointAborts) {
+  // num_nodes = 3 cannot host endpoint 5: silently building the CSR would
+  // index offsets out of bounds, so construction must abort.
+  EXPECT_DEATH(Graph::FromEdges(3, {{0, 5}}), "out of range");
+  EXPECT_DEATH(Graph::FromEdges(5, {{0, 1}, {2, 5}}), "out of range");
+}
+
+TEST(GraphTest, ExplicitNodeCountCoveringEndpointsAccepted) {
+  // Exactly covering (max endpoint + 1) and over-provisioning (isolated
+  // tail nodes) are both valid.
+  const Graph exact = Graph::FromEdges(6, {{0, 5}});
+  EXPECT_EQ(exact.num_nodes(), 6u);
+  EXPECT_TRUE(exact.HasEdge(0, 5));
+  const Graph padded = Graph::FromEdges(9, {{0, 5}});
+  EXPECT_EQ(padded.num_nodes(), 9u);
+  EXPECT_EQ(padded.Degree(8), 0u);
+}
+
 TEST(GraphTest, IsolatedNodesAllowed) {
   Graph g = Graph::FromEdges(10, {{0, 1}});
   EXPECT_EQ(g.num_nodes(), 10u);

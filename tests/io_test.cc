@@ -69,6 +69,41 @@ TEST_F(IoTest, LiteralIdsKeepIsolatedNodes) {
   std::remove(path.c_str());
 }
 
+TEST_F(IoTest, NegativeIdRejectedLiteralMode) {
+  // "-1" wraps to a huge uint64_t under strtoull semantics; it must be a
+  // parse failure, not an absurd literal node id.
+  const std::string path = TempPath("negative_literal.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1\n-1 2\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path, /*remap_ids=*/false).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, NegativeIdRejectedRemapMode) {
+  // remap_ids=true used to intern the wrapped id as a phantom node; it must
+  // fail the same way as literal mode.
+  const std::string path = TempPath("negative_remap.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1\n2 -3\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path, /*remap_ids=*/true).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, NonNumericTokenRejected) {
+  const std::string path = TempPath("nonnumeric.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1\n2 3x\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  EXPECT_FALSE(ReadEdgeList(path, /*remap_ids=*/true).has_value());
+  std::remove(path.c_str());
+}
+
 TEST_F(IoTest, AbsurdLiteralIdRejected) {
   const std::string path = TempPath("absurd.edges");
   {

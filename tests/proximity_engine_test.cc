@@ -1,0 +1,273 @@
+#include "proximity/proximity_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace sepriv {
+namespace {
+
+ProximityOptions TestOptions() {
+  ProximityOptions opts;
+  opts.dw_walks_per_node = 60;  // keep the sampled estimator fast
+  return opts;
+}
+
+/// Element-wise EXPECT_EQ: bit-identical, not approximately equal.
+void ExpectBitIdentical(const EdgeProximity& a, const EdgeProximity& b) {
+  ASSERT_EQ(a.values.size(), b.values.size());
+  ASSERT_EQ(a.normalized.size(), b.normalized.size());
+  for (size_t e = 0; e < a.values.size(); ++e) {
+    EXPECT_EQ(a.values[e], b.values[e]) << "values[" << e << "]";
+    EXPECT_EQ(a.normalized[e], b.normalized[e]) << "normalized[" << e << "]";
+  }
+  EXPECT_EQ(a.min_positive, b.min_positive);
+  EXPECT_EQ(a.max_value, b.max_value);
+  EXPECT_EQ(a.normalized_min_positive, b.normalized_min_positive);
+}
+
+class ProximityEngineTest : public ::testing::Test {
+ protected:
+  std::string TempDirFor(const std::string& name) {
+    const std::string dir = testing::TempDir() + "/prox_cache_" + name;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return dir;
+  }
+
+  std::string CachePathFor(const std::string& dir, const Graph& g,
+                           const ProximityProvider& p,
+                           const ProximityOptions& opts) {
+    return dir + "/" + ProximityCacheFileName(g, p.Name(), opts);
+  }
+};
+
+// --- thread invariance ------------------------------------------------------
+
+class AllKindsEngineTest : public ::testing::TestWithParam<ProximityKind> {};
+
+TEST_P(AllKindsEngineTest, BitIdenticalAcrossThreadCounts) {
+  const Graph g = ErdosRenyiGnm(150, 450, 11);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(GetParam(), g, opts);
+  const EdgeProximity serial = ComputeEdgeProximities(g, *provider);
+  for (size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+    ThreadPool pool(threads);
+    const EdgeProximity parallel = ParallelEdgeProximities(g, *provider, pool);
+    ExpectBitIdentical(serial, parallel);
+  }
+}
+
+TEST_P(AllKindsEngineTest, CloneMatchesOriginalUnderInterleavedQueries) {
+  const Graph g = ErdosRenyiGnm(80, 200, 3);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(GetParam(), g, opts);
+  const auto clone = provider->Clone();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->Name(), provider->Name());
+  // Deliberately thrash the row caches in different orders: At() must be a
+  // pure function of the pair, not of query history.
+  for (const Edge& e : g.Edges()) {
+    EXPECT_EQ(clone->At(e.v, e.u), provider->At(e.v, e.u));
+    EXPECT_EQ(clone->At(e.u, e.v), provider->At(e.u, e.v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllKindsEngineTest, ::testing::ValuesIn(AllProximityKinds()),
+    [](const auto& info) { return ProximityKindName(info.param); });
+
+TEST_F(ProximityEngineTest, ConvenienceOverloadMatchesPoolOverload) {
+  const Graph g = BarabasiAlbert(300, 3, 5);
+  const auto provider = MakeProximity(ProximityKind::kKatz, g, TestOptions());
+  const EdgeProximity serial = ComputeEdgeProximities(g, *provider);
+  ExpectBitIdentical(serial, ParallelEdgeProximities(g, *provider, size_t{3}));
+}
+
+TEST_F(ProximityEngineTest, EmptyGraphProducesEmptyTable) {
+  const Graph g = Graph::FromEdges(4, {});
+  const auto provider = MakeProximity(ProximityKind::kCommonNeighbors, g);
+  ThreadPool pool(2);
+  const EdgeProximity ep = ParallelEdgeProximities(g, *provider, pool);
+  EXPECT_TRUE(ep.values.empty());
+  EXPECT_TRUE(ep.normalized.empty());
+}
+
+// --- graph fingerprint ------------------------------------------------------
+
+TEST_F(ProximityEngineTest, FingerprintStableAndStructureSensitive) {
+  const Graph a = ErdosRenyiGnm(60, 150, 5);
+  const Graph b = ErdosRenyiGnm(60, 150, 5);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  // One different edge, one different seed, one extra isolated node: all
+  // distinct fingerprints.
+  const Graph c = ErdosRenyiGnm(60, 150, 6);
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  const Graph d = Graph::FromEdges(3, {{0, 1}});
+  const Graph e = Graph::FromEdges(4, {{0, 1}});
+  EXPECT_NE(d.Fingerprint(), e.Fingerprint());
+}
+
+// --- cache round trip -------------------------------------------------------
+
+TEST_F(ProximityEngineTest, CacheRoundTripIsBitIdentical) {
+  const std::string dir = TempDirFor("roundtrip");
+  const Graph g = ErdosRenyiGnm(100, 260, 9);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(ProximityKind::kAdamicAdar, g, opts);
+  const EdgeProximity computed = ComputeEdgeProximities(g, *provider);
+
+  ASSERT_TRUE(
+      SaveEdgeProximityCache(dir, g, provider->Name(), opts, computed));
+  const auto loaded =
+      LoadEdgeProximityCache(dir, g, provider->Name(), opts);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectBitIdentical(computed, *loaded);
+}
+
+TEST_F(ProximityEngineTest, CachedFrontEndColdThenWarmBitIdentical) {
+  const std::string dir = TempDirFor("front_end");
+  const Graph g = BarabasiAlbert(200, 4, 13);
+  const ProximityOptions opts = TestOptions();
+  const auto provider =
+      MakeProximity(ProximityKind::kPersonalizedPageRank, g, opts);
+  ThreadPool pool(4);
+
+  const EdgeProximity cold =
+      CachedEdgeProximities(g, *provider, opts, pool, dir);
+  ASSERT_TRUE(std::filesystem::exists(CachePathFor(dir, g, *provider, opts)));
+  const EdgeProximity warm =
+      CachedEdgeProximities(g, *provider, opts, pool, dir);
+  ExpectBitIdentical(cold, warm);
+  // And both match the serial reference engine.
+  ExpectBitIdentical(cold, ComputeEdgeProximities(g, *provider));
+}
+
+TEST_F(ProximityEngineTest, EmptyCacheDirDisablesCaching) {
+  const Graph g = ErdosRenyiGnm(50, 120, 2);
+  const auto provider = MakeProximity(ProximityKind::kJaccard, g);
+  ThreadPool pool(2);
+  const EdgeProximity ep =
+      CachedEdgeProximities(g, *provider, {}, pool, /*cache_dir=*/"");
+  EXPECT_EQ(ep.values.size(), g.num_edges());
+}
+
+// --- cache invalidation -----------------------------------------------------
+
+TEST_F(ProximityEngineTest, CacheMissesOnDifferentGraph) {
+  const std::string dir = TempDirFor("graph_key");
+  const Graph g = ErdosRenyiGnm(90, 200, 21);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(ProximityKind::kKatz, g, opts);
+  ASSERT_TRUE(SaveEdgeProximityCache(dir, g, provider->Name(), opts,
+                                     ComputeEdgeProximities(g, *provider)));
+
+  const Graph other = ErdosRenyiGnm(90, 200, 22);
+  EXPECT_FALSE(
+      LoadEdgeProximityCache(dir, other, provider->Name(), opts).has_value());
+}
+
+TEST_F(ProximityEngineTest, CacheMissesOnDifferentProviderOrOptions) {
+  const std::string dir = TempDirFor("key_parts");
+  const Graph g = ErdosRenyiGnm(90, 200, 23);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(ProximityKind::kDeepWalk, g, opts);
+  ASSERT_TRUE(SaveEdgeProximityCache(dir, g, provider->Name(), opts,
+                                     ComputeEdgeProximities(g, *provider)));
+
+  // Different provider name.
+  EXPECT_FALSE(LoadEdgeProximityCache(dir, g, "other_provider", opts)
+                   .has_value());
+  // Any options change invalidates, even a field this provider ignores.
+  ProximityOptions changed = opts;
+  changed.katz_beta = 0.07;
+  EXPECT_FALSE(
+      LoadEdgeProximityCache(dir, g, provider->Name(), changed).has_value());
+  changed = opts;
+  changed.seed += 1;
+  EXPECT_FALSE(
+      LoadEdgeProximityCache(dir, g, provider->Name(), changed).has_value());
+  // The original key still hits.
+  EXPECT_TRUE(
+      LoadEdgeProximityCache(dir, g, provider->Name(), opts).has_value());
+}
+
+// --- corrupt / truncated cache recovery -------------------------------------
+
+TEST_F(ProximityEngineTest, TruncatedCacheFileRejectedAndRecomputed) {
+  const std::string dir = TempDirFor("truncated");
+  const Graph g = ErdosRenyiGnm(80, 180, 31);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(ProximityKind::kResourceAllocation, g);
+  const EdgeProximity computed = ComputeEdgeProximities(g, *provider);
+  ASSERT_TRUE(
+      SaveEdgeProximityCache(dir, g, provider->Name(), opts, computed));
+
+  const std::string path = CachePathFor(dir, g, *provider, opts);
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  EXPECT_FALSE(
+      LoadEdgeProximityCache(dir, g, provider->Name(), opts).has_value());
+
+  // The cache-through front end must silently recompute and repair the file.
+  ThreadPool pool(2);
+  const EdgeProximity recomputed =
+      CachedEdgeProximities(g, *provider, opts, pool, dir);
+  ExpectBitIdentical(computed, recomputed);
+  EXPECT_TRUE(
+      LoadEdgeProximityCache(dir, g, provider->Name(), opts).has_value());
+}
+
+TEST_F(ProximityEngineTest, BitFlippedCacheFileRejected) {
+  const std::string dir = TempDirFor("bitflip");
+  const Graph g = ErdosRenyiGnm(80, 180, 33);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(ProximityKind::kCommonNeighbors, g);
+  ASSERT_TRUE(SaveEdgeProximityCache(dir, g, provider->Name(), opts,
+                                     ComputeEdgeProximities(g, *provider)));
+
+  const std::string path = CachePathFor(dir, g, *provider, opts);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(path) / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(-1, std::ios::cur);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_FALSE(
+      LoadEdgeProximityCache(dir, g, provider->Name(), opts).has_value());
+}
+
+TEST_F(ProximityEngineTest, GarbageFileRejected) {
+  const std::string dir = TempDirFor("garbage");
+  const Graph g = ErdosRenyiGnm(40, 90, 35);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(ProximityKind::kJaccard, g);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(CachePathFor(dir, g, *provider, opts),
+                      std::ios::binary);
+    out << "this is not a proximity cache";
+  }
+  EXPECT_FALSE(
+      LoadEdgeProximityCache(dir, g, provider->Name(), opts).has_value());
+  {
+    std::ofstream out(CachePathFor(dir, g, *provider, opts),
+                      std::ios::binary);  // zero-byte file
+  }
+  EXPECT_FALSE(
+      LoadEdgeProximityCache(dir, g, provider->Name(), opts).has_value());
+}
+
+}  // namespace
+}  // namespace sepriv

@@ -95,6 +95,38 @@ TEST(NegativeSamplerTest, UniformNonNeighborExcludesNeighbors) {
   }
 }
 
+TEST(NegativeSamplerTest, DenseGraphFallbackNeverReturnsNeighbor) {
+  // Near-complete graph: node 0 is adjacent to every node except node 1, so
+  // rejection sampling almost always exhausts its 256 tries. The old
+  // fallback returned (center + 1) % n — a NEIGHBOR of 0 — violating the
+  // non-neighbor negative design; the scan-before-relax fallback must find
+  // the single valid candidate every time.
+  std::vector<Edge> edges;
+  const NodeId n = 40;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (u == 0 && v == 1) continue;
+      edges.push_back({u, v});
+    }
+  }
+  Graph g = Graph::FromEdges(n, std::move(edges));
+  UniformNonNeighborSampler sampler(g);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId neg = sampler.Sample(0, rng);
+    EXPECT_NE(neg, 0u);
+    EXPECT_FALSE(g.HasEdge(0, neg)) << "sampled neighbor " << neg;
+    EXPECT_EQ(neg, 1u);  // the only non-neighbor of 0
+  }
+  // Fully saturated center (complete graph): must still terminate and
+  // return != center even though no valid non-neighbor exists.
+  Graph complete = CompleteGraph(12);
+  UniformNonNeighborSampler complete_sampler(complete);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(complete_sampler.Sample(3, rng), 3u);
+  }
+}
+
 TEST(NegativeSamplerTest, DegreeSamplerMatchesDegreeDistribution) {
   Graph g = StarGraph(11);  // center degree 10, leaves degree 1
   DegreeNegativeSampler sampler(g, 1.0);
