@@ -1,0 +1,96 @@
+// Machine-readable output for the bench family.
+//
+// Every bench binary that supports `--json <path>` collects its results into
+// a BenchJson and writes one flat document:
+//
+//   {
+//     "bench": "bench_kernels",
+//     "meta": { "hardware_threads": "8", ... },
+//     "records": [
+//       { "name": "dot/new", "n": 65536, "gb_per_s": 21.4, ... },
+//       ...
+//     ]
+//   }
+//
+// Records are (name, numeric metrics) pairs — deliberately schema-free so
+// future PRs can diff any subset (see BENCH_kernels.json for the committed
+// baseline and README "Performance" for the workflow). Numbers are printed
+// with %.17g so a JSON round-trip reproduces the doubles bit-exactly.
+
+#ifndef SEPRIVGEMB_BENCH_BENCH_JSON_H_
+#define SEPRIVGEMB_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sepriv::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Free-form string metadata (profile, workload shape, ...).
+  void AddMeta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+  }
+
+  /// One result row: a name plus numeric metrics.
+  void AddRecord(
+      const std::string& name,
+      std::vector<std::pair<std::string, double>> metrics) {
+    records_.push_back({name, std::move(metrics)});
+  }
+
+  /// Writes the document; returns false (with a stderr note) on IO failure.
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": {",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i ? "," : "",
+                   meta_[i].first.c_str(), meta_[i].second.c_str());
+    }
+    std::fprintf(f, "%s},\n  \"records\": [", meta_.empty() ? "" : "\n  ");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s\n    { \"name\": \"%s\"", i ? "," : "",
+                   records_[i].name.c_str());
+      for (const auto& [key, value] : records_[i].metrics) {
+        std::fprintf(f, ", \"%s\": %.17g", key.c_str(), value);
+      }
+      std::fprintf(f, " }");
+    }
+    std::fprintf(f, "%s]\n}\n", records_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<Record> records_;
+};
+
+/// Returns the value following `--json`, or nullptr when absent.
+inline const char* JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace sepriv::bench
+
+#endif  // SEPRIVGEMB_BENCH_BENCH_JSON_H_

@@ -1,0 +1,216 @@
+// Throughput benchmark for the vectorized kernel layer (linalg/kernels.h):
+// per-kernel GB/s old-vs-new, bulk Gaussian draw rates, and blocked-GEMM
+// GFLOP/s at 1/2/4/8 threads with output digests witnessing the
+// thread-invariance contract. The "naive" columns re-implement the seed
+// tree's scalar single-accumulator loops (including the old GEMM's
+// per-element zero branch) so the speedup is measured against the real
+// pre-kernel-layer code, not a strawman; they live in naive_reference.h,
+// shared with the kernel property tests.
+//
+// Environment knobs:
+//   SEPRIV_BENCH_N        vector length for the level-1 kernels (default 65536)
+//   SEPRIV_BENCH_GEMM     square GEMM size                      (default 512)
+//   SEPRIV_BENCH_MIN_MS   min timed window per measurement      (default 150)
+//
+// Flags:
+//   --json <path>         also write the results as JSON (see bench_json.h);
+//                         BENCH_kernels.json at the repo root is the committed
+//                         baseline future PRs diff against.
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/naive_reference.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "util/digest.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using sepriv::Matrix;
+using sepriv::Rng;
+using sepriv::WallTimer;
+
+volatile double g_sink = 0.0;
+
+// Defeats dead-code elimination without the deprecated volatile compound-
+// assignment.
+inline void Sink(double v) { g_sink = g_sink + v; }
+
+// Seconds per call, timed over a window of at least `min_seconds`.
+template <typename Fn>
+double TimePerCall(Fn&& fn, double min_seconds) {
+  size_t iters = 1;
+  for (;;) {
+    WallTimer t;
+    for (size_t i = 0; i < iters; ++i) fn();
+    const double s = t.ElapsedSeconds();
+    if (s >= min_seconds) return s / static_cast<double>(iters);
+    const double grow = s > 0.0 ? (1.3 * min_seconds / s) : 4.0;
+    iters = static_cast<size_t>(static_cast<double>(iters) * grow) + 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sepriv;
+  namespace bj = sepriv::bench;
+
+  const size_t n = ParseSizeEnv("SEPRIV_BENCH_N", size_t{1} << 28, 65536);
+  const size_t gemm = ParseSizeEnv("SEPRIV_BENCH_GEMM", 8192, 512);
+  const double min_s =
+      static_cast<double>(ParseSizeEnv("SEPRIV_BENCH_MIN_MS", 60000, 150)) /
+      1e3;
+
+  bj::BenchJson json("bench_kernels");
+  json.AddMeta("hardware_threads",
+               std::to_string(ThreadPool::ResolveThreads(0)));
+  json.AddMeta("vector_n", std::to_string(n));
+  json.AddMeta("gemm_size", std::to_string(gemm));
+
+  std::printf("# bench_kernels\n# hardware threads: %zu, n=%zu, gemm=%zu\n\n",
+              ThreadPool::ResolveThreads(0), n, gemm);
+
+  Rng rng(1);
+  std::vector<double> a(n), b(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-1.0, 1.0);
+    b[i] = rng.Uniform(-1.0, 1.0);
+    y[i] = rng.Uniform(-1.0, 1.0);
+  }
+
+  // --- Level-1 kernels: GB/s moved, old vs new. ----------------------------
+  struct Level1 {
+    const char* name;
+    double bytes_per_elem;  // memory traffic per element per call
+    std::function<void()> naive;
+    std::function<void()> fast;
+  };
+  const Level1 rows[] = {
+      {"dot", 16.0, [&] { Sink(naive::Dot(a.data(), b.data(), n)); },
+       [&] { Sink(kernels::Dot(a.data(), b.data(), n)); }},
+      {"squared_norm", 8.0, [&] { Sink(naive::SquaredNorm(a.data(), n)); },
+       [&] { Sink(kernels::SquaredNorm(a.data(), n)); }},
+      {"squared_distance", 16.0,
+       [&] { Sink(naive::SquaredDistance(a.data(), b.data(), n)); },
+       [&] { Sink(kernels::SquaredDistance(a.data(), b.data(), n)); }},
+      {"axpy", 24.0, [&] { naive::Axpy(1.0001, a.data(), y.data(), n); },
+       [&] { kernels::Axpy(1.0001, a.data(), y.data(), n); }},
+  };
+
+  std::printf("%-18s %12s %12s %9s\n", "kernel", "naive GB/s", "new GB/s",
+              "speedup");
+  for (const Level1& r : rows) {
+    const double t_old = TimePerCall(r.naive, min_s);
+    const double t_new = TimePerCall(r.fast, min_s);
+    const double gb = r.bytes_per_elem * static_cast<double>(n) / 1e9;
+    const double old_rate = gb / t_old;
+    const double new_rate = gb / t_new;
+    std::printf("%-18s %12.2f %12.2f %8.2fx\n", r.name, old_rate, new_rate,
+                t_old / t_new);
+    json.AddRecord(std::string(r.name) + "/naive",
+                   {{"n", static_cast<double>(n)}, {"gb_per_s", old_rate}});
+    json.AddRecord(std::string(r.name) + "/new",
+                   {{"n", static_cast<double>(n)},
+                    {"gb_per_s", new_rate},
+                    {"speedup", t_old / t_new}});
+  }
+
+  // --- Bulk Gaussian: draws/s, cached scalar Box–Muller vs block fill. -----
+  {
+    Rng nrng(2);
+    std::vector<double> dst(n);
+    const double t_old = TimePerCall(
+        [&] {
+          for (size_t i = 0; i < n; ++i) dst[i] = nrng.Normal(0.0, 1.0);
+          Sink(dst[0]);
+        },
+        min_s);
+    const double t_new = TimePerCall(
+        [&] {
+          kernels::FillGaussian(nrng, dst.data(), n, 0.0, 1.0);
+          Sink(dst[0]);
+        },
+        min_s);
+    const double md_old = static_cast<double>(n) / t_old / 1e6;
+    const double md_new = static_cast<double>(n) / t_new / 1e6;
+    std::printf("\n%-18s %12s %12s %9s\n", "gaussian_fill", "naive Md/s",
+                "new Md/s", "speedup");
+    std::printf("%-18s %12.2f %12.2f %8.2fx\n", "normal_draws", md_old, md_new,
+                t_old / t_new);
+    json.AddRecord("gaussian_fill/naive",
+                   {{"n", static_cast<double>(n)}, {"mdraws_per_s", md_old}});
+    json.AddRecord("gaussian_fill/new", {{"n", static_cast<double>(n)},
+                                         {"mdraws_per_s", md_new},
+                                         {"speedup", t_old / t_new}});
+  }
+
+  // --- GEMM: GFLOP/s at 1/2/4/8 threads, digests must match. ---------------
+  {
+    Rng grng(3);
+    Matrix ga(gemm, gemm), gb(gemm, gemm);
+    ga.FillUniform(grng, -1.0, 1.0);
+    gb.FillUniform(grng, -1.0, 1.0);
+    const double flops = 2.0 * static_cast<double>(gemm) *
+                         static_cast<double>(gemm) *
+                         static_cast<double>(gemm);
+
+    const double t_naive = TimePerCall(
+        [&] { Sink(naive::MatMul(ga, gb)(0, 0)); }, min_s);
+    const double naive_gflops = flops / t_naive / 1e9;
+    std::printf("\n%-18s %12s %9s %9s %18s\n", "gemm", "GFLOP/s", "vs naive",
+                "vs t1", "digest");
+    std::printf("%-18s %12.2f %9s %9s %18s\n", "naive/serial", naive_gflops,
+                "1.00x", "-", "-");
+    json.AddRecord("gemm/naive", {{"size", static_cast<double>(gemm)},
+                                  {"gflops", naive_gflops}});
+
+    double t1 = 0.0;
+    uint64_t want_digest = 0;
+    bool digests_match = true;
+    for (size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+      kernels::SetLinalgThreads(threads);
+      const double t = TimePerCall(
+          [&] { Sink(MatMul(ga, gb)(0, 0)); }, min_s);
+      const uint64_t digest = MatrixDigest(MatMul(ga, gb));
+      if (threads == 1) {
+        t1 = t;
+        want_digest = digest;
+      }
+      digests_match = digests_match && digest == want_digest;
+      const double rate = flops / t / 1e9;
+      char name[32];
+      std::snprintf(name, sizeof(name), "blocked/t%zu", threads);
+      std::printf("%-18s %12.2f %8.2fx %8.2fx %18" PRIx64 "\n", name,
+                  rate, t_naive / t, t1 / t, digest);
+      json.AddRecord(std::string("gemm/") + name,
+                     {{"size", static_cast<double>(gemm)},
+                      {"threads", static_cast<double>(threads)},
+                      {"gflops", rate},
+                      {"speedup_vs_naive", t_naive / t},
+                      {"speedup_vs_t1", t1 / t},
+                      {"digest_hi", static_cast<double>(digest >> 32)},
+                      {"digest_lo",
+                       static_cast<double>(digest & 0xffffffffULL)}});
+    }
+    kernels::SetLinalgThreads(0);
+    std::printf("# digests %s across thread counts\n",
+                digests_match ? "identical" : "DIVERGED (BUG)");
+    json.AddRecord("gemm/digests_identical",
+                   {{"value", digests_match ? 1.0 : 0.0}});
+  }
+
+  if (const char* path = bj::JsonPathFromArgs(argc, argv)) {
+    if (json.Write(path)) std::printf("# wrote %s\n", path);
+  }
+  return 0;
+}

@@ -14,15 +14,21 @@
 //   SEPRIV_BENCH_DIM     embedding dimension    (default 128)
 //   SEPRIV_BENCH_BATCH   batch size             (default 2048)
 //   SEPRIV_BENCH_STEPS   timed batch steps      (default 15)
+//
+// `--json <path>` additionally writes the rows machine-readably
+// (bench_json.h) for the perf-trajectory workflow.
 
 #include <cinttypes>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "core/batch_gradient_engine.h"
 #include "embedding/skipgram.h"
 #include "embedding/subgraph_sampler.h"
 #include "graph/generators.h"
+#include "util/digest.h"
 #include "util/env.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -34,23 +40,9 @@ size_t EnvSize(const char* name, size_t fallback) {
   return sepriv::ParseSizeEnv(name, /*max=*/1000000000, fallback);
 }
 
-// FNV-1a over the raw bytes of the matrix: unlike a norm, any single-bit
-// difference — including two rows swapping their noise draws — changes the
-// digest, so matching values really do witness bit-identical output.
-uint64_t MatrixDigest(const sepriv::Matrix& m) {
-  const auto* bytes = reinterpret_cast<const unsigned char*>(m.data());
-  const size_t len = m.size() * sizeof(double);
-  uint64_t h = 14695981039346656037ULL;
-  for (size_t i = 0; i < len; ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sepriv;
 
   const size_t nodes = EnvSize("SEPRIV_BENCH_NODES", 100000);
@@ -86,6 +78,12 @@ int main() {
   Rng init_rng(4);
   const SkipGramModel init_model(graph.num_nodes(), dim, init_rng);
 
+  bench::BenchJson json("bench_parallel_scaling");
+  json.AddMeta("nodes", std::to_string(nodes));
+  json.AddMeta("dim", std::to_string(dim));
+  json.AddMeta("batch", std::to_string(batch_size));
+  json.AddMeta("steps", std::to_string(steps));
+
   std::printf("%-8s %14s %14s %10s %18s\n", "threads", "time_s",
               "samples/s", "speedup", "digest(w_in)");
 
@@ -120,12 +118,24 @@ int main() {
     const double rate =
         static_cast<double>(steps) * static_cast<double>(batch_size) / secs;
     if (threads == 1) base_rate = rate;
+    const uint64_t digest = MatrixDigest(model.w_in);
     std::printf("%-8zu %14.3f %14.0f %9.2fx %18" PRIx64 "\n", threads, secs,
-                rate, rate / base_rate, MatrixDigest(model.w_in));
+                rate, rate / base_rate, digest);
+    json.AddRecord("batch_step/t" + std::to_string(threads),
+                   {{"threads", static_cast<double>(threads)},
+                    {"time_s", secs},
+                    {"samples_per_s", rate},
+                    {"speedup", rate / base_rate},
+                    {"digest_hi", static_cast<double>(digest >> 32)},
+                    {"digest_lo",
+                     static_cast<double>(digest & 0xffffffffULL)}});
   }
 
   std::printf(
       "# digests must be identical: the engine is bit-identical across "
       "thread counts\n");
+  if (const char* path = bench::JsonPathFromArgs(argc, argv)) {
+    if (json.Write(path)) std::printf("# wrote %s\n", path);
+  }
   return 0;
 }

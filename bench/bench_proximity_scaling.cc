@@ -29,8 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "graph/generators.h"
 #include "proximity/proximity_engine.h"
+#include "util/digest.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -41,28 +43,22 @@ size_t EnvSize(const char* name, size_t fallback) {
   return sepriv::ParseSizeEnv(name, /*max=*/1000000000, fallback);
 }
 
-// FNV-1a over the raw bytes of the whole EdgeProximity: any single-bit
-// difference in any value or summary field changes the digest.
+// Chained FNV-1a over the raw bytes of the whole EdgeProximity: any
+// single-bit difference in any value or summary field changes the digest.
 uint64_t ProximityDigest(const sepriv::EdgeProximity& ep) {
-  uint64_t h = 14695981039346656037ULL;
-  auto mix = [&h](const void* data, size_t len) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < len; ++i) {
-      h ^= bytes[i];
-      h *= 1099511628211ULL;
-    }
-  };
-  mix(ep.values.data(), ep.values.size() * sizeof(double));
-  mix(ep.normalized.data(), ep.normalized.size() * sizeof(double));
-  mix(&ep.min_positive, sizeof(ep.min_positive));
-  mix(&ep.max_value, sizeof(ep.max_value));
-  mix(&ep.normalized_min_positive, sizeof(ep.normalized_min_positive));
-  return h;
+  uint64_t h = sepriv::FnvDigest(ep.values.data(),
+                                 ep.values.size() * sizeof(double));
+  h = sepriv::FnvDigest(ep.normalized.data(),
+                        ep.normalized.size() * sizeof(double), h);
+  h = sepriv::FnvDigest(&ep.min_positive, sizeof(ep.min_positive), h);
+  h = sepriv::FnvDigest(&ep.max_value, sizeof(ep.max_value), h);
+  return sepriv::FnvDigest(&ep.normalized_min_positive,
+                           sizeof(ep.normalized_min_positive), h);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sepriv;
 
   const size_t nodes = EnvSize("SEPRIV_BENCH_NODES", 100000);
@@ -100,6 +96,10 @@ int main() {
   std::printf("%-18s %-8s %12s %14s %10s %18s\n", "preference", "threads",
               "time_s", "edges/s", "speedup", "digest");
 
+  bench::BenchJson json("bench_proximity_scaling");
+  json.AddMeta("nodes", std::to_string(nodes));
+  json.AddMeta("edges", std::to_string(graph.num_edges()));
+
   std::vector<double> cold_times(kinds.size(), 0.0);
   for (size_t k = 0; k < kinds.size(); ++k) {
     const auto provider = MakeProximity(kinds[k], graph, opts);
@@ -111,10 +111,21 @@ int main() {
       const double secs = timer.ElapsedSeconds();
       if (threads == 1) base_time = secs;
       if (threads == 4) cold_times[k] = secs;
+      const uint64_t digest = ProximityDigest(ep);
       std::printf("%-18s %-8zu %12.3f %14.0f %9.2fx %18" PRIx64 "\n",
                   ProximityKindName(kinds[k]).c_str(), threads, secs,
                   static_cast<double>(graph.num_edges()) / secs,
-                  base_time / secs, ProximityDigest(ep));
+                  base_time / secs, digest);
+      json.AddRecord(ProximityKindName(kinds[k]) + "/t" +
+                         std::to_string(threads),
+                     {{"threads", static_cast<double>(threads)},
+                      {"time_s", secs},
+                      {"edges_per_s",
+                       static_cast<double>(graph.num_edges()) / secs},
+                      {"speedup", base_time / secs},
+                      {"digest_hi", static_cast<double>(digest >> 32)},
+                      {"digest_lo",
+                       static_cast<double>(digest & 0xffffffffULL)}});
     }
   }
   std::printf("# digests must be identical per preference: the engine is "
@@ -141,9 +152,17 @@ int main() {
                 ProximityKindName(kinds[k]).c_str(), cold_s, warm_s,
                 cold_s / warm_s, ProximityDigest(warm),
                 identical ? "" : "  COLD/WARM MISMATCH!");
+    json.AddRecord(ProximityKindName(kinds[k]) + "/cache",
+                   {{"cold_s", cold_s},
+                    {"warm_s", warm_s},
+                    {"ratio", cold_s / warm_s},
+                    {"cold_warm_identical", identical ? 1.0 : 0.0}});
   }
   std::printf("# warm runs load the validated cache file; cold = parallel "
               "compute + save\n");
   std::filesystem::remove_all(cache_dir, ec);
+  if (const char* path = bench::JsonPathFromArgs(argc, argv)) {
+    if (json.Write(path)) std::printf("# wrote %s\n", path);
+  }
   return 0;
 }

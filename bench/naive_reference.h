@@ -1,0 +1,59 @@
+// The seed tree's scalar accumulation loops, preserved verbatim as the
+// shared "old" baseline. Two consumers depend on these meaning the same
+// thing: tests/kernels_test.cc checks the vectorized kernels against them
+// as the semantic reference, and bench/bench_kernels.cc measures speedup
+// against them as the perf baseline. Do not "improve" these — their value
+// is being exactly what the code did before the kernel layer existed.
+
+#ifndef SEPRIVGEMB_BENCH_NAIVE_REFERENCE_H_
+#define SEPRIVGEMB_BENCH_NAIVE_REFERENCE_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace sepriv::naive {
+
+inline double Dot(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline double SquaredNorm(const double* a, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * a[i];
+  return acc;
+}
+
+inline double SquaredDistance(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+inline void Axpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// The seed's ikj GEMM, per-element zero branch included. For the dense
+/// random operands the tests/bench use, the branch never fires, so this is
+/// also the semantic reference for C = A·B.
+inline Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+}  // namespace sepriv::naive
+
+#endif  // SEPRIVGEMB_BENCH_NAIVE_REFERENCE_H_

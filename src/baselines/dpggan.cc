@@ -1,9 +1,11 @@
 #include "baselines/dpggan.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "dp/accountant.h"
+#include "linalg/kernels.h"
 #include "nn/mlp.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -18,10 +20,8 @@ void FillPairRow(Matrix& dst, size_t row, const Matrix& table, NodeId u,
   const auto eu = table.Row(u);
   const auto ev = table.Row(v);
   auto out = dst.Row(row);
-  for (size_t d = 0; d < table.cols(); ++d) {
-    out[d] = eu[d];
-    out[table.cols() + d] = ev[d];
-  }
+  std::copy(eu.begin(), eu.end(), out.begin());
+  std::copy(ev.begin(), ev.end(), out.begin() + table.cols());
 }
 
 }  // namespace
@@ -98,12 +98,10 @@ EmbedderResult DpgGanEmbedder::Embed(const Graph& graph) {
     // Route dL/d(pair input) back onto the embedding table.
     for (size_t i = 0; i < b; ++i) {
       const auto gi = grad_in.Row(i);
-      auto eu = table.Row(fake_pairs[i].first);
-      auto ev = table.Row(fake_pairs[i].second);
-      for (size_t d = 0; d < o.dim; ++d) {
-        eu[d] -= o.learning_rate * gi[d];
-        ev[d] -= o.learning_rate * gi[o.dim + d];
-      }
+      kernels::Axpy(-o.learning_rate, gi.data(),
+                    table.Row(fake_pairs[i].first).data(), o.dim);
+      kernels::Axpy(-o.learning_rate, gi.data() + o.dim,
+                    table.Row(fake_pairs[i].second).data(), o.dim);
     }
 
     if (!o.non_private) acct.Step();

@@ -6,6 +6,7 @@
 
 #include "dp/accountant.h"
 #include "dp/clipping.h"
+#include "linalg/kernels.h"
 #include "nn/activations.h"
 #include "nn/gcn.h"
 #include "nn/linear.h"
@@ -90,16 +91,9 @@ EmbedderResult DpgVaeEmbedder::Embed(const Graph& graph) {
     const double inv_batch = 1.0 / static_cast<double>(batch.size());
     for (const Pair& p : batch) {
       const double logit = z.RowDot(p.u, z, p.v);
-      const double coeff =
-          (1.0 / (1.0 + std::exp(-logit)) - p.t) * inv_batch;
-      auto gu = grad_z.Row(p.u);
-      auto gv = grad_z.Row(p.v);
-      const auto zu = z.Row(p.u);
-      const auto zv = z.Row(p.v);
-      for (size_t d = 0; d < o.dim; ++d) {
-        gu[d] += coeff * zv[d];
-        gv[d] += coeff * zu[d];
-      }
+      const double coeff = (kernels::Sigmoid(logit) - p.t) * inv_batch;
+      kernels::Axpy(coeff, z.Row(p.v).data(), grad_z.Row(p.u).data(), o.dim);
+      kernels::Axpy(coeff, z.Row(p.u).data(), grad_z.Row(p.v).data(), o.dim);
     }
 
     // KL regulariser.

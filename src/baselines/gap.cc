@@ -6,6 +6,7 @@
 
 #include "dp/calibration.h"
 #include "dp/gaussian_mechanism.h"
+#include "linalg/kernels.h"
 #include "nn/gcn.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -26,8 +27,7 @@ Matrix CappedSumAggregate(const Graph& g, const Matrix& h, size_t cap) {
     const auto nbrs = g.Neighbors(u);
     const size_t fanout = std::min(cap, nbrs.size());
     for (size_t t = 0; t < fanout; ++t) {
-      auto dst = out.Row(nbrs[t]);
-      for (size_t d = 0; d < h.cols(); ++d) dst[d] += src[d];
+      kernels::Axpy(1.0, src.data(), out.Row(nbrs[t]).data(), h.cols());
     }
   }
   return out;

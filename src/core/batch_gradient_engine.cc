@@ -4,6 +4,7 @@
 
 #include "dp/clipping.h"
 #include "embedding/sgns.h"
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace sepriv {
@@ -128,18 +129,16 @@ double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
       for (size_t i = 0; i < m; ++i) {
         const NodeId center = subgraphs[batch[i]].center;
         if (center % shards == shard) {
-          auto dst = grad_in_.matrix().Row(center);
-          const double* src = center_grads_.data() + i * dim;
-          for (size_t d = 0; d < dim; ++d) dst[d] += src[d];
+          kernels::Axpy(1.0, center_grads_.data() + i * dim,
+                        grad_in_.matrix().Row(center).data(), dim);
         }
         const NodeId* nodes = context_nodes_.data() + i * slot;
         const double* rows = context_grads_.data() + i * slot * dim;
         for (uint32_t k = 0; k < context_counts_[i]; ++k) {
           const NodeId row = nodes[k];
           if (row % shards != shard) continue;
-          auto dst = grad_out_.matrix().Row(row);
-          const double* src = rows + static_cast<size_t>(k) * dim;
-          for (size_t d = 0; d < dim; ++d) dst[d] += src[d];
+          kernels::Axpy(1.0, rows + static_cast<size_t>(k) * dim,
+                        grad_out_.matrix().Row(row).data(), dim);
         }
       }
     }
@@ -171,10 +170,10 @@ void BatchGradientEngine::PerturbNonZero(double stddev, Rng& rng) {
       const size_t lo = block * kNoiseBlockRows;
       const size_t hi = std::min(rows.size(), lo + kNoiseBlockRows);
       for (size_t r = lo; r < hi; ++r) {
-        auto row = mat.Row(rows[r]);
-        for (size_t d = 0; d < dim; ++d) {
-          row[d] += block_rng.Normal(0.0, stddev);
-        }
+        // Block Gaussian fill: stream-identical to the scalar Normal() loop,
+        // so per-block noise streams are unchanged.
+        kernels::AccumulateGaussian(block_rng, mat.Row(rows[r]).data(), dim,
+                                    stddev);
       }
     }
   });
@@ -193,14 +192,10 @@ void BatchGradientEngine::PerturbNaiveIntoModel(SkipGramModel& model,
       const size_t lo = b * kNoiseBlockRows;
       const size_t hi = std::min(n, lo + kNoiseBlockRows);
       for (size_t v = lo; v < hi; ++v) {
-        auto in_row = model.w_in.Row(v);
-        auto out_row = model.w_out.Row(v);
-        for (size_t d = 0; d < dim; ++d) {
-          in_row[d] -= learning_rate * block_rng.Normal(0.0, stddev);
-        }
-        for (size_t d = 0; d < dim; ++d) {
-          out_row[d] -= learning_rate * block_rng.Normal(0.0, stddev);
-        }
+        kernels::AccumulateGaussian(block_rng, model.w_in.Row(v).data(), dim,
+                                    stddev, -learning_rate);
+        kernels::AccumulateGaussian(block_rng, model.w_out.Row(v).data(), dim,
+                                    stddev, -learning_rate);
       }
     }
   });
@@ -213,9 +208,8 @@ void BatchGradientEngine::ApplyUpdate(SkipGramModel& model,
                          const Matrix& grads) {
     pool_.ParallelFor(rows.size(), kApplyGrain, [&](size_t begin, size_t end) {
       for (size_t r = begin; r < end; ++r) {
-        auto dst = weights.Row(rows[r]);
-        const auto src = grads.Row(rows[r]);
-        for (size_t d = 0; d < dim; ++d) dst[d] -= learning_rate * src[d];
+        kernels::Axpy(-learning_rate, grads.Row(rows[r]).data(),
+                      weights.Row(rows[r]).data(), dim);
       }
     });
   };

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 
 namespace sepriv {
@@ -25,7 +26,7 @@ class SparseRowGrad {
   /// grad.row(r) += values (marks r touched).
   void AddToRow(uint32_t r, std::span<const double> values) {
     auto row = grad_.Row(r);
-    for (size_t d = 0; d < row.size(); ++d) row[d] += values[d];
+    kernels::Axpy(1.0, values.data(), row.data(), row.size());
     Touch(r);
   }
 

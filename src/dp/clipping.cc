@@ -1,5 +1,6 @@
 #include "dp/clipping.h"
 
+#include "linalg/kernels.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -16,7 +17,7 @@ double ClipL2InPlace(std::span<double> grad, double threshold) {
   const double norm = Norm(grad.data(), grad.size());
   const double scale = ClipScale(norm, threshold);
   if (scale != 1.0) {
-    for (double& g : grad) g *= scale;
+    kernels::Scale(scale, grad.data(), grad.size());
   }
   return scale;
 }

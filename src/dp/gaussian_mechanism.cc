@@ -1,5 +1,6 @@
 #include "dp/gaussian_mechanism.h"
 
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace sepriv {
@@ -7,7 +8,8 @@ namespace sepriv {
 void AddGaussianNoise(std::span<double> values, double stddev, Rng& rng) {
   SEPRIV_CHECK(stddev >= 0.0, "noise stddev must be non-negative");
   if (stddev == 0.0) return;
-  for (double& v : values) v += rng.Normal(0.0, stddev);
+  // Block Box–Muller fill: no cached-second-value branch per element.
+  kernels::AccumulateGaussian(rng, values.data(), values.size(), stddev);
 }
 
 void AddGaussianNoiseToRows(Matrix& m, std::span<const uint32_t> rows,

@@ -1,5 +1,6 @@
 #include "embedding/sgns.h"
 
+#include "linalg/kernels.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -32,13 +33,11 @@ double ComputeSgnsGradientInto(const SkipGramModel& model, const Subgraph& s,
   auto accumulate = [&](size_t slot, NodeId ctx, double indicator,
                         double weight) {
     const auto vn = model.w_out.Row(ctx);
-    const double x = Dot(vi.data(), vn.data(), dim);
-    const double coeff = weight * (Sigmoid(x) - indicator);
-    // ∂L/∂v_i += coeff · v_n   (Eq. 7)
-    for (size_t d = 0; d < dim; ++d) center_grad[d] += coeff * vn[d];
-    // ∂L/∂v_n  = coeff · v_i   (Eq. 8)
-    double* row = context_grads.data() + slot * dim;
-    for (size_t d = 0; d < dim; ++d) row[d] = coeff * vi[d];
+    // Fused kernel: x = vi·vn, center_grad += coeff·vn (Eq. 7) and the
+    // slot's context row = coeff·vi (Eq. 8) in one pass.
+    const double x = kernels::SgnsAccumulate(
+        vi.data(), vn.data(), dim, weight, indicator, center_grad.data(),
+        context_grads.data() + slot * dim);
     context_nodes[slot] = ctx;
     // Loss bookkeeping.
     if (indicator > 0.5) {
@@ -92,11 +91,10 @@ double SgdStep(SkipGramModel& model, const Subgraph& s, double w_pos,
       ComputeSgnsGradientInto(model, s, w_pos, w_neg, center, nodes, rows);
 
   auto vi = model.w_in.Row(s.center);
-  for (size_t d = 0; d < dim; ++d) vi[d] -= learning_rate * center[d];
+  kernels::Axpy(-learning_rate, center.data(), vi.data(), dim);
   for (size_t k = 0; k < contexts; ++k) {
     auto vn = model.w_out.Row(nodes[k]);
-    const double* g = rows.data() + k * dim;
-    for (size_t d = 0; d < dim; ++d) vn[d] -= learning_rate * g[d];
+    kernels::Axpy(-learning_rate, rows.data() + k * dim, vn.data(), dim);
   }
   return loss;
 }

@@ -38,16 +38,34 @@ LinkPredictionSplit MakeLinkPredictionSplit(const Graph& graph,
   edges.resize(edges.size() - n_test);
   split.train_graph = Graph::FromEdges(graph.num_nodes(), std::move(edges));
 
-  // Negative test pairs: uniform non-edges of the *full* graph.
-  std::unordered_set<uint64_t> used;
-  split.test_neg.reserve(n_test);
+  // Negative test pairs: uniform non-edges of the *full* graph. On a
+  // (near-)complete graph fewer than n_test non-edges exist, so the target
+  // is capped at the number of available pairs and the rejection loop is
+  // bounded: after the attempt budget is spent (vanishingly unlikely unless
+  // the graph is dense), a deterministic scan over all pairs fills the rest.
   const size_t n = graph.num_nodes();
-  while (split.test_neg.size() < n_test) {
+  SEPRIV_CHECK(n >= 2, "link prediction needs >= 2 nodes (got %zu)", n);
+  const size_t total_pairs = n * (n - 1) / 2;
+  const size_t available = total_pairs - graph.num_edges();
+  const size_t target = std::min(n_test, available);
+
+  std::unordered_set<uint64_t> used;
+  split.test_neg.reserve(target);
+  size_t attempts = 0;
+  const size_t max_attempts = 32 * target + 64;
+  while (split.test_neg.size() < target && attempts < max_attempts) {
+    ++attempts;
     const auto u = static_cast<NodeId>(rng.UniformInt(n));
     const auto v = static_cast<NodeId>(rng.UniformInt(n));
     if (u == v || graph.HasEdge(u, v)) continue;
     if (!used.insert(PairKey(u, v)).second) continue;
     split.test_neg.push_back({std::min(u, v), std::max(u, v)});
+  }
+  for (NodeId u = 0; u + 1 < n && split.test_neg.size() < target; ++u) {
+    for (NodeId v = u + 1; v < n && split.test_neg.size() < target; ++v) {
+      if (graph.HasEdge(u, v) || used.count(PairKey(u, v))) continue;
+      split.test_neg.push_back({u, v});
+    }
   }
   return split;
 }

@@ -17,7 +17,9 @@ namespace sepriv {
 struct LinkPredictionSplit {
   Graph train_graph;            // same node set, 90% of edges
   std::vector<Edge> test_pos;   // held-out edges
-  std::vector<Edge> test_neg;   // sampled non-edges, |test_neg| == |test_pos|
+  std::vector<Edge> test_neg;   // sampled non-edges; |test_neg| ==
+                                // min(|test_pos|, #non-edges) — smaller only
+                                // on (near-)complete graphs
 };
 
 struct LinkPredictionOptions {

@@ -27,11 +27,16 @@ double StrucEqu(const Graph& graph, const Matrix& embedding,
       }
     }
   } else {
+    // Sampled estimate. n >= 2 is guaranteed by the early return above, but
+    // the draw below must never divide by zero even if that guard moves.
+    SEPRIV_CHECK(n >= 2, "sampled StrucEqu needs >= 2 nodes (got %zu)", n);
     Rng rng(opts.seed);
     for (size_t t = 0; t < opts.max_pairs; ++t) {
       const auto i = static_cast<NodeId>(rng.UniformInt(n));
-      auto j = static_cast<NodeId>(rng.UniformInt(n));
-      while (j == i) j = static_cast<NodeId>(rng.UniformInt(n));
+      // Rejection-free distinct draw: j uniform over the n-1 non-i nodes.
+      // The old `while (j == i)` re-draw loop never terminates when n == 1.
+      const auto j = static_cast<NodeId>(
+          (i + 1 + rng.UniformInt(n - 1)) % n);
       const double da = std::sqrt(graph.AdjacencyRowSquaredDistance(i, j));
       const double dy =
           std::sqrt(embedding.RowSquaredDistance(i, embedding, j));

@@ -1,0 +1,320 @@
+#include "linalg/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sepriv::kernels {
+namespace {
+
+// --- Bulk Gaussian -----------------------------------------------------------
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Draws one Box–Muller pair (cos, sin) from rng. Matches the uniform
+// consumption of Rng::Normal exactly: reject u1 == 0, then one u2 draw.
+inline void BoxMullerPair(Rng& rng, double& c, double& s) {
+  double u1 = rng.Uniform();
+  while (u1 <= 0.0) u1 = rng.Uniform();
+  const double u2 = rng.Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = kTwoPi * u2;
+  c = radius * std::cos(theta);
+  s = radius * std::sin(theta);
+}
+
+// --- GEMM blocking -----------------------------------------------------------
+
+// Output tile: kTileRows x kTileCols doubles of C (128 KiB) plus the
+// streamed B panel (kTileDepth x kTileCols = 256 KiB) fit in L2; the A strip
+// (kTileRows x kTileDepth) re-used across the j loop sits in L1.
+constexpr size_t kTileRows = 64;
+constexpr size_t kTileCols = 256;
+constexpr size_t kTileDepth = 128;
+
+// Below this many multiply-adds a parallel dispatch costs more than it saves;
+// the serial path walks the identical tile loops, so results cannot differ.
+constexpr size_t kParallelFlopFloor = size_t{1} << 18;
+
+size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+// One (ib, jb) output tile of C = A * B, all depth blocks in ascending
+// order. The depth loop is unrolled 4-wide with *sequential* adds per
+// element, so every c(i, j) accumulates its products in exactly ascending-k
+// order — identical to the plain loop, but with 4x less C-row traffic and
+// four independent FMA streams per j. This is the only accumulation order
+// any GEMM path uses.
+void GemmTile(const double* a, const double* b, double* c, size_t k, size_t n,
+              size_t i0, size_t i1, size_t j0, size_t j1) {
+  const size_t width = j1 - j0;
+  for (size_t i = i0; i < i1; ++i) {
+    double* crow = c + i * n + j0;
+    for (size_t j = 0; j < width; ++j) crow[j] = 0.0;
+  }
+  for (size_t k0 = 0; k0 < k; k0 += kTileDepth) {
+    const size_t k1 = std::min(k, k0 + kTileDepth);
+    size_t i = i0;
+    // 2-row register block: the four B panel rows are re-used for two C
+    // rows, halving B traffic; per-element accumulation order is untouched.
+    for (; i + 2 <= i1; i += 2) {
+      const double* arow0 = a + i * k;
+      const double* arow1 = arow0 + k;
+      double* crow0 = c + i * n + j0;
+      double* crow1 = crow0 + n;
+      size_t kk = k0;
+      for (; kk + 4 <= k1; kk += 4) {
+        const double a00 = arow0[kk], a01 = arow0[kk + 1];
+        const double a02 = arow0[kk + 2], a03 = arow0[kk + 3];
+        const double a10 = arow1[kk], a11 = arow1[kk + 1];
+        const double a12 = arow1[kk + 2], a13 = arow1[kk + 3];
+        const double* b0 = b + kk * n + j0;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        for (size_t j = 0; j < width; ++j) {
+          const double bv0 = b0[j], bv1 = b1[j], bv2 = b2[j], bv3 = b3[j];
+          double t0 = crow0[j];
+          t0 += a00 * bv0;
+          t0 += a01 * bv1;
+          t0 += a02 * bv2;
+          t0 += a03 * bv3;
+          crow0[j] = t0;
+          double t1 = crow1[j];
+          t1 += a10 * bv0;
+          t1 += a11 * bv1;
+          t1 += a12 * bv2;
+          t1 += a13 * bv3;
+          crow1[j] = t1;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        Axpy(arow0[kk], b + kk * n + j0, crow0, width);
+        Axpy(arow1[kk], b + kk * n + j0, crow1, width);
+      }
+    }
+    for (; i < i1; ++i) {
+      const double* arow = a + i * k;
+      double* crow = c + i * n + j0;
+      size_t kk = k0;
+      for (; kk + 4 <= k1; kk += 4) {
+        const double a0 = arow[kk], a1 = arow[kk + 1];
+        const double a2 = arow[kk + 2], a3 = arow[kk + 3];
+        const double* b0 = b + kk * n + j0;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        for (size_t j = 0; j < width; ++j) {
+          double t = crow[j];
+          t += a0 * b0[j];
+          t += a1 * b1[j];
+          t += a2 * b2[j];
+          t += a3 * b3[j];
+          crow[j] = t;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        Axpy(arow[kk], b + kk * n + j0, crow, width);
+      }
+    }
+  }
+}
+
+// One (ib, jb) output tile of C = A * B^T: every element is a shared-shape
+// Dot over the depth axis.
+void GemmNTTile(const double* a, const double* b, double* c, size_t k,
+                size_t n, size_t i0, size_t i1, size_t j0, size_t j1) {
+  for (size_t i = i0; i < i1; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = j0; j < j1; ++j) {
+      crow[j] = Dot(arow, b + j * k, k);
+    }
+  }
+}
+
+// --- Shared pool -------------------------------------------------------------
+
+struct LinalgPool {
+  std::mutex mu;                     // serializes pool use and resizing
+  std::unique_ptr<ThreadPool> pool;  // built lazily at the resolved size
+  size_t requested = 0;              // 0 = auto policy
+  // Thread count published for lock-free reads: LinalgThreads() must be
+  // callable from inside a running task, where mu is held by the
+  // dispatching thread for the whole ParallelFor. Set whenever the pool is
+  // (re)built or an explicit request arrives; 0 = not resolved yet.
+  std::atomic<size_t> resolved{0};
+};
+
+LinalgPool& PoolState() {
+  // Function-local static: built on first parallel kernel, workers joined by
+  // the ThreadPool destructor at exit (keeps LeakSanitizer clean).
+  static LinalgPool state;
+  return state;
+}
+
+size_t ResolveAuto() {
+  // Same knob the trainer honours (core/config.cc): explicit request wins,
+  // then SEPRIV_NUM_THREADS, then the hardware.
+  constexpr size_t kMaxThreads = 1024;
+  const size_t env = ParseSizeEnv("SEPRIV_NUM_THREADS", kMaxThreads, 0,
+                                  /*zero_means_fallback=*/true);
+  return ThreadPool::ResolveThreads(env);
+}
+
+// True while the current thread is executing inside a parallel kernel; any
+// nested kernel call then runs serially instead of deadlocking the pool.
+thread_local bool tls_in_parallel = false;
+
+}  // namespace
+
+size_t LinalgThreads() {
+  LinalgPool& st = PoolState();
+  // Lock-free fast path: any pool that could be running tasks right now has
+  // already published its size (before its first ParallelFor), so callers
+  // inside a task never touch the mutex — no deadlock, no recursive lock.
+  const size_t cached = st.resolved.load(std::memory_order_acquire);
+  if (cached > 0) return cached;
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.pool) return st.pool->num_threads();
+  return st.requested > 0 ? st.requested : ResolveAuto();
+}
+
+void SetLinalgThreads(size_t n) {
+  LinalgPool& st = PoolState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.requested = n;
+  st.pool.reset();  // rebuilt lazily at the new size
+  st.resolved.store(n, std::memory_order_release);  // 0 = re-resolve lazily
+}
+
+void ParallelTasks(size_t n_tasks, const std::function<void(size_t)>& task) {
+  if (n_tasks == 0) return;
+  LinalgPool& st = PoolState();
+  std::unique_lock<std::mutex> lock(st.mu, std::defer_lock);
+  // Serial fallback: nested call, single task, or pool busy in another
+  // thread. Each task owns its outputs, so serial and parallel execution
+  // produce bit-identical results.
+  if (tls_in_parallel || n_tasks == 1 || !lock.try_lock()) {
+    for (size_t t = 0; t < n_tasks; ++t) task(t);
+    return;
+  }
+  if (!st.pool) {
+    const size_t threads = st.requested > 0 ? st.requested : ResolveAuto();
+    st.pool = std::make_unique<ThreadPool>(threads);
+    st.resolved.store(st.pool->num_threads(), std::memory_order_release);
+  }
+  if (st.pool->num_threads() == 1) {
+    for (size_t t = 0; t < n_tasks; ++t) task(t);
+    return;
+  }
+  st.pool->ParallelFor(n_tasks, 1, [&task](size_t begin, size_t end) {
+    const bool prev = tls_in_parallel;
+    tls_in_parallel = true;
+    for (size_t t = begin; t < end; ++t) task(t);
+    tls_in_parallel = prev;
+  });
+}
+
+// --- Bulk Gaussian -----------------------------------------------------------
+
+void FillGaussian(Rng& rng, double* dst, size_t n, double mean,
+                  double stddev) {
+  size_t i = 0;
+  double c, s;
+  // Drain a pending cached value and produce any odd tail via Normal() (which
+  // caches its sin), so the fill consumes and leaves the engine exactly as
+  // the scalar loop would — only the branch-free bulk middle differs.
+  if (n > 0 && rng.TakeCachedNormal(c)) dst[i++] = mean + stddev * c;
+  for (; i + 2 <= n; i += 2) {
+    BoxMullerPair(rng, c, s);
+    dst[i] = mean + stddev * c;
+    dst[i + 1] = mean + stddev * s;
+  }
+  if (i < n) dst[i] = rng.Normal(mean, stddev);
+}
+
+void AccumulateGaussian(Rng& rng, double* dst, size_t n, double stddev,
+                        double scale) {
+  const double f = scale * stddev;
+  size_t i = 0;
+  double c, s;
+  if (n > 0 && rng.TakeCachedNormal(c)) dst[i++] += f * c;
+  for (; i + 2 <= n; i += 2) {
+    BoxMullerPair(rng, c, s);
+    dst[i] += f * c;
+    dst[i + 1] += f * s;
+  }
+  if (i < n) dst[i] += f * rng.Normal();
+}
+
+// --- GEMM entry points -------------------------------------------------------
+
+void Gemm(const double* a, const double* b, double* c, size_t m, size_t k,
+          size_t n) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0);
+    return;
+  }
+  const size_t row_blocks = CeilDiv(m, kTileRows);
+  const size_t col_blocks = CeilDiv(n, kTileCols);
+  const auto tile = [&](size_t t) {
+    const size_t ib = t / col_blocks;
+    const size_t jb = t % col_blocks;
+    const size_t i0 = ib * kTileRows;
+    const size_t j0 = jb * kTileCols;
+    GemmTile(a, b, c, k, n, i0, std::min(m, i0 + kTileRows), j0,
+             std::min(n, j0 + kTileCols));
+  };
+  const size_t tiles = row_blocks * col_blocks;
+  if (m * n * k < kParallelFlopFloor) {
+    for (size_t t = 0; t < tiles; ++t) tile(t);
+  } else {
+    ParallelTasks(tiles, tile);
+  }
+}
+
+void GemmTN(const double* a, const double* b, double* c, size_t k, size_t m,
+            size_t n) {
+  // Transpose A once (O(k·m) moves vs O(k·m·n) FLOPs) so the main loop is
+  // the one blocked kernel; keeps exactly one accumulation shape.
+  std::vector<double> at(m * k);
+  for (size_t r = 0; r < k; ++r) {
+    const double* arow = a + r * m;
+    for (size_t ccol = 0; ccol < m; ++ccol) at[ccol * k + r] = arow[ccol];
+  }
+  Gemm(at.data(), b, c, m, k, n);
+}
+
+void GemmNT(const double* a, const double* b, double* c, size_t m, size_t k,
+            size_t n) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::fill(c, c + m * n, 0.0);
+    return;
+  }
+  const size_t row_blocks = CeilDiv(m, kTileRows);
+  const size_t col_blocks = CeilDiv(n, kTileCols);
+  const auto tile = [&](size_t t) {
+    const size_t ib = t / col_blocks;
+    const size_t jb = t % col_blocks;
+    const size_t i0 = ib * kTileRows;
+    const size_t j0 = jb * kTileCols;
+    GemmNTTile(a, b, c, k, n, i0, std::min(m, i0 + kTileRows), j0,
+               std::min(n, j0 + kTileCols));
+  };
+  const size_t tiles = row_blocks * col_blocks;
+  if (m * n * k < kParallelFlopFloor) {
+    for (size_t t = 0; t < tiles; ++t) tile(t);
+  } else {
+    ParallelTasks(tiles, tile);
+  }
+}
+
+}  // namespace sepriv::kernels

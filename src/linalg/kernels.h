@@ -1,0 +1,212 @@
+// Vectorization-friendly linear-algebra kernels — the single accumulation
+// shape for every FLOP in the library.
+//
+// Every dot product, squared norm, axpy, and GEMM in the codebase routes
+// through this layer so that (a) the compiler sees multi-accumulator loops it
+// can turn into FMA/SIMD code without -ffast-math reassociation, and (b) the
+// floating-point accumulation order is *identical everywhere*: the same
+// inputs produce bit-identical results run-to-run, caller-to-caller, and —
+// for the thread-pool-parallel GEMMs and the row-sharded sparse multiply —
+// for every thread count. Callers must never re-implement these loops
+// inline; that would fork the accumulation shape and break the determinism
+// contract (see README "Performance").
+//
+// The element-wise kernels are header-inline so they vectorize inside each
+// caller's translation unit. The bulk-Gaussian and blocked-GEMM kernels live
+// in kernels.cc (they carry state: the shared linalg thread pool).
+
+#ifndef SEPRIVGEMB_LINALG_KERNELS_H_
+#define SEPRIVGEMB_LINALG_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+
+namespace sepriv {
+
+class Rng;  // util/rng.h — only referenced by the bulk-Gaussian kernels
+
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Reduction kernels.
+//
+// Shape: four independent accumulators striding the vector in lanes of four,
+// combined as ((acc0+acc2)+(acc1+acc3)) + serial tail. The four lanes map
+// onto one 256-bit vector accumulator, so -O3 vectorizes these exactly (no
+// value change vs this source order), and the remainder loop keeps sizes
+// that are not multiples of four correct.
+// ---------------------------------------------------------------------------
+
+inline double Dot(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return ((acc0 + acc2) + (acc1 + acc3)) + tail;
+}
+
+inline double SquaredNorm(const double* a, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * a[i];
+    acc1 += a[i + 1] * a[i + 1];
+    acc2 += a[i + 2] * a[i + 2];
+    acc3 += a[i + 3] * a[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * a[i];
+  return ((acc0 + acc2) + (acc1 + acc3)) + tail;
+}
+
+inline double SquaredDistance(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail += d * d;
+  }
+  return ((acc0 + acc2) + (acc1 + acc3)) + tail;
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise kernels. No cross-lane accumulation, so plain loops — the
+// autovectorizer handles them — but kept here so every caller shares one
+// implementation (and so a future ISA-specific build swaps exactly one spot).
+// ---------------------------------------------------------------------------
+
+/// y[i] += alpha * x[i].
+inline void Axpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// x[i] *= alpha.
+inline void Scale(double alpha, double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+/// y[i] = alpha * x[i].
+inline void ScaleStore(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = alpha * x[i];
+}
+
+// ---------------------------------------------------------------------------
+// Fused SGNS hot path.
+// ---------------------------------------------------------------------------
+
+/// Classic logistic sigmoid, stable for large |x|. (Defined here, at the
+/// bottom of the include graph, so the fused kernel below and
+/// util/math_util.h's public Sigmoid share one implementation.)
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// The per-(center, context) SGNS update fused into two passes over dim:
+///   x     = vi · vn
+///   coeff = weight * (sigmoid(x) - indicator)
+///   center_grad += coeff * vn        (Eq. 7)
+///   ctx_row      = coeff * vi        (Eq. 8)
+/// Returns x so the caller can form the loss without re-scoring. The fused
+/// second loop writes both gradient rows from one stream over vi/vn, halving
+/// the loop overhead of the previous two separate scalar loops.
+inline double SgnsAccumulate(const double* vi, const double* vn, size_t dim,
+                             double weight, double indicator,
+                             double* center_grad, double* ctx_row) {
+  const double x = Dot(vi, vn, dim);
+  const double coeff = weight * (Sigmoid(x) - indicator);
+  for (size_t d = 0; d < dim; ++d) {
+    center_grad[d] += coeff * vn[d];
+    ctx_row[d] = coeff * vi[d];
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk Gaussian generation (kernels.cc).
+//
+// Straight-line pairwise Box–Muller: each (u1, u2) pair yields both the cos
+// and sin draw immediately, with no cached-second-value branch in the inner
+// loop (the branch in Rng::Normal defeats pipelining when filling millions
+// of entries). A pending cached value is drained first and an odd tail is
+// produced via Rng::Normal (which caches its sin), so for EVERY length and
+// engine entry state the fill emits exactly the sequence the scalar
+// Rng::Normal loop produced and leaves the engine in the identical state —
+// pre-existing noise streams and seeds are unchanged, unconditionally.
+// ---------------------------------------------------------------------------
+
+/// dst[0..n) = i.i.d. N(mean, stddev^2).
+void FillGaussian(Rng& rng, double* dst, size_t n, double mean, double stddev);
+
+/// dst[i] += scale * N(0, stddev^2), i.i.d. per element.
+void AccumulateGaussian(Rng& rng, double* dst, size_t n, double stddev,
+                        double scale = 1.0);
+
+// ---------------------------------------------------------------------------
+// Cache-blocked, thread-pool-parallel GEMM (kernels.cc).
+//
+// The output is partitioned into tiles; each tile is owned by exactly one
+// task and accumulated with a fixed in-tile loop order (depth blocks in
+// ascending order, then row/depth/column), so the result is bit-identical
+// for every thread count — the same discipline as BatchGradientEngine. All
+// buffers are dense row-major; C must not alias A or B and is overwritten.
+// ---------------------------------------------------------------------------
+
+/// C (m x n) = A (m x k) * B (k x n).
+void Gemm(const double* a, const double* b, double* c, size_t m, size_t k,
+          size_t n);
+
+/// C (m x n) = A^T * B, with A stored as (k x m).
+void GemmTN(const double* a, const double* b, double* c, size_t k, size_t m,
+            size_t n);
+
+/// C (m x n) = A * B^T, with A (m x k) and B (n x k).
+void GemmNT(const double* a, const double* b, double* c, size_t m, size_t k,
+            size_t n);
+
+// ---------------------------------------------------------------------------
+// The shared linalg thread pool.
+// ---------------------------------------------------------------------------
+
+/// Thread count the parallel kernels currently resolve to (>= 1).
+size_t LinalgThreads();
+
+/// Sets the pool size for subsequent parallel kernels: 0 restores the auto
+/// policy (SEPRIV_NUM_THREADS env, else hardware). Rebuilds the pool lazily;
+/// results never depend on this knob (only wall-clock does). Not safe to
+/// call concurrently with in-flight parallel kernels.
+void SetLinalgThreads(size_t n);
+
+/// Runs task(t) for every t in [0, n_tasks) on the shared pool, one task per
+/// index. Falls back to a serial loop when the pool is busy, when called
+/// from inside another parallel kernel (re-entrancy), or when n_tasks == 1 —
+/// all with identical results, since each task owns its output exclusively.
+/// Exposed for row-sharded callers outside this file (NormalizedAdjacency).
+void ParallelTasks(size_t n_tasks, const std::function<void(size_t)>& task);
+
+}  // namespace kernels
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_LINALG_KERNELS_H_

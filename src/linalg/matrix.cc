@@ -2,13 +2,13 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/check.h"
-#include "util/math_util.h"
 
 namespace sepriv {
 
 void Matrix::FillGaussian(Rng& rng, double mean, double stddev) {
-  for (double& x : data_) x = rng.Normal(mean, stddev);
+  kernels::FillGaussian(rng, data_.data(), data_.size(), mean, stddev);
 }
 
 void Matrix::FillUniform(Rng& rng, double lo, double hi) {
@@ -24,75 +24,54 @@ void Matrix::FillXavier(Rng& rng) {
 void Matrix::Axpy(double alpha, const Matrix& other) {
   SEPRIV_CHECK(SameShape(other), "Axpy shape mismatch: %zux%zu vs %zux%zu",
                rows_, cols_, other.rows_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  kernels::Axpy(alpha, other.data_.data(), data_.data(), data_.size());
 }
 
 void Matrix::Scale(double alpha) {
-  for (double& x : data_) x *= alpha;
+  kernels::Scale(alpha, data_.data(), data_.size());
 }
 
 double Matrix::RowNorm(size_t i) const {
-  return Norm(data_.data() + i * cols_, cols_);
+  return std::sqrt(kernels::SquaredNorm(data_.data() + i * cols_, cols_));
 }
 
 double Matrix::FrobeniusNorm() const {
-  return Norm(data_.data(), data_.size());
+  return std::sqrt(kernels::SquaredNorm(data_.data(), data_.size()));
 }
 
 double Matrix::RowDot(size_t i, const Matrix& other, size_t j) const {
   SEPRIV_CHECK(cols_ == other.cols_, "RowDot col mismatch: %zu vs %zu", cols_,
                other.cols_);
-  return Dot(data_.data() + i * cols_, other.data() + j * other.cols(), cols_);
+  return kernels::Dot(data_.data() + i * cols_,
+                      other.data() + j * other.cols(), cols_);
 }
 
 double Matrix::RowSquaredDistance(size_t i, const Matrix& other,
                                   size_t j) const {
   SEPRIV_CHECK(cols_ == other.cols_, "RowSquaredDistance col mismatch");
-  const double* a = data_.data() + i * cols_;
-  const double* b = other.data() + j * other.cols();
-  double acc = 0.0;
-  for (size_t c = 0; c < cols_; ++c) {
-    const double d = a[c] - b[c];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::SquaredDistance(data_.data() + i * cols_,
+                                  other.data() + j * other.cols(), cols_);
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   SEPRIV_CHECK(a.cols() == b.rows(), "MatMul shape mismatch: %zux%zu * %zux%zu",
                a.rows(), a.cols(), b.rows(), b.cols());
   Matrix c(a.rows(), b.cols());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
-    }
-  }
+  kernels::Gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
   return c;
 }
 
 Matrix MatTMul(const Matrix& a, const Matrix& b) {
   SEPRIV_CHECK(a.rows() == b.rows(), "MatTMul shape mismatch");
   Matrix c(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a(k, i);
-      if (aki == 0.0) continue;
-      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
-    }
-  }
+  kernels::GemmTN(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
   return c;
 }
 
 Matrix MatMulT(const Matrix& a, const Matrix& b) {
   SEPRIV_CHECK(a.cols() == b.cols(), "MatMulT shape mismatch");
   Matrix c(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t j = 0; j < b.rows(); ++j) {
-      c(i, j) = a.RowDot(i, b, j);
-    }
-  }
+  kernels::GemmNT(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.rows());
   return c;
 }
 
@@ -120,17 +99,16 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   SEPRIV_CHECK(a.SameShape(b), "Hadamard shape mismatch");
   Matrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.rows(); ++i)
-    for (size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) * b(i, j);
+  for (size_t i = 0; i < c.size(); ++i)
+    c.data()[i] = a.data()[i] * b.data()[i];
   return c;
 }
 
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {
   SEPRIV_CHECK(a.SameShape(b), "MaxAbsDiff shape mismatch");
   double mx = 0.0;
-  for (size_t i = 0; i < a.rows(); ++i)
-    for (size_t j = 0; j < a.cols(); ++j)
-      mx = std::max(mx, std::abs(a(i, j) - b(i, j)));
+  for (size_t i = 0; i < a.size(); ++i)
+    mx = std::max(mx, std::abs(a.data()[i] - b.data()[i]));
   return mx;
 }
 

@@ -1,10 +1,12 @@
 // Dense row-major matrix of doubles.
 //
 // This is the storage type for skip-gram embedding matrices (Win/Wout),
-// neural-network weights, and small dense proximity matrices. It is kept
-// deliberately simple: contiguous storage, explicit loops, no expression
-// templates — the hot paths in this library are row-sparse updates, not
-// full GEMMs.
+// neural-network weights, and small dense proximity matrices. Storage stays
+// deliberately simple (contiguous, no expression templates); every FLOP is
+// delegated to the vectorized kernel layer in linalg/kernels.h, so all
+// row/matrix operations share one accumulation shape and the GEMMs are
+// cache-blocked and thread-pool parallel with bit-identical output for
+// every thread count.
 
 #ifndef SEPRIVGEMB_LINALG_MATRIX_H_
 #define SEPRIVGEMB_LINALG_MATRIX_H_
@@ -85,8 +87,9 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// C = A * B (naive ikj loop order; adequate for the small dense products in
-/// the NN substrate).
+/// C = A * B (cache-blocked, parallel for large shapes; thread-invariant).
+/// Dense inner loops — no per-element zero skipping; sparse operands belong
+/// in a sparse-aware structure (see NormalizedAdjacency), not here.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// C = A^T * B.

@@ -1,10 +1,23 @@
 #include "nn/gcn.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/check.h"
 
 namespace sepriv {
+namespace {
+
+// Output rows per parallel task in Multiply. Fixed (never derived from the
+// thread count) so the shard boundaries — and with them the accumulation
+// order — are identical for every pool size.
+constexpr size_t kRowShard = 64;
+
+// Below this many node·dim accumulations the dispatch overhead dominates.
+constexpr size_t kParallelWorkFloor = size_t{1} << 16;
+
+}  // namespace
 
 NormalizedAdjacency::NormalizedAdjacency(const Graph& graph,
                                          bool include_self_loops)
@@ -21,20 +34,36 @@ Matrix NormalizedAdjacency::Multiply(const Matrix& x) const {
   SEPRIV_CHECK(x.rows() == graph_->num_nodes(),
                "NormalizedAdjacency: %zu rows vs |V|=%zu", x.rows(),
                graph_->num_nodes());
-  Matrix y(x.rows(), x.cols());
-  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
-    auto dst = y.Row(v);
-    const double sv = inv_sqrt_deg_[v];
-    if (self_loops_) {
-      const auto self = x.Row(v);
-      const double w = sv * sv;
-      for (size_t d = 0; d < x.cols(); ++d) dst[d] += w * self[d];
+  const size_t n = graph_->num_nodes();
+  const size_t dim = x.cols();
+  Matrix y(x.rows(), dim);
+
+  // Each task owns a contiguous block of output rows; row v accumulates its
+  // neighbour contributions in CSR order regardless of which worker runs the
+  // shard, so the product is bit-identical across thread counts.
+  const auto shard = [&](size_t t) {
+    const NodeId lo = static_cast<NodeId>(t * kRowShard);
+    const NodeId hi =
+        static_cast<NodeId>(std::min<size_t>(n, (t + 1) * kRowShard));
+    for (NodeId v = lo; v < hi; ++v) {
+      auto dst = y.Row(v);
+      const double sv = inv_sqrt_deg_[v];
+      if (self_loops_) {
+        kernels::Axpy(sv * sv, x.Row(v).data(), dst.data(), dim);
+      }
+      for (NodeId u : graph_->Neighbors(v)) {
+        kernels::Axpy(sv * inv_sqrt_deg_[u], x.Row(u).data(), dst.data(),
+                      dim);
+      }
     }
-    for (NodeId u : graph_->Neighbors(v)) {
-      const double w = sv * inv_sqrt_deg_[u];
-      const auto src = x.Row(u);
-      for (size_t d = 0; d < x.cols(); ++d) dst[d] += w * src[d];
-    }
+  };
+
+  const size_t shards = (n + kRowShard - 1) / kRowShard;
+  const size_t work = (graph_->num_edges() * 2 + n) * dim;
+  if (work < kParallelWorkFloor) {
+    for (size_t t = 0; t < shards; ++t) shard(t);
+  } else {
+    kernels::ParallelTasks(shards, shard);
   }
   return y;
 }
@@ -44,7 +73,7 @@ void RowNormalizeInPlace(Matrix& m) {
     const double norm = m.RowNorm(i);
     if (norm <= 0.0) continue;
     auto row = m.Row(i);
-    for (double& x : row) x /= norm;
+    kernels::Scale(1.0 / norm, row.data(), row.size());
   }
 }
 

@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "linalg/kernels.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -19,8 +20,7 @@ Matrix Linear::Forward(const Matrix& x) {
   last_x_ = x;
   Matrix y = MatMul(x, w_);
   for (size_t i = 0; i < y.rows(); ++i) {
-    auto row = y.Row(i);
-    for (size_t j = 0; j < y.cols(); ++j) row[j] += b_(0, j);
+    kernels::Axpy(1.0, b_.data(), y.Row(i).data(), y.cols());
   }
   return y;
 }
@@ -31,7 +31,7 @@ Matrix Linear::Backward(const Matrix& grad_y) {
   // dW += x^T · gy ; db += column sums of gy ; dx = gy · W^T.
   gw_.Axpy(1.0, MatTMul(last_x_, grad_y));
   for (size_t i = 0; i < grad_y.rows(); ++i) {
-    for (size_t j = 0; j < grad_y.cols(); ++j) gb_(0, j) += grad_y(i, j);
+    kernels::Axpy(1.0, grad_y.Row(i).data(), gb_.data(), grad_y.cols());
   }
   return MatMulT(grad_y, w_);
 }
@@ -42,8 +42,8 @@ void Linear::ZeroGrad() {
 }
 
 double Linear::GradSquaredNorm() const {
-  return SquaredNorm(gw_.data(), gw_.size()) +
-         SquaredNorm(gb_.data(), gb_.size());
+  return kernels::SquaredNorm(gw_.data(), gw_.size()) +
+         kernels::SquaredNorm(gb_.data(), gb_.size());
 }
 
 void Linear::ScaleGrads(double factor) {
@@ -53,10 +53,8 @@ void Linear::ScaleGrads(double factor) {
 
 void Linear::AddGradNoise(double stddev, Rng& rng) {
   if (stddev <= 0.0) return;
-  for (size_t i = 0; i < gw_.size(); ++i)
-    gw_.data()[i] += rng.Normal(0.0, stddev);
-  for (size_t i = 0; i < gb_.size(); ++i)
-    gb_.data()[i] += rng.Normal(0.0, stddev);
+  kernels::AccumulateGaussian(rng, gw_.data(), gw_.size(), stddev);
+  kernels::AccumulateGaussian(rng, gb_.data(), gb_.size(), stddev);
 }
 
 }  // namespace sepriv

@@ -1,0 +1,39 @@
+// FNV-1a byte digests — the witness the determinism contracts are checked
+// with. Benches print these per thread count and tests compare them; any
+// single-bit difference in the digested bytes (including two rows swapping
+// their noise draws) changes the digest, so matching values really do
+// witness bit-identical output. One shared implementation so the committed
+// bench baselines and the test assertions can never drift apart.
+
+#ifndef SEPRIVGEMB_UTIL_DIGEST_H_
+#define SEPRIVGEMB_UTIL_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+/// FNV-1a offset basis; pass the previous digest as `h` to chain buffers.
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+
+/// FNV-1a over `len` raw bytes, continuing from `h`.
+inline uint64_t FnvDigest(const void* data, size_t len,
+                          uint64_t h = kFnvOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Digest of a matrix's full value buffer.
+inline uint64_t MatrixDigest(const Matrix& m) {
+  return FnvDigest(m.data(), m.size() * sizeof(double));
+}
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_DIGEST_H_

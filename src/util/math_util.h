@@ -9,17 +9,13 @@
 #include <limits>
 #include <vector>
 
+#include "linalg/kernels.h"
+
 namespace sepriv {
 
-/// Classic logistic sigmoid, stable for large |x|.
-inline double Sigmoid(double x) {
-  if (x >= 0.0) {
-    const double z = std::exp(-x);
-    return 1.0 / (1.0 + z);
-  }
-  const double z = std::exp(x);
-  return z / (1.0 + z);
-}
+/// Classic logistic sigmoid, stable for large |x|. (Implementation lives in
+/// linalg/kernels.h so the fused SGNS kernel shares it.)
+inline double Sigmoid(double x) { return kernels::Sigmoid(x); }
 
 /// log(1 + exp(x)) without overflow.
 inline double Log1pExp(double x) {
@@ -55,22 +51,19 @@ inline double LogAddExp(double a, double b) {
   return a + Log1pExp(b - a);
 }
 
-/// Squared L2 norm of a contiguous buffer.
+/// Squared L2 norm of a contiguous buffer. Forwards to the vectorized
+/// kernel layer — the only accumulation shape in the library.
 inline double SquaredNorm(const double* data, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += data[i] * data[i];
-  return acc;
+  return kernels::SquaredNorm(data, n);
 }
 
 inline double Norm(const double* data, size_t n) {
-  return std::sqrt(SquaredNorm(data, n));
+  return std::sqrt(kernels::SquaredNorm(data, n));
 }
 
-/// Dot product of two equally sized buffers.
+/// Dot product of two equally sized buffers (kernel-layer shape).
 inline double Dot(const double* a, const double* b, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::Dot(a, b, n);
 }
 
 }  // namespace sepriv

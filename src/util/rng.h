@@ -112,6 +112,17 @@ class Rng {
   /// Normal with the given mean and standard deviation.
   double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
 
+  /// Pops the Box–Muller cached second value if one is pending. Lets bulk
+  /// fills (kernels::FillGaussian) consume the cache exactly where the
+  /// scalar Normal() loop would have, keeping the two paths stream-identical
+  /// for every length and entry state.
+  bool TakeCachedNormal(double& out) {
+    if (!has_cached_) return false;
+    has_cached_ = false;
+    out = cached_;
+    return true;
+  }
+
   /// Derives an independent child stream (for per-worker determinism).
   /// Advances this engine by one draw.
   Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }

@@ -102,6 +102,37 @@ TEST(LinkPredAucTest, RandomEmbeddingNearChance) {
   EXPECT_NEAR(auc, 0.5, 0.15);
 }
 
+TEST(LinkPredSplitTest, CompleteGraphTerminatesWithNoNegatives) {
+  // Regression: on a complete graph there are zero non-edges, so the old
+  // unbounded rejection loop never terminated. The sampler must cap the
+  // negative target at the number of available non-edge pairs.
+  Graph g = CompleteGraph(6);
+  LinkPredictionOptions opts;
+  opts.test_fraction = 0.3;
+  const auto split = MakeLinkPredictionSplit(g, opts);
+  EXPECT_GT(split.test_pos.size(), 0u);
+  EXPECT_TRUE(split.test_neg.empty());
+  // AUC degrades to chance with an empty negative set instead of hanging.
+  Matrix emb(g.num_nodes(), 4, 1.0);
+  EXPECT_DOUBLE_EQ(LinkPredictionAuc(split, emb, emb), 0.5);
+}
+
+TEST(LinkPredSplitTest, NearCompleteGraphFillsFromScan) {
+  // One missing edge -> exactly one negative is available; the bounded
+  // sampler must find it (by rejection or by the deterministic scan) rather
+  // than spin. CompleteGraph(8) minus {0,1}.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 8; ++u)
+    for (NodeId v = u + 1; v < 8; ++v)
+      if (!(u == 0 && v == 1)) edges.push_back({u, v});
+  Graph g = Graph::FromEdges(8, std::move(edges));
+  LinkPredictionOptions opts;
+  opts.test_fraction = 0.2;
+  const auto split = MakeLinkPredictionSplit(g, opts);
+  ASSERT_EQ(split.test_neg.size(), 1u);
+  EXPECT_EQ(split.test_neg[0], (Edge{0, 1}));
+}
+
 TEST(LinkPredSplitDeathTest, BadFractionAborts) {
   Graph g = PathGraph(10);
   LinkPredictionOptions opts;

@@ -86,6 +86,28 @@ TEST(StrucEquTest, TinyGraphEdgeCases) {
   EXPECT_DOUBLE_EQ(StrucEqu(g, m), 0.0);  // single pair: no variance
 }
 
+TEST(StrucEquTest, SingleNodeGraphReturnsZero) {
+  // Regression: the sampled branch's old `while (j == i)` re-draw could
+  // never terminate for n == 1; StrucEqu must define this case instead.
+  Graph g = Graph::FromEdges(1, {});
+  Matrix m(1, 4);
+  StrucEquOptions opts;
+  opts.max_pairs = 0;  // would force the sampled branch if reached
+  EXPECT_DOUBLE_EQ(StrucEqu(g, m, opts), 0.0);
+}
+
+TEST(StrucEquTest, SampledBranchTerminatesOnTinyGraphs) {
+  // Regression: the old rejection re-draw collides with probability 1/n per
+  // attempt; on tiny graphs that made the sampled branch arbitrarily slow
+  // (and non-terminating at n == 1). The rejection-free draw must terminate
+  // and produce a finite estimate.
+  Graph g3 = CycleGraph(3);
+  Matrix m3 = AdjacencyEmbedding(g3);
+  StrucEquOptions few;
+  few.max_pairs = 2;  // 3 pairs exist -> sampled branch
+  EXPECT_TRUE(std::isfinite(StrucEqu(g3, m3, few)));
+}
+
 TEST(StrucEquDeathTest, RowMismatchAborts) {
   Graph g = PathGraph(5);
   Matrix m(4, 4);

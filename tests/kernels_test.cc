@@ -1,0 +1,301 @@
+// Property tests for the vectorized kernel layer: every kernel is checked
+// against a naive single-accumulator reference across sizes 1..~130 (so the
+// remainder lanes of the 4-wide accumulation shape are all exercised), the
+// GEMMs against shape edge cases, and the parallel paths for bit-identical
+// output across thread counts.
+
+#include "linalg/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "bench/naive_reference.h"
+#include "graph/generators.h"
+#include "linalg/matrix.h"
+#include "nn/gcn.h"
+#include "util/digest.h"
+#include "util/rng.h"
+
+namespace sepriv {
+namespace {
+
+std::vector<double> RandomVec(Rng& rng, size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(-2.0, 2.0);
+  return v;
+}
+
+// Restores the auto thread policy after a test that pins the pool size.
+struct ThreadGuard {
+  ~ThreadGuard() { kernels::SetLinalgThreads(0); }
+};
+
+TEST(KernelsTest, ReductionsMatchNaiveAcrossRemainderLanes) {
+  Rng rng(11);
+  for (size_t n = 1; n <= 130; ++n) {
+    const auto a = RandomVec(rng, n);
+    const auto b = RandomVec(rng, n);
+    // The 4-accumulator shape reassociates the sum, so compare with a
+    // relative tolerance, not bit equality.
+    const double tol = 1e-12 * static_cast<double>(n);
+    EXPECT_NEAR(kernels::Dot(a.data(), b.data(), n),
+                naive::Dot(a.data(), b.data(), n), tol)
+        << "n=" << n;
+    EXPECT_NEAR(kernels::SquaredNorm(a.data(), n),
+                naive::SquaredNorm(a.data(), n), tol)
+        << "n=" << n;
+    EXPECT_NEAR(kernels::SquaredDistance(a.data(), b.data(), n),
+                naive::SquaredDistance(a.data(), b.data(), n), tol)
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, ReductionsAreDeterministic) {
+  Rng rng(12);
+  const auto a = RandomVec(rng, 101);
+  const auto b = RandomVec(rng, 101);
+  EXPECT_EQ(kernels::Dot(a.data(), b.data(), a.size()),
+            kernels::Dot(a.data(), b.data(), a.size()));
+  EXPECT_EQ(kernels::SquaredNorm(a.data(), a.size()),
+            kernels::SquaredNorm(a.data(), a.size()));
+}
+
+TEST(KernelsTest, AxpyScaleStoreMatchNaive) {
+  Rng rng(13);
+  for (size_t n : {1u, 3u, 4u, 7u, 64u, 129u}) {
+    const auto x = RandomVec(rng, n);
+    auto y = RandomVec(rng, n);
+    auto y_ref = y;
+    kernels::Axpy(0.75, x.data(), y.data(), n);
+    for (size_t i = 0; i < n; ++i) y_ref[i] += 0.75 * x[i];
+    EXPECT_EQ(y, y_ref) << "n=" << n;  // elementwise: bit-identical
+
+    kernels::Scale(-1.5, y.data(), n);
+    for (size_t i = 0; i < n; ++i) y_ref[i] *= -1.5;
+    EXPECT_EQ(y, y_ref);
+
+    std::vector<double> z(n);
+    kernels::ScaleStore(2.0, x.data(), z.data(), n);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(z[i], 2.0 * x[i]);
+  }
+}
+
+TEST(KernelsTest, SgnsAccumulateMatchesComposition) {
+  Rng rng(14);
+  for (size_t dim : {1u, 5u, 32u, 127u}) {
+    const auto vi = RandomVec(rng, dim);
+    const auto vn = RandomVec(rng, dim);
+    std::vector<double> center(dim, 0.5), row(dim, -3.0);
+    const double x = kernels::SgnsAccumulate(vi.data(), vn.data(), dim, 0.8,
+                                             1.0, center.data(), row.data());
+    EXPECT_EQ(x, kernels::Dot(vi.data(), vn.data(), dim));
+    const double coeff = 0.8 * (kernels::Sigmoid(x) - 1.0);
+    for (size_t d = 0; d < dim; ++d) {
+      EXPECT_EQ(center[d], 0.5 + coeff * vn[d]);
+      EXPECT_EQ(row[d], coeff * vi[d]);
+    }
+  }
+}
+
+TEST(KernelsTest, FillGaussianStreamIdenticalToScalarNormal) {
+  // The block fill must emit exactly the draws the cached Box–Muller scalar
+  // path produced AND leave the engine in the identical state — for every
+  // length parity and entry state (fresh, or with a pending cached value
+  // from a preceding odd number of scalar draws). Pre-existing noise
+  // streams are part of the determinism contract, unconditionally.
+  for (size_t n : {1u, 2u, 7u, 64u}) {
+    for (int warmup_draws : {0, 1}) {
+      Rng block_rng(21), scalar_rng(21);
+      for (int w = 0; w < warmup_draws; ++w) {
+        EXPECT_EQ(block_rng.Normal(), scalar_rng.Normal());
+      }
+      std::vector<double> block(n);
+      kernels::FillGaussian(block_rng, block.data(), n, 0.5, 2.0);
+      for (double x : block) {
+        EXPECT_EQ(x, scalar_rng.Normal(0.5, 2.0))
+            << "n=" << n << " warmup=" << warmup_draws;
+      }
+      // Identical post-state: subsequent scalar draws agree.
+      EXPECT_EQ(block_rng.Normal(), scalar_rng.Normal());
+      EXPECT_EQ(block_rng.Normal(), scalar_rng.Normal());
+    }
+  }
+}
+
+TEST(KernelsTest, AccumulateGaussianAddsScaledNoise) {
+  Rng r1(23), r2(23);
+  std::vector<double> base(32, 10.0), noise(32);
+  kernels::AccumulateGaussian(r1, base.data(), base.size(), 3.0, -0.5);
+  kernels::FillGaussian(r2, noise.data(), noise.size(), 0.0, 1.0);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(base[i], 10.0 - 0.5 * 3.0 * noise[i], 1e-12);
+  }
+}
+
+TEST(KernelsTest, GaussianMomentsSane) {
+  Rng rng(24);
+  const size_t n = 100001;  // odd on purpose
+  std::vector<double> v(n);
+  kernels::FillGaussian(rng, v.data(), n, 1.0, 2.0);
+  double sum = 0.0, sumsq = 0.0;
+  for (double x : v) {
+    sum += x;
+    sumsq += (x - 1.0) * (x - 1.0);
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), 1.0, 0.05);
+  EXPECT_NEAR(sumsq / static_cast<double>(n), 4.0, 0.1);
+}
+
+TEST(KernelsTest, GemmMatchesNaiveAcrossShapes) {
+  Rng rng(31);
+  const size_t shapes[][3] = {{1, 1, 1},   {2, 3, 2},   {4, 4, 4},
+                              {5, 7, 3},   {17, 9, 23}, {64, 64, 64},
+                              {65, 33, 67}, {130, 40, 129}};
+  for (const auto& s : shapes) {
+    Matrix a(s[0], s[1]), b(s[1], s[2]);
+    a.FillUniform(rng, -1.0, 1.0);
+    b.FillUniform(rng, -1.0, 1.0);
+    const Matrix c = MatMul(a, b);
+    const Matrix ref = naive::MatMul(a, b);
+    EXPECT_LT(MaxAbsDiff(c, ref),
+              1e-12 * static_cast<double>(s[1]))
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(KernelsTest, GemmShapeEdgeCases) {
+  // 0xN, Nx0, and inner-dimension-0 products must all be well-defined.
+  Matrix a0(0, 3), b(3, 4);
+  const Matrix c0 = MatMul(a0, b);
+  EXPECT_EQ(c0.rows(), 0u);
+  EXPECT_EQ(c0.cols(), 4u);
+
+  Matrix a(2, 0), bk0(0, 3);
+  const Matrix ck0 = MatMul(a, bk0);
+  EXPECT_EQ(ck0.rows(), 2u);
+  EXPECT_EQ(ck0.cols(), 3u);
+  EXPECT_EQ(ck0.FrobeniusNorm(), 0.0);
+
+  Matrix one(1, 1, 3.0), two(1, 1, -4.0);
+  EXPECT_EQ(MatMul(one, two)(0, 0), -12.0);
+
+  Rng rng(32);
+  Matrix m(9, 9);
+  m.FillUniform(rng, -1.0, 1.0);
+  Matrix eye(9, 9);
+  for (size_t i = 0; i < 9; ++i) eye(i, i) = 1.0;
+  EXPECT_LT(MaxAbsDiff(MatMul(m, eye), m), 1e-14);
+  EXPECT_LT(MaxAbsDiff(MatMul(eye, m), m), 1e-14);
+}
+
+TEST(KernelsTest, GemmVariantsMatchTransposeCompositions) {
+  Rng rng(33);
+  Matrix a(37, 21), b(37, 18);   // MatTMul: (21x37)·(37x18)
+  a.FillUniform(rng, -1.0, 1.0);
+  b.FillUniform(rng, -1.0, 1.0);
+  EXPECT_LT(MaxAbsDiff(MatTMul(a, b), naive::MatMul(Transpose(a), b)), 1e-11);
+
+  Matrix c(29, 21), d(35, 21);   // MatMulT: (29x21)·(21x35)
+  c.FillUniform(rng, -1.0, 1.0);
+  d.FillUniform(rng, -1.0, 1.0);
+  EXPECT_LT(MaxAbsDiff(MatMulT(c, d), naive::MatMul(c, Transpose(d))), 1e-11);
+}
+
+TEST(KernelsTest, GemmBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(34);
+  // Big enough to clear the parallel floor and span many tiles.
+  Matrix a(150, 130, 0.0), b(130, 170, 0.0);
+  a.FillUniform(rng, -1.0, 1.0);
+  b.FillUniform(rng, -1.0, 1.0);
+
+  kernels::SetLinalgThreads(1);
+  const Matrix serial = MatMul(a, b);
+  const uint64_t want = MatrixDigest(serial);
+  for (size_t threads : {2u, 4u, 8u}) {
+    kernels::SetLinalgThreads(threads);
+    EXPECT_EQ(MatrixDigest(MatMul(a, b)), want) << "threads=" << threads;
+  }
+}
+
+TEST(KernelsTest, GemmVariantsBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(35);
+  Matrix a(140, 150, 0.0), b(140, 160, 0.0);
+  a.FillUniform(rng, -1.0, 1.0);
+  b.FillUniform(rng, -1.0, 1.0);
+  kernels::SetLinalgThreads(1);
+  const uint64_t tn = MatrixDigest(MatTMul(a, b));
+  const uint64_t nt = MatrixDigest(MatMulT(Transpose(a), Transpose(b)));
+  for (size_t threads : {2u, 8u}) {
+    kernels::SetLinalgThreads(threads);
+    EXPECT_EQ(MatrixDigest(MatTMul(a, b)), tn) << threads;
+    EXPECT_EQ(MatrixDigest(MatMulT(Transpose(a), Transpose(b))), nt) << threads;
+  }
+}
+
+TEST(KernelsTest, NormalizedAdjacencyMultiplyThreadInvariant) {
+  ThreadGuard guard;
+  const Graph g = BarabasiAlbert(2000, 5, 7);
+  NormalizedAdjacency a_hat(g, /*include_self_loops=*/true);
+  Rng rng(36);
+  Matrix x(g.num_nodes(), 16);
+  x.FillUniform(rng, -1.0, 1.0);
+
+  kernels::SetLinalgThreads(1);
+  const uint64_t want = MatrixDigest(a_hat.Multiply(x));
+  for (size_t threads : {2u, 4u, 8u}) {
+    kernels::SetLinalgThreads(threads);
+    EXPECT_EQ(MatrixDigest(a_hat.Multiply(x)), want) << "threads=" << threads;
+  }
+}
+
+TEST(KernelsTest, ParallelTasksRunsEveryIndexOnce) {
+  ThreadGuard guard;
+  kernels::SetLinalgThreads(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  kernels::ParallelTasks(hits.size(),
+                         [&](size_t t) { hits[t].fetch_add(1); });
+  for (size_t t = 0; t < hits.size(); ++t) {
+    EXPECT_EQ(hits[t].load(), 1) << "t=" << t;
+  }
+}
+
+TEST(KernelsTest, ParallelTasksNestedFallsBackSerially) {
+  ThreadGuard guard;
+  kernels::SetLinalgThreads(4);
+  std::atomic<int> total{0};
+  kernels::ParallelTasks(8, [&](size_t) {
+    // Nested parallel kernels must not deadlock the shared pool.
+    kernels::ParallelTasks(4, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(KernelsTest, ThreadKnobResolves) {
+  ThreadGuard guard;
+  kernels::SetLinalgThreads(3);
+  EXPECT_EQ(kernels::LinalgThreads(), 3u);
+  kernels::SetLinalgThreads(0);
+  EXPECT_GE(kernels::LinalgThreads(), 1u);
+}
+
+TEST(KernelsTest, LinalgThreadsReadableFromInsideTask) {
+  // Row-sharded callers may size scratch by thread count from inside a
+  // task; the accessor must not touch the pool mutex the dispatcher holds.
+  ThreadGuard guard;
+  kernels::SetLinalgThreads(4);
+  std::atomic<size_t> seen{0};
+  kernels::ParallelTasks(16, [&](size_t) {
+    seen.store(kernels::LinalgThreads());
+  });
+  EXPECT_EQ(seen.load(), 4u);
+}
+
+}  // namespace
+}  // namespace sepriv
