@@ -12,11 +12,19 @@
 //    visited rows, so row norms encode visit counts. The naive mechanism
 //    (Eq. 6) perturbs every row and closes that channel — at catastrophic
 //    utility cost (Table VI).
+//
+// The (setting x repeat) train+audit cells run concurrently on the
+// experiment runner (runner::RunGrid with caller-owned result slots); the
+// per-cell seeds keep the legacy 500 + 13·r / 900 + r schedule, so the
+// reported AUCs are unchanged from the serial runs.
 
+#include <array>
 #include <cstdio>
+#include <vector>
 
 #include "attack/membership_inference.h"
 #include "bench/bench_common.h"
+#include "runner/experiment_runner.h"
 
 using namespace sepriv;
 using namespace sepriv::bench;
@@ -44,25 +52,35 @@ int main() {
       {"naive    eps=3.5", PerturbationStrategy::kNaive, 3.5},
   };
 
+  const auto repeats = static_cast<size_t>(profile.repeats);
+  const size_t n_cells = std::size(settings) * repeats;
+  std::vector<std::array<double, 3>> cell_auc(n_cells);
+  runner::RunGrid(
+      n_cells, /*base_seed=*/0,
+      [&](size_t i, const runner::CellContext& ctx) {
+        const Setting& s = settings[i / repeats];
+        const auto r = static_cast<uint64_t>(i % repeats);
+        SePrivGEmbConfig cfg = DefaultConfig(profile);
+        cfg.perturbation = s.strategy;
+        cfg.epsilon = s.epsilon > 0 ? s.epsilon : 3.5;
+        cfg.seed = 500 + 13 * r;
+        cfg.num_threads = ctx.inner_threads;
+        SePrivGEmb trainer(graph, dw, cfg);  // borrowed proximity table
+        const TrainResult res = trainer.Train();
+        const auto audit = AuditEmbedding(res.model, graph, 2000, 900 + r);
+        for (size_t k = 0; k < 3; ++k) cell_auc[i][k] = audit[k].auc;
+      });
+
   std::printf("%-20s %-18s %-18s %-18s\n", "setting", "score_attack_AUC",
               "rownorm_attack_AUC", "cosine_attack_AUC");
-  for (const Setting& s : settings) {
+  for (size_t si = 0; si < std::size(settings); ++si) {
     double auc[3] = {0, 0, 0};
-    for (int r = 0; r < profile.repeats; ++r) {
-      SePrivGEmbConfig cfg = DefaultConfig(profile);
-      cfg.perturbation = s.strategy;
-      cfg.epsilon = s.epsilon > 0 ? s.epsilon : 3.5;
-      cfg.seed = 500 + 13 * static_cast<uint64_t>(r);
-      EdgeProximity copy = dw;
-      SePrivGEmb trainer(graph, std::move(copy), cfg);
-      const TrainResult res = trainer.Train();
-      const auto audit = AuditEmbedding(res.model, graph, 2000,
-                                        900 + static_cast<uint64_t>(r));
-      for (size_t i = 0; i < 3; ++i) auc[i] += audit[i].auc;
+    for (size_t r = 0; r < repeats; ++r) {
+      for (size_t k = 0; k < 3; ++k) auc[k] += cell_auc[si * repeats + r][k];
     }
-    for (double& a : auc) a /= profile.repeats;
-    std::printf("%-20s %-18.4f %-18.4f %-18.4f\n", s.name, auc[0], auc[1],
-                auc[2]);
+    for (double& a : auc) a /= static_cast<double>(repeats);
+    std::printf("%-20s %-18.4f %-18.4f %-18.4f\n", settings[si].name, auc[0],
+                auc[1], auc[2]);
   }
   std::printf(
       "\nReading: score-attack AUC should fall toward 0.5 as eps shrinks; a "

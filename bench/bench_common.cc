@@ -73,15 +73,6 @@ double StrucEquOf(const Graph& graph, const Matrix& embedding,
   return StrucEqu(graph, embedding, opts);
 }
 
-RunSummary Repeat(int repeats, const std::function<double(uint64_t)>& run) {
-  std::vector<double> values;
-  values.reserve(static_cast<size_t>(repeats));
-  for (int r = 0; r < repeats; ++r) {
-    values.push_back(run(static_cast<uint64_t>(1000 + 37 * r)));
-  }
-  return Summarize(values);
-}
-
 std::string Cell(const RunSummary& s) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4f±%.4f", s.mean, s.stddev);
@@ -110,6 +101,63 @@ const std::vector<Method>& AllMethods() {
   return kMethods;
 }
 
+bool EpsilonIndependent(Method m) {
+  return m == Method::kSeGEmbDw || m == Method::kSeGEmbDeg;
+}
+
+std::vector<RunSummary> RunMethodEpsilonGrid(
+    std::span<const double> epsilons, const Profile& profile,
+    const std::function<double(Method method, double eps,
+                               const runner::CellContext& ctx)>& cell) {
+  // One cell group per (method, ε) — collapsed to a single group for the
+  // ε-independent methods — times `repeats` cells each, executed as one
+  // flat grid so the whole figure runs "slowest cell / cores".
+  struct Group {
+    Method method;
+    double eps;
+  };
+  std::vector<Group> groups;
+  std::vector<size_t> method_first_group;  // aligned with AllMethods()
+  for (Method method : AllMethods()) {
+    method_first_group.push_back(groups.size());
+    if (EpsilonIndependent(method)) {
+      groups.push_back({method, epsilons[0]});
+    } else {
+      for (double eps : epsilons) groups.push_back({method, eps});
+    }
+  }
+
+  const auto repeats = static_cast<size_t>(profile.repeats);
+  std::vector<runner::ExperimentCell> cells;
+  cells.reserve(groups.size() * repeats);
+  for (const Group& g : groups) {
+    for (size_t r = 0; r < repeats; ++r) {
+      cells.push_back({MethodName(g.method) + "/eps" + std::to_string(g.eps) +
+                           "/r" + std::to_string(r),
+                       static_cast<uint64_t>(1000 + 37 * r),
+                       [&cell, g](const runner::CellContext& ctx) {
+                         return cell(g.method, g.eps, ctx);
+                       }});
+    }
+  }
+  const std::vector<double> results = runner::RunCells(cells);
+
+  std::vector<RunSummary> out(AllMethods().size() * epsilons.size());
+  size_t mi = 0;
+  for (Method method : AllMethods()) {
+    const size_t first = method_first_group[mi];
+    for (size_t ei = 0; ei < epsilons.size(); ++ei) {
+      const size_t gi = first + (EpsilonIndependent(method) ? 0 : ei);
+      const std::vector<double> runs(
+          results.begin() + static_cast<ptrdiff_t>(gi * repeats),
+          results.begin() + static_cast<ptrdiff_t>((gi + 1) * repeats));
+      out[mi * epsilons.size() + ei] = Summarize(runs);
+    }
+    ++mi;
+  }
+  return out;
+}
+
 std::string MethodName(Method m) {
   switch (m) {
     case Method::kDpgGan: return "DPGGAN";
@@ -128,15 +176,16 @@ namespace {
 
 PublishedEmbedding RunSeTrainer(const Graph& graph, const EdgeProximity& prox,
                                 bool is_private, double epsilon, size_t epochs,
-                                uint64_t seed, const Profile& profile) {
+                                uint64_t seed, const Profile& profile,
+                                size_t num_threads) {
   SePrivGEmbConfig cfg = DefaultConfig(profile);
   cfg.max_epochs = epochs;
   cfg.epsilon = epsilon;
   cfg.seed = seed;
+  cfg.num_threads = num_threads;
   cfg.perturbation = is_private ? PerturbationStrategy::kNonZero
                                 : PerturbationStrategy::kNone;
-  EdgeProximity copy = prox;  // trainer consumes the vectors
-  SePrivGEmb trainer(graph, std::move(copy), cfg);
+  SePrivGEmb trainer(graph, prox, cfg);  // borrows the shared table
   TrainResult result = trainer.Train();
   return {std::move(result.model.w_in), std::move(result.model.w_out)};
 }
@@ -164,7 +213,8 @@ PublishedEmbedding EmbedWithMethod(Method method, const Graph& graph,
                                    const EdgeProximity& dw,
                                    const EdgeProximity& deg, double epsilon,
                                    size_t epochs, uint64_t seed,
-                                   const Profile& profile) {
+                                   const Profile& profile,
+                                   size_t num_threads) {
   switch (method) {
     case Method::kDpgGan:
       return RunBaseline(BaselineKind::kDpgGan, graph, epsilon,
@@ -179,13 +229,17 @@ PublishedEmbedding EmbedWithMethod(Method method, const Graph& graph,
       return RunBaseline(BaselineKind::kProGap, graph, epsilon,
                          profile.baseline_epochs, seed, profile);
     case Method::kSeGEmbDw:
-      return RunSeTrainer(graph, dw, false, epsilon, epochs, seed, profile);
+      return RunSeTrainer(graph, dw, false, epsilon, epochs, seed, profile,
+                          num_threads);
     case Method::kSePrivGEmbDw:
-      return RunSeTrainer(graph, dw, true, epsilon, epochs, seed, profile);
+      return RunSeTrainer(graph, dw, true, epsilon, epochs, seed, profile,
+                          num_threads);
     case Method::kSeGEmbDeg:
-      return RunSeTrainer(graph, deg, false, epsilon, epochs, seed, profile);
+      return RunSeTrainer(graph, deg, false, epsilon, epochs, seed, profile,
+                          num_threads);
     case Method::kSePrivGEmbDeg:
-      return RunSeTrainer(graph, deg, true, epsilon, epochs, seed, profile);
+      return RunSeTrainer(graph, deg, true, epsilon, epochs, seed, profile,
+                          num_threads);
   }
   SEPRIV_CHECK(false, "unknown method");
   return {};

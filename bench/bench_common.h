@@ -14,6 +14,7 @@
 #define SEPRIVGEMB_BENCH_BENCH_COMMON_H_
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "graph/datasets.h"
 #include "linalg/matrix.h"
 #include "proximity/proximity.h"
+#include "runner/experiment_runner.h"
 
 namespace sepriv::bench {
 
@@ -53,8 +55,10 @@ SePrivGEmbConfig DefaultConfig(const Profile& profile);
 double StrucEquOf(const Graph& graph, const Matrix& embedding,
                   const Profile& profile);
 
-/// Runs `run(seed)` `repeats` times and summarises.
-RunSummary Repeat(int repeats, const std::function<double(uint64_t)>& run);
+// (The old serial `Repeat(repeats, run)` helper is gone: the bench family
+// now builds explicit cell grids and calls runner::RunCells/RunGrid —
+// runner::RepeatCells keeps the legacy 1000 + 37·r seed schedule for the
+// simple repeat shape.)
 
 /// "0.4599±0.0530"-style cell.
 std::string Cell(const RunSummary& s);
@@ -79,6 +83,22 @@ enum class Method {
 const std::vector<Method>& AllMethods();
 std::string MethodName(Method m);
 
+/// True for the non-private SE variants, whose result does not depend on
+/// the privacy budget (they train one cell group per ε row).
+bool EpsilonIndependent(Method m);
+
+/// Shared scaffolding of the Fig. 3 / Fig. 4 binaries: runs the full
+/// (method x ε x repeat) family as ONE grid on the experiment runner —
+/// collapsing ε-independent methods to a single cell group — and returns
+/// one RunSummary per (method, ε), indexed
+/// `method_index * epsilons.size() + eps_index` in AllMethods() order
+/// (ε-independent methods replicated across their row). `cell` computes
+/// one run's metric; seeds follow the legacy 1000 + 37·r schedule.
+std::vector<RunSummary> RunMethodEpsilonGrid(
+    std::span<const double> epsilons, const Profile& profile,
+    const std::function<double(Method method, double eps,
+                               const runner::CellContext& ctx)>& cell);
+
 /// Published matrices of a method. The SE methods publish both skip-gram
 /// matrices (Definition 5); the baselines publish a single embedding, so
 /// `out` aliases `in` and pair scoring degenerates to the symmetric inner
@@ -89,13 +109,16 @@ struct PublishedEmbedding {
 };
 
 /// Embeds `graph` with the given method at privacy budget `epsilon`.
-/// `dw`/`deg` are precomputed per-edge proximities (shared across methods to
-/// avoid recomputation); `epochs` is the training budget.
+/// `dw`/`deg` are precomputed per-edge proximities (borrowed by the SE
+/// trainers, shared across methods and concurrent cells); `epochs` is the
+/// training budget. `num_threads` is the inner-engine thread budget (0 =
+/// auto; experiment-runner cells pass CellContext::inner_threads).
 PublishedEmbedding EmbedWithMethod(Method method, const Graph& graph,
                                    const EdgeProximity& dw,
                                    const EdgeProximity& deg, double epsilon,
                                    size_t epochs, uint64_t seed,
-                                   const Profile& profile);
+                                   const Profile& profile,
+                                   size_t num_threads = 0);
 
 }  // namespace sepriv::bench
 

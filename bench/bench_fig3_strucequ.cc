@@ -8,8 +8,14 @@
 //   * DPGGAN/DPGVAE are weak (premature budget exhaustion / latent noise);
 //   * GAP is poor (budget split across re-perturbed aggregations); ProGAP
 //     spends budget more efficiently than GAP.
+//
+// Per dataset, the whole (method x ε x repeat) family is one flat grid on
+// the concurrent experiment runner (bench_common::RunMethodEpsilonGrid):
+// cells run "slowest cell / cores" and the printed numbers are
+// bit-identical to the serial order for every thread count.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -22,6 +28,7 @@ int main() {
                    "paper Fig. 3 (8 methods x 6 datasets)", profile);
 
   const double epsilons[] = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5};
+  const size_t n_eps = std::size(epsilons);
 
   for (const DatasetSpec& spec : AllDatasets()) {
     const Graph graph = MakeBenchGraph(spec.id, profile);
@@ -32,29 +39,26 @@ int main() {
     const EdgeProximity deg = BuildEdgeProximity(
         graph, ProximityKind::kPreferentialAttachment, profile);
 
+    const std::vector<RunSummary> summaries = RunMethodEpsilonGrid(
+        epsilons, profile,
+        [&](Method method, double eps, const runner::CellContext& ctx) {
+          const PublishedEmbedding emb =
+              EmbedWithMethod(method, graph, dw, deg, eps, profile.se_epochs,
+                              ctx.seed, profile, ctx.inner_threads);
+          return StrucEquOf(graph, emb.in, profile);
+        });
+
     std::printf("%-15s", "method\\eps");
     for (double eps : epsilons) std::printf(" %-8.1f", eps);
     std::printf("\n");
-
+    size_t mi = 0;
     for (Method method : AllMethods()) {
       std::printf("%-15s", MethodName(method).c_str());
-      const bool eps_independent =
-          method == Method::kSeGEmbDw || method == Method::kSeGEmbDeg;
-      RunSummary cached;
-      bool have_cached = false;
-      for (double eps : epsilons) {
-        if (!eps_independent || !have_cached) {
-          cached = Repeat(profile.repeats, [&](uint64_t seed) {
-            const PublishedEmbedding emb =
-                EmbedWithMethod(method, graph, dw, deg, eps,
-                                profile.se_epochs, seed, profile);
-            return StrucEquOf(graph, emb.in, profile);
-          });
-          have_cached = true;
-        }
-        std::printf(" %-8.4f", cached.mean);
+      for (size_t ei = 0; ei < n_eps; ++ei) {
+        std::printf(" %-8.4f", summaries[mi * n_eps + ei].mean);
       }
       std::printf("\n");
+      ++mi;
     }
   }
   std::printf("\n");

@@ -4,8 +4,13 @@
 // Expected shapes: non-private SE-GEmb variants on top; SE-PrivGEmb variants
 // lead the private field; the paper's absolute AUC band is narrow
 // (≈0.48–0.56), so small separations are expected.
+//
+// Like Fig. 3, each dataset's (method x ε x repeat) family is one flat grid
+// on the concurrent experiment runner (bench_common::RunMethodEpsilonGrid)
+// — same numbers as the serial order, wall-clock "slowest cell / cores".
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "eval/link_prediction.h"
@@ -21,6 +26,7 @@ int main() {
   const DatasetId datasets[] = {DatasetId::kChameleon, DatasetId::kPower,
                                 DatasetId::kArxiv};
   const double epsilons[] = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5};
+  const size_t n_eps = std::size(epsilons);
 
   for (DatasetId id : datasets) {
     const Graph graph = MakeBenchGraph(id, profile);
@@ -34,33 +40,30 @@ int main() {
     const EdgeProximity deg = BuildEdgeProximity(
         split.train_graph, ProximityKind::kPreferentialAttachment, profile);
 
+    const std::vector<RunSummary> summaries = RunMethodEpsilonGrid(
+        epsilons, profile,
+        [&](Method method, double eps, const runner::CellContext& ctx) {
+          const PublishedEmbedding emb = EmbedWithMethod(
+              method, split.train_graph, dw, deg, eps, profile.lp_epochs,
+              ctx.seed, profile, ctx.inner_threads);
+          // Symmetrised in–out product: the trained objective for the SE
+          // methods; degenerates to the symmetric inner product for the
+          // single-matrix baselines.
+          return LinkPredictionAuc(split, emb.in, emb.out,
+                                   PairScore::kInnerProductInOut);
+        });
+
     std::printf("%-15s", "method\\eps");
     for (double eps : epsilons) std::printf(" %-8.1f", eps);
     std::printf("\n");
-
+    size_t mi = 0;
     for (Method method : AllMethods()) {
       std::printf("%-15s", MethodName(method).c_str());
-      const bool eps_independent =
-          method == Method::kSeGEmbDw || method == Method::kSeGEmbDeg;
-      RunSummary cached;
-      bool have_cached = false;
-      for (double eps : epsilons) {
-        if (!eps_independent || !have_cached) {
-          cached = Repeat(profile.repeats, [&](uint64_t seed) {
-            const PublishedEmbedding emb =
-                EmbedWithMethod(method, split.train_graph, dw, deg, eps,
-                                profile.lp_epochs, seed, profile);
-            // Symmetrised in–out product: the trained objective for the SE
-            // methods; degenerates to the symmetric inner product for the
-            // single-matrix baselines.
-            return LinkPredictionAuc(split, emb.in, emb.out,
-                                     PairScore::kInnerProductInOut);
-          });
-          have_cached = true;
-        }
-        std::printf(" %-8.4f", cached.mean);
+      for (size_t ei = 0; ei < n_eps; ++ei) {
+        std::printf(" %-8.4f", summaries[mi * n_eps + ei].mean);
       }
       std::printf("\n");
+      ++mi;
     }
   }
   std::printf("\n");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/se_privgemb.h"
 #include "dp/accountant.h"
 #include "dp/clipping.h"
@@ -76,6 +78,87 @@ void BM_AccountantConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AccountantConstruction)->Arg(32)->Arg(64);
+
+// Before/after for the Graph::HasEdge membership accelerator: the BA hubs
+// (degree >= max(64, n/64)) carry O(1) bitsets, so random pair queries —
+// the shape of every negative-sampling rejection loop — skip the binary
+// search exactly where it is deepest.
+void BM_HasEdgeAccelerated(benchmark::State& state) {
+  const Graph g = BenchGraph();
+  const size_t n = g.num_nodes();
+  Rng rng(11);
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(n));
+    const auto v = static_cast<NodeId>(rng.UniformInt(n));
+    benchmark::DoNotOptimize(g.HasEdge(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasEdgeAccelerated);
+
+void BM_HasEdgeBinarySearchOnly(benchmark::State& state) {
+  // The pre-accelerator implementation, replicated on the public API: same
+  // graph, same query stream, binary search over the smaller neighbour list.
+  const Graph g = BenchGraph();
+  const size_t n = g.num_nodes();
+  Rng rng(11);
+  for (auto _ : state) {
+    auto u = static_cast<NodeId>(rng.UniformInt(n));
+    auto v = static_cast<NodeId>(rng.UniformInt(n));
+    bool has = false;
+    if (u != v) {
+      if (g.Degree(u) > g.Degree(v)) std::swap(u, v);
+      const auto nbrs = g.Neighbors(u);
+      has = std::binary_search(nbrs.begin(), nbrs.end(), v);
+    }
+    benchmark::DoNotOptimize(has);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasEdgeBinarySearchOnly);
+
+void BM_HasEdgeHubQueries(benchmark::State& state) {
+  // Worst case for binary search / best case for the accelerator: one
+  // endpoint is always the highest-degree hub — the shape of a rejection
+  // loop drawing negatives for a hub center.
+  const Graph g = BenchGraph();
+  const size_t n = g.num_nodes();
+  NodeId hub = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (g.Degree(v) > g.Degree(hub)) hub = v;
+  }
+  Rng rng(12);
+  for (auto _ : state) {
+    const auto v = static_cast<NodeId>(rng.UniformInt(n));
+    benchmark::DoNotOptimize(g.HasEdge(hub, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasEdgeHubQueries);
+
+void BM_HasEdgeHubQueriesBinarySearch(benchmark::State& state) {
+  // The same hub-centred query stream on the pre-accelerator path.
+  const Graph g = BenchGraph();
+  const size_t n = g.num_nodes();
+  NodeId hub = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (g.Degree(v) > g.Degree(hub)) hub = v;
+  }
+  Rng rng(12);
+  for (auto _ : state) {
+    auto u = hub;
+    auto v = static_cast<NodeId>(rng.UniformInt(n));
+    bool has = false;
+    if (u != v) {
+      if (g.Degree(u) > g.Degree(v)) std::swap(u, v);
+      const auto nbrs = g.Neighbors(u);
+      has = std::binary_search(nbrs.begin(), nbrs.end(), v);
+    }
+    benchmark::DoNotOptimize(has);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasEdgeHubQueriesBinarySearch);
 
 void BM_SubgraphGeneration(benchmark::State& state) {
   const Graph g = BenchGraph();

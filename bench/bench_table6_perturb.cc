@@ -5,10 +5,16 @@
 // Expected shape: non-zero ≫ naive everywhere; naive is near-flat in ε
 // (its noise swamps the signal regardless of the epoch budget) while
 // non-zero improves with ε.
+//
+// The whole (variant x dataset x ε x strategy x repeat) family is one flat
+// grid on the concurrent experiment runner; proximity tables are built once
+// per (variant, dataset) and borrowed by every cell.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "runner/experiment_runner.h"
 
 using namespace sepriv;
 using namespace sepriv::bench;
@@ -21,35 +27,79 @@ int main() {
   const DatasetId datasets[] = {DatasetId::kChameleon, DatasetId::kPower,
                                 DatasetId::kArxiv};
   const double epsilons[] = {0.5, 2.0, 3.5};
+  const PerturbationStrategy strategies[] = {PerturbationStrategy::kNaive,
+                                             PerturbationStrategy::kNonZero};
+  const auto repeats = static_cast<size_t>(profile.repeats);
 
-  for (bool use_dw : {true, false}) {
+  // Graphs once, one proximity table per (variant, dataset).
+  std::vector<Graph> graphs;
+  for (DatasetId id : datasets) graphs.push_back(MakeBenchGraph(id, profile));
+  std::vector<EdgeProximity> prox[2];  // [use_dw][dataset]
+  for (int v = 0; v < 2; ++v) {
+    const bool use_dw = v == 0;
+    for (const Graph& g : graphs) {
+      prox[v].push_back(BuildEdgeProximity(
+          g,
+          use_dw ? ProximityKind::kDeepWalk
+                 : ProximityKind::kPreferentialAttachment,
+          profile));
+    }
+  }
+
+  // Flat grid in print order: variant, dataset, eps, strategy, repeat.
+  std::vector<runner::ExperimentCell> cells;
+  cells.reserve(2 * std::size(datasets) * std::size(epsilons) *
+                std::size(strategies) * repeats);
+  for (int v = 0; v < 2; ++v) {
+    for (size_t d = 0; d < std::size(datasets); ++d) {
+      for (double eps : epsilons) {
+        for (PerturbationStrategy strategy : strategies) {
+          for (size_t r = 0; r < repeats; ++r) {
+            cells.push_back(
+                {std::string(v == 0 ? "DW/" : "Deg/") +
+                     DatasetName(datasets[d]) + "/eps" + std::to_string(eps) +
+                     (strategy == PerturbationStrategy::kNaive ? "/naive/r"
+                                                               : "/nonzero/r") +
+                     std::to_string(r),
+                 static_cast<uint64_t>(1000 + 37 * r),
+                 [&, v, d, eps, strategy](const runner::CellContext& ctx) {
+                   SePrivGEmbConfig cfg = DefaultConfig(profile);
+                   cfg.epsilon = eps;
+                   cfg.seed = ctx.seed;
+                   cfg.num_threads = ctx.inner_threads;
+                   cfg.perturbation = strategy;
+                   SePrivGEmb trainer(graphs[d], prox[v][d], cfg);
+                   return StrucEquOf(graphs[d], trainer.Train().model.w_in,
+                                     profile);
+                 }});
+          }
+        }
+      }
+    }
+  }
+  const std::vector<double> results = runner::RunCells(cells);
+
+  size_t cursor = 0;
+  const auto next_summary = [&] {
+    const std::vector<double> runs(
+        results.begin() + static_cast<ptrdiff_t>(cursor),
+        results.begin() + static_cast<ptrdiff_t>(cursor + repeats));
+    cursor += repeats;
+    return Summarize(runs);
+  };
+
+  for (int v = 0; v < 2; ++v) {
+    const bool use_dw = v == 0;
     std::printf("\nSE-PrivGEmb%s (StrucEqu mean±sd over %d runs)\n",
                 use_dw ? "DW" : "Deg", profile.repeats);
     std::printf("%-22s %-18s %-18s\n", "Dataset(eps)", "Naive", "Non-zero");
-    for (DatasetId id : datasets) {
-      const Graph graph = MakeBenchGraph(id, profile);
-      const EdgeProximity prox = BuildEdgeProximity(
-          graph,
-          use_dw ? ProximityKind::kDeepWalk
-                 : ProximityKind::kPreferentialAttachment,
-          profile);
+    for (size_t d = 0; d < std::size(datasets); ++d) {
       for (double eps : epsilons) {
-        auto run = [&](PerturbationStrategy strategy) {
-          return Repeat(profile.repeats, [&](uint64_t seed) {
-            SePrivGEmbConfig cfg = DefaultConfig(profile);
-            cfg.epsilon = eps;
-            cfg.seed = seed;
-            cfg.perturbation = strategy;
-            EdgeProximity copy = prox;
-            SePrivGEmb trainer(graph, std::move(copy), cfg);
-            return StrucEquOf(graph, trainer.Train().model.w_in, profile);
-          });
-        };
-        const RunSummary naive = run(PerturbationStrategy::kNaive);
-        const RunSummary nonzero = run(PerturbationStrategy::kNonZero);
+        const RunSummary naive = next_summary();
+        const RunSummary nonzero = next_summary();
         char label[64];
         std::snprintf(label, sizeof(label), "%s(eps=%.1f)",
-                      DatasetName(id).c_str(), eps);
+                      DatasetName(datasets[d]).c_str(), eps);
         std::printf("%-22s %-18s %-18s\n", label, Cell(naive).c_str(),
                     Cell(nonzero).c_str());
       }

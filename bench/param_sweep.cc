@@ -1,6 +1,9 @@
 #include "bench/param_sweep.h"
 
 #include <cstdio>
+#include <vector>
+
+#include "runner/experiment_runner.h"
 
 namespace sepriv::bench {
 namespace {
@@ -14,7 +17,7 @@ void RunParameterSweep(const SweepSpec& spec) {
   const Profile profile = GetProfile();
   PrintBenchHeader(spec.table_name, spec.paper_ref, profile);
 
-  // Build graphs + both preference tables once.
+  // Build graphs + both preference tables once; every run cell borrows them.
   std::vector<Graph> graphs;
   std::vector<EdgeProximity> dw, deg;
   for (DatasetId id : kSweepDatasets) {
@@ -27,6 +30,45 @@ void RunParameterSweep(const SweepSpec& spec) {
                 graphs.back().Summary().c_str());
   }
 
+  // One flat grid over (variant x sweep-value x dataset x repeat): every
+  // train+eval cell is independent, so the whole table family runs as
+  // "slowest cell / cores" on the experiment runner instead of
+  // "sum of all cells" — with the cell results (and therefore the printed
+  // tables) bit-identical to the serial order for every thread count.
+  const size_t n_values = spec.values.size();
+  const size_t n_datasets = graphs.size();
+  const auto repeats = static_cast<size_t>(profile.repeats);
+  std::vector<runner::ExperimentCell> cells;
+  cells.reserve(2 * n_values * n_datasets * repeats);
+  for (bool use_dw : {true, false}) {
+    for (size_t vi = 0; vi < n_values; ++vi) {
+      for (size_t d = 0; d < n_datasets; ++d) {
+        for (size_t r = 0; r < repeats; ++r) {
+          const double value = spec.values[vi];
+          cells.push_back(
+              {spec.param_name + "=" + spec.format(value) + "/" +
+                   DatasetName(kSweepDatasets[d]) +
+                   (use_dw ? "/DW" : "/Deg") + "/r" + std::to_string(r),
+               static_cast<uint64_t>(1000 + 37 * r),
+               [&, use_dw, value, d](const runner::CellContext& ctx) {
+                 SePrivGEmbConfig cfg = DefaultConfig(profile);
+                 cfg.epsilon = 3.5;
+                 cfg.seed = ctx.seed;
+                 cfg.num_threads = ctx.inner_threads;
+                 spec.apply(cfg, value);
+                 const EdgeProximity& prox = use_dw ? dw[d] : deg[d];
+                 SePrivGEmb trainer(graphs[d], prox, cfg);  // borrowed table
+                 return StrucEquOf(graphs[d], trainer.Train().model.w_in,
+                                   profile);
+               }});
+        }
+      }
+    }
+  }
+  const std::vector<double> results = runner::RunCells(cells);
+
+  // Print in the paper's layout from the stably ordered results.
+  size_t cursor = 0;
   for (bool use_dw : {true, false}) {
     std::printf("\nSE-PrivGEmb%s  (eps=3.5, StrucEqu mean±sd over %d runs)\n",
                 use_dw ? "DW" : "Deg", profile.repeats);
@@ -36,19 +78,14 @@ void RunParameterSweep(const SweepSpec& spec) {
     }
     std::printf("\n");
 
-    for (double value : spec.values) {
-      std::printf("%-8s", spec.format(value).c_str());
-      for (size_t d = 0; d < graphs.size(); ++d) {
-        const auto summary = Repeat(profile.repeats, [&](uint64_t seed) {
-          SePrivGEmbConfig cfg = DefaultConfig(profile);
-          cfg.epsilon = 3.5;
-          cfg.seed = seed;
-          spec.apply(cfg, value);
-          EdgeProximity prox = use_dw ? dw[d] : deg[d];
-          SePrivGEmb trainer(graphs[d], std::move(prox), cfg);
-          return StrucEquOf(graphs[d], trainer.Train().model.w_in, profile);
-        });
-        std::printf(" %-18s", Cell(summary).c_str());
+    for (size_t vi = 0; vi < n_values; ++vi) {
+      std::printf("%-8s", spec.format(spec.values[vi]).c_str());
+      for (size_t d = 0; d < n_datasets; ++d) {
+        const std::vector<double> runs(
+            results.begin() + static_cast<ptrdiff_t>(cursor),
+            results.begin() + static_cast<ptrdiff_t>(cursor + repeats));
+        cursor += repeats;
+        std::printf(" %-18s", Cell(Summarize(runs)).c_str());
       }
       std::printf("\n");
     }

@@ -1,6 +1,13 @@
 // Generic runner for the paper's parameter-impact tables (Tables II–V):
 // StrucEqu as one hyper-parameter sweeps, on Chameleon/Power/Arxiv, for both
 // SE-PrivGEmb_DW and SE-PrivGEmb_Deg, at ε = 3.5.
+//
+// The full (variant x value x dataset x repeat) family executes as ONE flat
+// grid of independent cells on the concurrent experiment runner
+// (runner/experiment_runner.h): wall-clock is "slowest cell / cores", the
+// printed tables are bit-identical to the serial order for every thread
+// count, and every cell borrows the per-dataset proximity tables instead of
+// copying them.
 
 #ifndef SEPRIVGEMB_BENCH_PARAM_SWEEP_H_
 #define SEPRIVGEMB_BENCH_PARAM_SWEEP_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "eval/metrics.h"
+#include "eval/parallel_eval.h"
 #include "util/check.h"
 #include "util/math_util.h"
 #include "util/rng.h"
@@ -48,23 +49,59 @@ AttackResult RunMembershipInference(const SkipGramModel& model,
   const size_t n = train_graph.num_nodes();
   const size_t pairs = std::min(max_pairs, train_graph.num_edges());
 
-  std::vector<double> member_scores, non_member_scores;
-  member_scores.reserve(pairs);
-  non_member_scores.reserve(pairs);
-
-  // Members: uniform sample of training edges.
+  // Two phases: the candidate pairs are drawn first on the single seeded
+  // engine (cheap; the draw order — and therefore the pair set — is exactly
+  // what the old fused loop consumed), then the expensive embedding-row
+  // scoring fans out over the parallel evaluation layer into per-index
+  // slots. Results are bit-identical to the serial path for every thread
+  // count.
+  std::vector<Edge> members;
+  members.reserve(pairs);
   for (size_t t = 0; t < pairs; ++t) {
-    const Edge& e =
-        train_graph.Edges()[rng.UniformInt(train_graph.num_edges())];
-    member_scores.push_back(AttackScore(model, e.u, e.v, statistic));
+    members.push_back(
+        train_graph.Edges()[rng.UniformInt(train_graph.num_edges())]);
   }
-  // Non-members: uniform non-edges.
-  while (non_member_scores.size() < pairs) {
+  // Non-members draw WITH replacement (target stays `pairs`, matching the
+  // class balance the old loop produced on every graph it terminated on),
+  // but the rejection loop is now bounded: the old unbounded `while` spun
+  // forever on a complete graph, and arbitrarily long on near-complete
+  // ones. The attempt budget is generous enough that ordinary graphs never
+  // hit it — their draw stream, pair set, and AUC are unchanged.
+  std::vector<Edge> non_members;
+  non_members.reserve(pairs);
+  size_t attempts = 0;
+  const size_t max_attempts = 32 * pairs + 64;
+  while (non_members.size() < pairs && attempts < max_attempts) {
+    ++attempts;
     const auto u = static_cast<NodeId>(rng.UniformInt(n));
     const auto v = static_cast<NodeId>(rng.UniformInt(n));
     if (u == v || train_graph.HasEdge(u, v)) continue;
-    non_member_scores.push_back(AttackScore(model, u, v, statistic));
+    non_members.push_back({u, v});
   }
+  // Attempt budget spent (extreme density). Fill the remainder by cycling
+  // the lexicographically ordered non-edge set — with-replacement
+  // semantics, so repeats are legitimate. A complete graph has no non-edge
+  // at all: the audit then degenerates cleanly (no non-member class ->
+  // AucFromScores returns 0.5) instead of hanging.
+  if (non_members.size() < pairs) {
+    std::vector<Edge> scan;
+    for (NodeId u = 0; u + 1 < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (!train_graph.HasEdge(u, v)) scan.push_back({u, v});
+      }
+    }
+    for (size_t k = 0; !scan.empty() && non_members.size() < pairs; ++k) {
+      non_members.push_back(scan[k % scan.size()]);
+    }
+  }
+
+  const auto score_pairs = [&](const std::vector<Edge>& edges) {
+    return eval::ParallelMap(edges.size(), [&](size_t t) {
+      return AttackScore(model, edges[t].u, edges[t].v, statistic);
+    });
+  };
+  const std::vector<double> member_scores = score_pairs(members);
+  const std::vector<double> non_member_scores = score_pairs(non_members);
 
   AttackResult result;
   result.statistic = statistic;

@@ -27,25 +27,45 @@ SePrivGEmb::SePrivGEmb(const Graph& graph, ProximityKind preference,
                             config_.ResolvedThreads(),
                             config_.ResolvedProximityCachePath());
   if (config_.normalize_proximity) {
-    edge_weights_ = prox.normalized;
+    owned_weights_ = prox.normalized;
     min_weight_ = prox.normalized_min_positive;
   } else {
-    edge_weights_ = prox.values;
+    owned_weights_ = prox.values;
     min_weight_ = prox.min_positive;
   }
 }
 
-SePrivGEmb::SePrivGEmb(const Graph& graph, EdgeProximity preference,
+SePrivGEmb::SePrivGEmb(const Graph& graph, EdgeProximity&& preference,
                        const SePrivGEmbConfig& config)
     : graph_(graph), config_(config) {
   SEPRIV_CHECK(preference.values.size() == graph.num_edges(),
                "edge proximity size %zu != |E| %zu", preference.values.size(),
                graph.num_edges());
   if (config_.normalize_proximity) {
-    edge_weights_ = std::move(preference.normalized);
+    owned_weights_ = std::move(preference.normalized);
     min_weight_ = preference.normalized_min_positive;
   } else {
-    edge_weights_ = std::move(preference.values);
+    owned_weights_ = std::move(preference.values);
+    min_weight_ = preference.min_positive;
+  }
+}
+
+SePrivGEmb::SePrivGEmb(const Graph& graph, const EdgeProximity& preference,
+                       const SePrivGEmbConfig& config)
+    : graph_(graph), config_(config) {
+  SEPRIV_CHECK(preference.values.size() == graph.num_edges(),
+               "edge proximity size %zu != |E| %zu", preference.values.size(),
+               graph.num_edges());
+  // Borrow, don't copy: repeated run cells of a sweep all read this one
+  // table. The caller keeps it alive for the trainer's lifetime.
+  if (config_.normalize_proximity) {
+    SEPRIV_CHECK(preference.normalized.size() == graph.num_edges(),
+                 "normalized proximity size %zu != |E| %zu",
+                 preference.normalized.size(), graph.num_edges());
+    weights_ = &preference.normalized;
+    min_weight_ = preference.normalized_min_positive;
+  } else {
+    weights_ = &preference.values;
     min_weight_ = preference.min_positive;
   }
 }
@@ -84,7 +104,7 @@ TrainResult SePrivGEmb::Train() {
   // Optional proximity-weighted positive sampling (ablation mode).
   AliasTable positive_alias;
   if (cfg.positive_sampling == PositiveSampling::kProximityWeighted) {
-    positive_alias.Build(edge_weights_);
+    positive_alias.Build(*weights_);
   }
 
   const double sampling_rate =
@@ -112,7 +132,7 @@ TrainResult SePrivGEmb::Train() {
   eopts.negative_weighting = cfg.negative_weighting;
   eopts.min_weight = min_weight_;
   eopts.num_threads = cfg.ResolvedThreads();
-  BatchGradientEngine engine(eopts, edge_weights_);
+  BatchGradientEngine engine(eopts, *weights_);
 
   const double lr = cfg.learning_rate;
   const double c = cfg.clip_threshold;

@@ -55,23 +55,41 @@ class SePrivGEmb {
              const SePrivGEmbConfig& config,
              const ProximityOptions& prox_opts = {});
 
-  /// Preference given as precomputed per-edge proximities (advanced use:
-  /// custom measures not in the registry).
-  SePrivGEmb(const Graph& graph, EdgeProximity preference,
+  /// Preference given as precomputed per-edge proximities, consumed by the
+  /// trainer (advanced use: custom measures not in the registry).
+  SePrivGEmb(const Graph& graph, EdgeProximity&& preference,
              const SePrivGEmbConfig& config);
+
+  /// Borrowing overload: shares the caller's proximity table instead of
+  /// copying it. The selected weight vector (`preference.normalized` under
+  /// config.normalize_proximity, `preference.values` otherwise) must
+  /// outlive the trainer — this is the path the sweep/experiment runners
+  /// take so that every repeated run cell reads one shared table.
+  SePrivGEmb(const Graph& graph, const EdgeProximity& preference,
+             const SePrivGEmbConfig& config);
+
+  // Not copyable or movable: weights_ may point at owned_weights_, and a
+  // generated copy/move would leave the new object's pointer aimed at the
+  // source's vector.
+  SePrivGEmb(const SePrivGEmb&) = delete;
+  SePrivGEmb& operator=(const SePrivGEmb&) = delete;
 
   /// Runs Algorithm 2 and returns the private embedding matrices.
   TrainResult Train();
 
   /// The per-edge preference weights the trainer will use (post
   /// normalisation); exposed for tests and diagnostics.
-  const std::vector<double>& edge_weights() const { return edge_weights_; }
+  const std::vector<double>& edge_weights() const { return *weights_; }
   double min_weight() const { return min_weight_; }
 
  private:
   const Graph& graph_;
   SePrivGEmbConfig config_;
-  std::vector<double> edge_weights_;  // p_ij per canonical edge
+  // p_ij per canonical edge: weights_ points at owned_weights_ when the
+  // trainer owns its table (kind / consuming ctors) or at the caller's
+  // vector when constructed through the borrowing overload.
+  std::vector<double> owned_weights_;
+  const std::vector<double>* weights_ = &owned_weights_;
   double min_weight_ = 0.0;           // min(P) over edges
 };
 

@@ -1,0 +1,60 @@
+#include "eval/parallel_eval.h"
+
+#include <algorithm>
+
+#include "linalg/kernels.h"
+#include "util/check.h"
+
+namespace sepriv::eval {
+
+size_t NumShards(size_t total, size_t shard_size) {
+  SEPRIV_CHECK(shard_size > 0, "shard size must be positive");
+  return (total + shard_size - 1) / shard_size;
+}
+
+void ForEachShard(
+    size_t total, size_t shard_size,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& body) {
+  if (total == 0) return;
+  const size_t shards = NumShards(total, shard_size);
+  kernels::ParallelTasks(shards, [&](size_t shard) {
+    const size_t begin = shard * shard_size;
+    body(shard, begin, std::min(total, begin + shard_size));
+  });
+}
+
+void ParallelMap(size_t total, const std::function<double(size_t)>& fn,
+                 double* out) {
+  ForEachShard(total, kEvalShardSize,
+               [&](size_t, size_t begin, size_t end) {
+                 for (size_t i = begin; i < end; ++i) out[i] = fn(i);
+               });
+}
+
+std::vector<double> ParallelMap(size_t total,
+                                const std::function<double(size_t)>& fn) {
+  std::vector<double> out(total);
+  ParallelMap(total, fn, out.data());
+  return out;
+}
+
+PearsonAccumulator ShardedPearson(
+    size_t total, size_t shard_size,
+    const std::function<void(size_t shard, size_t begin, size_t end,
+                             PearsonAccumulator& acc)>& fill) {
+  PearsonAccumulator merged;
+  if (total == 0) return merged;
+  const size_t shards = NumShards(total, shard_size);
+  // One slot per shard, merged in ascending shard order below: the merge
+  // tree is a function of the decomposition alone, so the scheduling of the
+  // fill phase can never reassociate the reduction.
+  std::vector<PearsonAccumulator> slots(shards);
+  kernels::ParallelTasks(shards, [&](size_t shard) {
+    const size_t begin = shard * shard_size;
+    fill(shard, begin, std::min(total, begin + shard_size), slots[shard]);
+  });
+  for (const PearsonAccumulator& acc : slots) merged.Merge(acc);
+  return merged;
+}
+
+}  // namespace sepriv::eval

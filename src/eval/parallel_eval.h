@@ -1,0 +1,68 @@
+// Deterministic sharded map-reduce over index ranges — the shared substrate
+// of the parallel evaluation layer (StrucEqu's pair loops, LinkPredictionAuc
+// pair scoring, the membership-inference scorer) and anything else that
+// reduces a metric over a large, statically known index space.
+//
+// Work over [0, total) is cut into FIXED-SIZE shards (kEvalShardSize
+// indices; never derived from the thread count) and dispatched over the
+// shared linalg thread pool via kernels::ParallelTasks. Each shard writes
+// only shard-owned state — its slot of a per-shard accumulator array, or the
+// per-index output slots of its own range — and reductions merge the slots
+// in ascending shard order afterwards. Results are therefore bit-identical
+// for every thread count, including the serial fallbacks ParallelTasks takes
+// when the pool is busy (an outer experiment-runner grid has already fanned
+// out — see runner/experiment_runner.h) or when the call is nested inside
+// another parallel kernel.
+
+#ifndef SEPRIVGEMB_EVAL_PARALLEL_EVAL_H_
+#define SEPRIVGEMB_EVAL_PARALLEL_EVAL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace sepriv::eval {
+
+/// Fixed shard width of the evaluation layer: small enough that every bench
+/// workload yields many shards (dynamic load balance across the pool), large
+/// enough that per-shard dispatch cost vanishes against per-index metric
+/// work. Part of the determinism contract — changing it changes shard
+/// boundaries and therefore the (tiny) floating-point reassociation of
+/// merged reductions, so it is a compile-time constant, not a knob.
+inline constexpr size_t kEvalShardSize = 8192;
+
+/// Number of fixed-size shards covering [0, total).
+size_t NumShards(size_t total, size_t shard_size = kEvalShardSize);
+
+/// Runs body(shard, begin, end) once for every fixed-size block
+/// [begin, end) of [0, total), possibly concurrently. `body` must confine
+/// its writes to state owned by `shard` (or to the index range itself).
+void ForEachShard(
+    size_t total, size_t shard_size,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& body);
+
+/// out[i] = fn(i) for every i in [0, total): a sharded map into per-index
+/// slots. Exactly the values a serial loop would produce (each slot is
+/// written once, by a pure call), in the same order.
+void ParallelMap(size_t total, const std::function<double(size_t)>& fn,
+                 double* out);
+
+/// Convenience overload returning a fresh vector.
+std::vector<double> ParallelMap(size_t total,
+                                const std::function<double(size_t)>& fn);
+
+/// Sharded Pearson map-reduce: `fill(shard, begin, end, acc)` accumulates
+/// the shard's index range into `acc` (one private accumulator per shard);
+/// the per-shard accumulators are then merged in ascending shard order via
+/// PearsonAccumulator::Merge. The result depends only on (total, shard_size)
+/// and the filled values — never on the thread count.
+PearsonAccumulator ShardedPearson(
+    size_t total, size_t shard_size,
+    const std::function<void(size_t shard, size_t begin, size_t end,
+                             PearsonAccumulator& acc)>& fill);
+
+}  // namespace sepriv::eval
+
+#endif  // SEPRIVGEMB_EVAL_PARALLEL_EVAL_H_

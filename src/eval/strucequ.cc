@@ -2,11 +2,43 @@
 
 #include <cmath>
 
+#include "eval/parallel_eval.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace sepriv {
+namespace {
+
+/// Number of ordered pairs (a, b) with a < b and a < i, i.e. the linear
+/// index of the first pair in row i of the upper-triangular pair space.
+size_t PairRowOffset(size_t i, size_t n) {
+  return i * (n - 1) - i * (i - 1) / 2;
+}
+
+/// Largest row i with PairRowOffset(i) <= t: the row of linear pair index t.
+size_t PairRowOfIndex(size_t t, size_t n) {
+  size_t lo = 0, hi = n - 1;  // rows run [0, n-1); hi is exclusive
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (PairRowOffset(mid, n) <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double PairDistanceX(const Graph& graph, NodeId i, NodeId j) {
+  return std::sqrt(graph.AdjacencyRowSquaredDistance(i, j));
+}
+
+double PairDistanceY(const Matrix& embedding, NodeId i, NodeId j) {
+  return std::sqrt(embedding.RowSquaredDistance(i, embedding, j));
+}
+
+}  // namespace
 
 double StrucEqu(const Graph& graph, const Matrix& embedding,
                 const StrucEquOptions& opts) {
@@ -18,30 +50,54 @@ double StrucEqu(const Graph& graph, const Matrix& embedding,
   PearsonAccumulator acc;
   const size_t total_pairs = n * (n - 1) / 2;
   if (total_pairs <= opts.max_pairs) {
-    for (NodeId i = 0; i + 1 < n; ++i) {
-      for (NodeId j = i + 1; j < n; ++j) {
-        const double da = std::sqrt(graph.AdjacencyRowSquaredDistance(i, j));
-        const double dy =
-            std::sqrt(embedding.RowSquaredDistance(i, embedding, j));
-        acc.Add(da, dy);
-      }
-    }
+    // Exact path: the i<j pair loop linearised to [0, total_pairs) and cut
+    // into fixed-size shards, one PearsonAccumulator per shard, merged in
+    // ascending shard order (eval/parallel_eval.h). Shard boundaries are a
+    // function of total_pairs alone, so the result is bit-identical for
+    // every thread count.
+    acc = eval::ShardedPearson(
+        total_pairs, eval::kEvalShardSize,
+        [&](size_t /*shard*/, size_t begin, size_t end,
+            PearsonAccumulator& a) {
+          // Unrank the shard's first linear index to its (i, j) pair, then
+          // walk the remaining indices incrementally.
+          size_t i = PairRowOfIndex(begin, n);
+          size_t j = i + 1 + (begin - PairRowOffset(i, n));
+          for (size_t t = begin; t < end; ++t) {
+            a.Add(PairDistanceX(graph, static_cast<NodeId>(i),
+                                static_cast<NodeId>(j)),
+                  PairDistanceY(embedding, static_cast<NodeId>(i),
+                                static_cast<NodeId>(j)));
+            if (++j == n) {
+              ++i;
+              j = i + 1;
+            }
+          }
+        });
   } else {
     // Sampled estimate. n >= 2 is guaranteed by the early return above, but
     // the draw below must never divide by zero even if that guard moves.
     SEPRIV_CHECK(n >= 2, "sampled StrucEqu needs >= 2 nodes (got %zu)", n);
-    Rng rng(opts.seed);
-    for (size_t t = 0; t < opts.max_pairs; ++t) {
-      const auto i = static_cast<NodeId>(rng.UniformInt(n));
-      // Rejection-free distinct draw: j uniform over the n-1 non-i nodes.
-      // The old `while (j == i)` re-draw loop never terminates when n == 1.
-      const auto j = static_cast<NodeId>(
-          (i + 1 + rng.UniformInt(n - 1)) % n);
-      const double da = std::sqrt(graph.AdjacencyRowSquaredDistance(i, j));
-      const double dy =
-          std::sqrt(embedding.RowSquaredDistance(i, embedding, j));
-      acc.Add(da, dy);
-    }
+    // Every shard draws its pairs from its own substream, keyed by the
+    // SHARD INDEX (Rng::Fork(stream) is a pure function of (state, stream)),
+    // never by the thread that happens to run it — so the sample set, and
+    // with it the estimate, is invariant to the thread count and to the
+    // scheduling of shards onto workers.
+    const Rng base(opts.seed);
+    acc = eval::ShardedPearson(
+        opts.max_pairs, eval::kEvalShardSize,
+        [&](size_t shard, size_t begin, size_t end, PearsonAccumulator& a) {
+          Rng rng = base.Fork(shard);
+          for (size_t t = begin; t < end; ++t) {
+            const auto i = static_cast<NodeId>(rng.UniformInt(n));
+            // Rejection-free distinct draw: j uniform over the n-1 non-i
+            // nodes. A `while (j == i)` re-draw loop never terminates when
+            // n == 1.
+            const auto j =
+                static_cast<NodeId>((i + 1 + rng.UniformInt(n - 1)) % n);
+            a.Add(PairDistanceX(graph, i, j), PairDistanceY(embedding, i, j));
+          }
+        });
   }
   return acc.Correlation();
 }

@@ -4,6 +4,16 @@
 // rows. All-pairs is O(|V|²); above `max_pairs` a uniform pair sample is
 // used (documented deviation — the estimate is unbiased and its SD at the
 // default 2·10^5 pairs is well below the run-to-run SD the paper reports).
+//
+// Both paths run on the parallel evaluation layer (eval/parallel_eval.h):
+// the pair space is cut into fixed-size shards with one PearsonAccumulator
+// each, merged in ascending shard order, so the value is bit-identical for
+// every thread count (and falls back to a serial walk of the identical
+// shards when the shared pool is busy — e.g. under an experiment-runner
+// grid). The sampled path keys each shard's pair draws to the SHARD index
+// via Rng::Fork(shard), not to a thread id: per (graph, embedding, seed) the
+// sample set is a constant. Determinism contract details in README
+// "Evaluation & experiment runner".
 
 #ifndef SEPRIVGEMB_EVAL_STRUCEQU_H_
 #define SEPRIVGEMB_EVAL_STRUCEQU_H_

@@ -50,7 +50,45 @@ Graph Graph::FromEdges(size_t num_nodes, std::vector<Edge> edges) {
     std::sort(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
               g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
   }
+  g.BuildMembershipAccelerator();
   return g;
+}
+
+void Graph::BuildMembershipAccelerator() {
+  const size_t n = num_nodes();
+  bitset_row_words_ = 0;
+  bitset_start_.clear();
+  bitset_words_.clear();
+  if (n < 2) return;
+  // Degree threshold max(64, n/64): below 64 the binary search is a handful
+  // of cache-resident probes anyway; the relative term caps total memory at
+  // 2|E|/(n/64) rows x n/8 bytes = 16|E| bytes.
+  const size_t threshold = std::max<size_t>(64, n / 64);
+  const size_t row_words = (n + 63) / 64;
+  size_t total_words = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (Degree(v) >= threshold) total_words += row_words;
+  }
+  if (total_words == 0 ||
+      total_words > static_cast<size_t>(UINT32_MAX)) {
+    // Nothing qualifies, or the word offsets would overflow their 32-bit
+    // index (a graph far beyond this library's documented scale) — fall
+    // back to binary search everywhere.
+    return;
+  }
+  bitset_row_words_ = row_words;
+  bitset_start_.assign(n, kNoBitset);
+  bitset_words_.assign(total_words, 0);
+  size_t cursor = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (Degree(v) < threshold) continue;
+    bitset_start_[v] = static_cast<uint32_t>(cursor);
+    uint64_t* row = bitset_words_.data() + cursor;
+    for (NodeId u : Neighbors(static_cast<NodeId>(v))) {
+      row[u / 64] |= uint64_t{1} << (u % 64);
+    }
+    cursor += row_words;
+  }
 }
 
 size_t Graph::MaxDegree() const {
@@ -61,7 +99,18 @@ size_t Graph::MaxDegree() const {
 
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   if (u == v) return false;
-  // Search the smaller adjacency list.
+  // O(1) fast path: either endpoint's membership bitset answers directly.
+  if (!bitset_start_.empty()) {
+    if (bitset_start_[u] != kNoBitset) {
+      const uint64_t* row = bitset_words_.data() + bitset_start_[u];
+      return (row[v / 64] >> (v % 64)) & 1;
+    }
+    if (bitset_start_[v] != kNoBitset) {
+      const uint64_t* row = bitset_words_.data() + bitset_start_[v];
+      return (row[u / 64] >> (u % 64)) & 1;
+    }
+  }
+  // Both endpoints are low-degree: search the smaller adjacency list.
   if (Degree(u) > Degree(v)) std::swap(u, v);
   const auto nbrs = Neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);

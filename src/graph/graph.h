@@ -51,8 +51,18 @@ class Graph {
 
   size_t MaxDegree() const;
 
-  /// O(log deg) adjacency test.
+  /// Adjacency test: O(1) when either endpoint is a high-degree node (its
+  /// row carries a packed membership bitset, see below), O(log min-degree)
+  /// binary search otherwise. Sits in every negative-sampling rejection
+  /// loop and in the link-prediction non-edge draw, where the hot queries
+  /// are exactly the high-degree rows the bitsets cover.
   bool HasEdge(NodeId u, NodeId v) const;
+
+  /// True when node v owns a membership bitset (exposed for tests and the
+  /// HasEdge microbench; callers never need to branch on this themselves).
+  bool HasMembershipBitset(NodeId v) const {
+    return !bitset_start_.empty() && bitset_start_[v] != kNoBitset;
+  }
 
   /// Canonical edge list, each edge once with u < v, sorted lexicographically.
   const std::vector<Edge>& Edges() const { return edges_; }
@@ -86,9 +96,23 @@ class Graph {
   std::string Summary() const;
 
  private:
+  void BuildMembershipAccelerator();
+
   std::vector<size_t> offsets_;     // size |V|+1
   std::vector<NodeId> adjacency_;   // size 2|E|, sorted per node
   std::vector<Edge> edges_;         // canonical u < v list
+
+  // Per-node membership accelerator: rows with degree >= max(64, |V|/64)
+  // own a packed bitset over V (ceil(|V|/64) words each) inside
+  // bitset_words_, located via bitset_start_ (kNoBitset = plain binary
+  // search). At that threshold at most 2|E|/(|V|/64) rows qualify, so the
+  // accelerator never exceeds ~16 bytes per edge; the vectors are empty
+  // when no row qualifies. Not part of Fingerprint(): the digest covers the
+  // CSR arrays, which fully determine the accelerator.
+  static constexpr uint32_t kNoBitset = UINT32_MAX;
+  size_t bitset_row_words_ = 0;           // words per accelerated row
+  std::vector<uint32_t> bitset_start_;    // per node: word offset or kNoBitset
+  std::vector<uint64_t> bitset_words_;
 };
 
 }  // namespace sepriv

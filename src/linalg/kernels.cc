@@ -210,7 +210,14 @@ void ParallelTasks(size_t n_tasks, const std::function<void(size_t)>& task) {
     st.resolved.store(st.pool->num_threads(), std::memory_order_release);
   }
   if (st.pool->num_threads() == 1) {
+    // st.mu is held for this inline loop, so mark the thread as inside a
+    // parallel region: a nested ParallelTasks must short-circuit on
+    // tls_in_parallel rather than try_lock a mutex this thread already
+    // owns (undefined behavior for std::mutex).
+    const bool prev = tls_in_parallel;
+    tls_in_parallel = true;
     for (size_t t = 0; t < n_tasks; ++t) task(t);
+    tls_in_parallel = prev;
     return;
   }
   st.pool->ParallelFor(n_tasks, 1, [&task](size_t begin, size_t end) {

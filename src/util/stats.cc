@@ -43,6 +43,28 @@ void PearsonAccumulator::Add(double x, double y) {
   cov_ += dx * (y - mean_y_);
 }
 
+void PearsonAccumulator::Merge(const PearsonAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(n_);
+  const double n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  const double dx = other.mean_x_ - mean_x_;
+  const double dy = other.mean_y_ - mean_y_;
+  // Chan et al.: M2(a∪b) = M2a + M2b + d²·n1·n2/n; the cross-moment obeys
+  // the same identity with dx·dy.
+  const double w = n1 * n2 / n;
+  m2x_ += other.m2x_ + dx * dx * w;
+  m2y_ += other.m2y_ + dy * dy * w;
+  cov_ += other.cov_ + dx * dy * w;
+  mean_x_ += dx * (n2 / n);
+  mean_y_ += dy * (n2 / n);
+  n_ += other.n_;
+}
+
 double PearsonAccumulator::Correlation() const {
   if (n_ < 2) return 0.0;
   const double denom = std::sqrt(m2x_) * std::sqrt(m2y_);

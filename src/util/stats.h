@@ -28,6 +28,16 @@ double PearsonCorrelation(const std::vector<double>& x,
 class PearsonAccumulator {
  public:
   void Add(double x, double y);
+
+  /// Folds another accumulator's state into this one (Chan et al.'s
+  /// pairwise combine of the Welford moments). The parallel evaluation
+  /// layer gives every fixed-size index shard its own accumulator and
+  /// merges them in ascending shard order, so the merged result depends
+  /// only on the shard decomposition — never on which thread filled which
+  /// shard. Merging an empty accumulator is an exact no-op, and merging
+  /// into an empty one copies `other` bit-for-bit.
+  void Merge(const PearsonAccumulator& other);
+
   /// Correlation of everything added so far; 0 when degenerate.
   double Correlation() const;
   size_t count() const { return n_; }

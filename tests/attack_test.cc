@@ -91,6 +91,41 @@ TEST(AttackTest, DeterministicPerSeed) {
   EXPECT_DOUBLE_EQ(a.auc, b.auc);
 }
 
+TEST(AttackTest, CompleteGraphTerminatesWithDegenerateAuc) {
+  // Regression: the non-member rejection loop used to spin forever when no
+  // non-edge exists. A complete training graph must terminate and report
+  // the degenerate AUC (no non-member class -> 0.5).
+  Graph g = CompleteGraph(12);
+  Rng rng(21);
+  SkipGramModel model(g.num_nodes(), 4, rng);
+  const AttackResult r = RunMembershipInference(
+      model, g, AttackStatistic::kScoreThreshold, /*max_pairs=*/50,
+      /*seed=*/3);
+  EXPECT_EQ(r.non_member_pairs, 0u);
+  EXPECT_DOUBLE_EQ(r.auc, 0.5);
+}
+
+TEST(AttackTest, NearCompleteGraphFillsNonMembersFromScan) {
+  // One missing edge: sampling draws WITH replacement, so the full
+  // non-member target is still met — every slot holds the lone non-edge
+  // (found by rejection or by the cycling scan fallback).
+  std::vector<Edge> edges;
+  const NodeId n = 10;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (u == 0 && v == 1) continue;  // the lone non-edge
+      edges.push_back({u, v});
+    }
+  }
+  Graph g = Graph::FromEdges(n, std::move(edges));
+  Rng rng(22);
+  SkipGramModel model(g.num_nodes(), 4, rng);
+  const AttackResult r = RunMembershipInference(
+      model, g, AttackStatistic::kCosine, /*max_pairs=*/20, /*seed=*/4);
+  EXPECT_EQ(r.non_member_pairs, 20u);  // with-replacement target met
+  EXPECT_GT(r.member_pairs, 0u);
+}
+
 TEST(AttackDeathTest, EmptyGraphAborts) {
   Graph g;
   Rng rng(1);

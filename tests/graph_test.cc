@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "graph/generators.h"
 
@@ -194,6 +197,64 @@ TEST(ToyGraphTest, KarateClubCanonicalSize) {
   EXPECT_EQ(g.num_edges(), 78u);
   EXPECT_EQ(g.Degree(33), 17u);  // instructor hub
   EXPECT_EQ(g.Degree(0), 16u);   // president hub
+}
+
+// --- Membership accelerator (O(1) HasEdge fast path) ------------------------
+
+TEST(MembershipAcceleratorTest, SmallGraphsHaveNoBitsets) {
+  // Below the degree threshold (max(64, n/64)) every row stays on the
+  // binary-search path.
+  Graph g = KarateClub();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_FALSE(g.HasMembershipBitset(v)) << v;
+  }
+}
+
+TEST(MembershipAcceleratorTest, StarHubGetsABitset) {
+  // A 200-node star: the hub (degree 199 >= 64) is accelerated, the leaves
+  // (degree 1) are not.
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < 200; ++v) edges.push_back({0, v});
+  Graph g = Graph::FromEdges(200, std::move(edges));
+  EXPECT_TRUE(g.HasMembershipBitset(0));
+  for (NodeId v = 1; v < 200; ++v) EXPECT_FALSE(g.HasMembershipBitset(v));
+  // Queries through either endpoint order agree with the structure.
+  for (NodeId v = 1; v < 200; ++v) {
+    EXPECT_TRUE(g.HasEdge(0, v)) << v;
+    EXPECT_TRUE(g.HasEdge(v, 0)) << v;
+  }
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_FALSE(g.HasEdge(3, 5));  // leaf-leaf: binary-search path
+}
+
+TEST(MembershipAcceleratorTest, AgreesWithEdgeListEverywhere) {
+  // Dense-ish BA graph with hub degrees straddling the threshold: every
+  // pair's HasEdge must agree with a brute-force edge-set lookup, in both
+  // argument orders.
+  Graph g = BarabasiAlbert(300, 6, 42);
+  std::set<std::pair<NodeId, NodeId>> edge_set;
+  for (const Edge& e : g.Edges()) edge_set.insert({e.u, e.v});
+  const auto brute = [&](NodeId u, NodeId v) {
+    if (u == v) return false;
+    return edge_set.count({std::min(u, v), std::max(u, v)}) > 0;
+  };
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(g.HasEdge(u, v), brute(u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(MembershipAcceleratorTest, CompleteGraphAllRowsAccelerated) {
+  Graph g = CompleteGraph(80);  // every degree 79 >= 64
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(g.HasMembershipBitset(v)) << v;
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(g.HasEdge(u, v), u != v);
+    }
+  }
 }
 
 }  // namespace

@@ -156,5 +156,92 @@ TEST(StatsTest, AccumulatorStreamingStability) {
   EXPECT_NEAR(acc.Correlation(), 1.0, 1e-9);
 }
 
+TEST(PearsonMergeTest, EmptyShardsAreExactNoOps) {
+  PearsonAccumulator filled;
+  filled.Add(1.0, 2.0);
+  filled.Add(-3.0, 0.5);
+  filled.Add(2.2, -1.1);
+  const double before = filled.Correlation();
+  const size_t count_before = filled.count();
+
+  PearsonAccumulator empty;
+  filled.Merge(empty);  // merging an empty accumulator changes nothing
+  EXPECT_EQ(filled.count(), count_before);
+  EXPECT_DOUBLE_EQ(filled.Correlation(), before);
+
+  PearsonAccumulator target;
+  target.Merge(filled);  // merging INTO an empty one copies the other side
+  EXPECT_EQ(target.count(), filled.count());
+  EXPECT_DOUBLE_EQ(target.Correlation(), filled.Correlation());
+
+  PearsonAccumulator both;
+  both.Merge(empty);  // empty <- empty stays degenerate
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_DOUBLE_EQ(both.Correlation(), 0.0);
+}
+
+TEST(PearsonMergeTest, MergeMatchesSerialAdd) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(std::sin(0.1 * i) + 0.01 * i);
+    y.push_back(std::cos(0.07 * i) - 0.02 * i);
+  }
+  PearsonAccumulator serial;
+  for (size_t i = 0; i < x.size(); ++i) serial.Add(x[i], y[i]);
+
+  // Three uneven shards merged in order must agree with the streaming
+  // accumulator to near machine precision (the merge reassociates the
+  // Welford moments, so bitwise equality is not expected).
+  const size_t cuts[] = {0, 123, 130, 500};
+  PearsonAccumulator merged;
+  for (size_t c = 0; c + 1 < 4; ++c) {
+    PearsonAccumulator shard;
+    for (size_t i = cuts[c]; i < cuts[c + 1]; ++i) shard.Add(x[i], y[i]);
+    merged.Merge(shard);
+  }
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_NEAR(merged.Correlation(), serial.Correlation(), 1e-12);
+  EXPECT_NEAR(merged.Correlation(), PearsonCorrelation(x, y), 1e-12);
+}
+
+TEST(PearsonMergeTest, MergeIsAssociativeToMachinePrecision) {
+  const auto fill = [](PearsonAccumulator& acc, int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      acc.Add(std::sin(0.3 * i), 1.0 + std::cos(0.2 * i));
+    }
+  };
+  PearsonAccumulator a1, b1, c1;
+  fill(a1, 0, 40);
+  fill(b1, 40, 47);
+  fill(c1, 47, 200);
+  PearsonAccumulator a2 = a1, b2 = b1, c2 = c1;
+
+  // (a + b) + c
+  a1.Merge(b1);
+  a1.Merge(c1);
+  // a + (b + c)
+  b2.Merge(c2);
+  a2.Merge(b2);
+  EXPECT_EQ(a1.count(), a2.count());
+  EXPECT_NEAR(a1.Correlation(), a2.Correlation(), 1e-12);
+}
+
+TEST(PearsonMergeTest, FixedShardOrderIsDeterministic) {
+  // The parallel-eval contract: the same shard decomposition merged in the
+  // same order yields the same bits, run after run.
+  const auto build = [] {
+    PearsonAccumulator merged;
+    for (int s = 0; s < 7; ++s) {
+      PearsonAccumulator shard;
+      for (int i = 0; i < 31; ++i) {
+        shard.Add(std::sin(s + 0.1 * i), std::cos(s - 0.2 * i));
+      }
+      merged.Merge(shard);
+    }
+    return merged.Correlation();
+  };
+  EXPECT_DOUBLE_EQ(build(), build());
+}
+
 }  // namespace
 }  // namespace sepriv

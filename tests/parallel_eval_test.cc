@@ -1,0 +1,258 @@
+// Determinism and correctness of the parallel evaluation layer: the sharded
+// map-reduce substrate, parallel StrucEqu (exact + sampled), parallel
+// LinkPredictionAuc, and the membership-inference scorer must all produce
+// BIT-IDENTICAL results for every thread count.
+
+#include "eval/parallel_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "attack/membership_inference.h"
+#include "eval/link_prediction.h"
+#include "eval/metrics.h"
+#include "eval/strucequ.h"
+#include "graph/generators.h"
+#include "linalg/kernels.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sepriv {
+namespace {
+
+/// RAII guard: pins the shared pool to `n` threads, restores the auto
+/// policy on destruction so suites do not leak thread-count state.
+struct LinalgThreadsGuard {
+  explicit LinalgThreadsGuard(size_t n) { kernels::SetLinalgThreads(n); }
+  ~LinalgThreadsGuard() { kernels::SetLinalgThreads(0); }
+};
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+Matrix AdjacencyEmbedding(const Graph& g) {
+  Matrix m(g.num_nodes(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.Neighbors(v)) m(v, u) = 1.0;
+  }
+  return m;
+}
+
+TEST(ParallelEvalShardTest, NumShardsCoversRange) {
+  EXPECT_EQ(eval::NumShards(0, 8), 0u);
+  EXPECT_EQ(eval::NumShards(1, 8), 1u);
+  EXPECT_EQ(eval::NumShards(8, 8), 1u);
+  EXPECT_EQ(eval::NumShards(9, 8), 2u);
+  EXPECT_EQ(eval::NumShards(17, 8), 3u);
+}
+
+TEST(ParallelEvalShardTest, ForEachShardVisitsEveryIndexOnce) {
+  const size_t total = 1000;
+  const size_t shard_size = 64;
+  std::vector<std::atomic<int>> visits(total);
+  for (auto& v : visits) v.store(0);
+  eval::ForEachShard(total, shard_size,
+                     [&](size_t shard, size_t begin, size_t end) {
+                       EXPECT_EQ(begin, shard * shard_size);
+                       EXPECT_LE(end, total);
+                       for (size_t i = begin; i < end; ++i) ++visits[i];
+                     });
+  for (size_t i = 0; i < total; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelEvalShardTest, ParallelMapMatchesSerialLoop) {
+  const size_t total = 9001;
+  const auto fn = [](size_t i) {
+    return std::sin(static_cast<double>(i)) * 3.5;
+  };
+  const std::vector<double> parallel = eval::ParallelMap(total, fn);
+  ASSERT_EQ(parallel.size(), total);
+  for (size_t i = 0; i < total; ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i], fn(i)) << i;
+  }
+}
+
+TEST(ParallelEvalShardTest, ShardedPearsonMatchesDirectMergeOrder) {
+  // The sharded reduction must equal the hand-built fixed-order merge of
+  // per-shard accumulators, bit for bit, regardless of thread count.
+  const size_t total = 5000;
+  const size_t shard_size = 512;
+  const auto x_of = [](size_t i) { return std::cos(0.01 * i); };
+  const auto y_of = [](size_t i) { return std::cos(0.01 * i) + 0.1 * i; };
+
+  PearsonAccumulator want;
+  for (size_t s = 0; s < eval::NumShards(total, shard_size); ++s) {
+    PearsonAccumulator shard;
+    const size_t begin = s * shard_size;
+    const size_t end = std::min(total, begin + shard_size);
+    for (size_t i = begin; i < end; ++i) shard.Add(x_of(i), y_of(i));
+    want.Merge(shard);
+  }
+
+  for (size_t threads : kThreadCounts) {
+    LinalgThreadsGuard guard(threads);
+    const PearsonAccumulator got = eval::ShardedPearson(
+        total, shard_size,
+        [&](size_t, size_t begin, size_t end, PearsonAccumulator& a) {
+          for (size_t i = begin; i < end; ++i) a.Add(x_of(i), y_of(i));
+        });
+    EXPECT_EQ(got.count(), want.count());
+    EXPECT_DOUBLE_EQ(got.Correlation(), want.Correlation()) << threads;
+  }
+}
+
+TEST(ParallelStrucEquTest, ExactPathBitIdenticalAcrossThreadCounts) {
+  Graph g = BarabasiAlbert(300, 3, 5);
+  Rng rng(4);
+  Matrix m(g.num_nodes(), 16);
+  m.FillGaussian(rng);
+  StrucEquOptions opts;
+  opts.max_pairs = 1u << 30;  // force all pairs
+
+  double want = 0.0;
+  for (size_t threads : kThreadCounts) {
+    LinalgThreadsGuard guard(threads);
+    const double got = StrucEqu(g, m, opts);
+    if (threads == 1) {
+      want = got;
+    } else {
+      EXPECT_DOUBLE_EQ(got, want) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelStrucEquTest, ExactPathMatchesNaivePearson) {
+  // The sharded merge reassociates the Welford reduction; it must still
+  // agree with the naive two-vector Pearson to near machine precision.
+  Graph g = BarabasiAlbert(120, 3, 7);
+  Rng rng(8);
+  Matrix m(g.num_nodes(), 8);
+  m.FillGaussian(rng);
+  std::vector<double> xs, ys;
+  const size_t n = g.num_nodes();
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      xs.push_back(std::sqrt(g.AdjacencyRowSquaredDistance(i, j)));
+      ys.push_back(std::sqrt(m.RowSquaredDistance(i, m, j)));
+    }
+  }
+  StrucEquOptions opts;
+  opts.max_pairs = 1u << 30;
+  EXPECT_NEAR(StrucEqu(g, m, opts), PearsonCorrelation(xs, ys), 1e-12);
+}
+
+TEST(ParallelStrucEquTest, ExactPathPerfectEmbeddingStaysPerfect) {
+  Graph g = KarateClub();
+  EXPECT_NEAR(StrucEqu(g, AdjacencyEmbedding(g)), 1.0, 1e-9);
+}
+
+TEST(ParallelStrucEquTest, SampledPathBitIdenticalAcrossThreadCounts) {
+  Graph g = BarabasiAlbert(400, 3, 6);
+  Rng rng(9);
+  Matrix m(g.num_nodes(), 12);
+  m.FillGaussian(rng);
+  StrucEquOptions opts;
+  opts.max_pairs = 30000;  // 79800 pairs exist -> sampled path
+  opts.seed = 21;
+
+  double want = 0.0;
+  for (size_t threads : kThreadCounts) {
+    LinalgThreadsGuard guard(threads);
+    const double got = StrucEqu(g, m, opts);
+    if (threads == 1) {
+      want = got;
+    } else {
+      EXPECT_DOUBLE_EQ(got, want) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelStrucEquTest, SampledPathSeedSensitive) {
+  // Shard substreams are keyed by (seed, shard); different seeds must give
+  // different (but each internally deterministic) sample sets.
+  Graph g = BarabasiAlbert(400, 3, 6);
+  Rng rng(10);
+  Matrix m(g.num_nodes(), 12);
+  m.FillGaussian(rng);
+  StrucEquOptions a;
+  a.max_pairs = 5000;
+  a.seed = 1;
+  StrucEquOptions b = a;
+  b.seed = 2;
+  EXPECT_DOUBLE_EQ(StrucEqu(g, m, a), StrucEqu(g, m, a));
+  EXPECT_NE(StrucEqu(g, m, a), StrucEqu(g, m, b));
+}
+
+TEST(ParallelLinkPredTest, AucBitIdenticalAcrossThreadCounts) {
+  Graph g = BarabasiAlbert(300, 4, 11);
+  const LinkPredictionSplit split = MakeLinkPredictionSplit(g);
+  Rng rng(12);
+  Matrix w_in(g.num_nodes(), 16), w_out(g.num_nodes(), 16);
+  w_in.FillGaussian(rng);
+  w_out.FillGaussian(rng);
+
+  for (PairScore score :
+       {PairScore::kInnerProductInIn, PairScore::kInnerProductInOut,
+        PairScore::kNegativeDistance}) {
+    double want = 0.0;
+    for (size_t threads : kThreadCounts) {
+      LinalgThreadsGuard guard(threads);
+      const double got = LinkPredictionAuc(split, w_in, w_out, score);
+      if (threads == 1) {
+        want = got;
+      } else {
+        EXPECT_DOUBLE_EQ(got, want) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelLinkPredTest, AucMatchesSerialScoring) {
+  // The parallel scorer writes exactly the serial per-pair values, so the
+  // AUC must be bitwise equal to a hand-rolled serial evaluation.
+  Graph g = BarabasiAlbert(200, 3, 13);
+  const LinkPredictionSplit split = MakeLinkPredictionSplit(g);
+  Rng rng(14);
+  Matrix w_in(g.num_nodes(), 8), w_out(g.num_nodes(), 8);
+  w_in.FillGaussian(rng);
+  w_out.FillGaussian(rng);
+
+  std::vector<double> pos, neg;
+  for (const Edge& e : split.test_pos)
+    pos.push_back(ScorePair(w_in, w_out, e.u, e.v,
+                            PairScore::kInnerProductInOut));
+  for (const Edge& e : split.test_neg)
+    neg.push_back(ScorePair(w_in, w_out, e.u, e.v,
+                            PairScore::kInnerProductInOut));
+  EXPECT_DOUBLE_EQ(
+      LinkPredictionAuc(split, w_in, w_out, PairScore::kInnerProductInOut),
+      AucFromScores(pos, neg));
+}
+
+TEST(ParallelAttackTest, MembershipInferenceBitIdenticalAcrossThreadCounts) {
+  Graph g = BarabasiAlbert(200, 4, 15);
+  Rng rng(16);
+  SkipGramModel model(g.num_nodes(), 8, rng);
+
+  for (AttackStatistic stat :
+       {AttackStatistic::kScoreThreshold, AttackStatistic::kRowNormSum,
+        AttackStatistic::kCosine}) {
+    double want = 0.0;
+    for (size_t threads : kThreadCounts) {
+      LinalgThreadsGuard guard(threads);
+      const AttackResult got =
+          RunMembershipInference(model, g, stat, /*max_pairs=*/500,
+                                 /*seed=*/77);
+      if (threads == 1) {
+        want = got.auc;
+      } else {
+        EXPECT_DOUBLE_EQ(got.auc, want) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sepriv
