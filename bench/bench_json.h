@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/mem.h"
+
 namespace sepriv::bench {
 
 class BenchJson {
@@ -46,12 +48,22 @@ class BenchJson {
   }
 
   /// Writes the document; returns false (with a stderr note) on IO failure.
+  /// A "mem/rss" record (peak_mb / current_mb at write time, 0 = unknown)
+  /// is appended automatically so every baseline tracks memory alongside
+  /// time. Memory numbers are machine-dependent: diff them for order-of-
+  /// magnitude regressions, not bit-exactly.
   bool Write(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
       return false;
     }
+    std::vector<Record> records = records_;
+    constexpr double kMb = 1024.0 * 1024.0;
+    records.push_back(
+        {"mem/rss",
+         {{"peak_mb", static_cast<double>(PeakRssBytes()) / kMb},
+          {"current_mb", static_cast<double>(CurrentRssBytes()) / kMb}}});
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": {",
                  bench_name_.c_str());
     for (size_t i = 0; i < meta_.size(); ++i) {
@@ -59,15 +71,15 @@ class BenchJson {
                    meta_[i].first.c_str(), meta_[i].second.c_str());
     }
     std::fprintf(f, "%s},\n  \"records\": [", meta_.empty() ? "" : "\n  ");
-    for (size_t i = 0; i < records_.size(); ++i) {
+    for (size_t i = 0; i < records.size(); ++i) {
       std::fprintf(f, "%s\n    { \"name\": \"%s\"", i ? "," : "",
-                   records_[i].name.c_str());
-      for (const auto& [key, value] : records_[i].metrics) {
+                   records[i].name.c_str());
+      for (const auto& [key, value] : records[i].metrics) {
         std::fprintf(f, ", \"%s\": %.17g", key.c_str(), value);
       }
       std::fprintf(f, " }");
     }
-    std::fprintf(f, "%s]\n}\n", records_.empty() ? "" : "\n  ");
+    std::fprintf(f, "%s]\n}\n", records.empty() ? "" : "\n  ");
     std::fclose(f);
     return true;
   }

@@ -40,9 +40,8 @@ BatchGradientEngine::BatchGradientEngine(
                "engine needs a non-empty model shape");
 }
 
-void BatchGradientEngine::ResolveWeights(const Subgraph& s, double& w_pos,
+void BatchGradientEngine::ResolveWeights(double pij, double& w_pos,
                                          double& w_neg) const {
-  const double pij = edge_weights_[s.edge_index];
   w_pos = pij;
   w_neg = pij;
   switch (opts_.negative_weighting) {
@@ -60,14 +59,22 @@ void BatchGradientEngine::ResolveWeights(const Subgraph& s, double& w_pos,
 double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
                                             std::span<const Subgraph> subgraphs,
                                             std::span<const uint32_t> batch) {
+  InMemorySampleSource source(subgraphs, edge_weights_);
+  return AccumulateBatch(model, source, batch);
+}
+
+double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
+                                            SampleSource& source,
+                                            std::span<const uint32_t> batch) {
   const size_t m = batch.size();
   if (m == 0) return 0.0;
   const size_t dim = opts_.dim;
 
   // Slot width: every sample gets room for the widest (k+1) in this batch.
+  // NegativesCount is pin-free by contract, so sizing needs no shard I/O.
   size_t ctx_slot = 0;
   for (uint32_t idx : batch) {
-    ctx_slot = std::max(ctx_slot, subgraphs[idx].negatives.size() + 1);
+    ctx_slot = std::max(ctx_slot, source.NegativesCount(idx) + 1);
   }
   ctx_slot_ = std::max(ctx_slot_, ctx_slot);
   if (center_grads_.size() < m * dim) center_grads_.resize(m * dim);
@@ -79,40 +86,75 @@ double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
   }
   if (context_counts_.size() < m) context_counts_.resize(m);
   if (losses_.size() < m) losses_.resize(m);
+  if (centers_.size() < m) centers_.resize(m);
 
-  // Phase 1: per-sample gradients + clipping into private slots. Safe to
-  // fan out because sample i only writes slot i.
+  // Visit order: identity for a single-shard source; shard-sorted (stable,
+  // so within a shard the batch order is kept) when sharded. Only the ORDER
+  // samples are computed in changes — every result lands in the sample's
+  // original slot i, so phases 2–3 never see the permutation.
+  order_.resize(m);
+  for (size_t i = 0; i < m; ++i) order_[i] = static_cast<uint32_t>(i);
+  if (source.num_shards() > 1) {
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return source.ShardOf(batch[a]) <
+                              source.ShardOf(batch[b]);
+                     });
+  }
+
+  // Phase 1: per-sample gradients + clipping into private slots, one shard
+  // group at a time. Safe to fan out because sample i only writes slot i;
+  // the pin is held across the group's ParallelFor and the NEXT group's
+  // shard is prefetched first, so the pool hides its read behind compute.
   const size_t slot = ctx_slot_;
-  pool_.ParallelFor(m, kSampleGrain, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const Subgraph& s = subgraphs[batch[i]];
-      double w_pos, w_neg;
-      ResolveWeights(s, w_pos, w_neg);
-
-      const size_t contexts = s.negatives.size() + 1;
-      std::span<double> center(center_grads_.data() + i * dim, dim);
-      std::span<NodeId> nodes(context_nodes_.data() + i * slot, contexts);
-      std::span<double> rows(context_grads_.data() + i * slot * dim,
-                             contexts * dim);
-      losses_[i] = ComputeSgnsGradientInto(model, s, w_pos, w_neg, center,
-                                           nodes, rows);
-      context_counts_[i] = static_cast<uint32_t>(contexts);
-
-      if (opts_.clip_per_sample) {
-        // Per-sample clipping, separately per parameter matrix: e∇_{v_i}
-        // (center, Win) and the joint e∇_{v_j} block (contexts, Wout).
-        ClipL2InPlace(center, opts_.clip_threshold);
-        ClipL2InPlace(rows, opts_.clip_threshold);
-      }
+  size_t pos = 0;
+  while (pos < m) {
+    const size_t shard = source.ShardOf(batch[order_[pos]]);
+    size_t group_end = pos + 1;
+    while (group_end < m &&
+           source.ShardOf(batch[order_[group_end]]) == shard) {
+      ++group_end;
     }
-  });
+    source.PinShard(shard);
+    if (group_end < m) {
+      source.PrefetchShard(source.ShardOf(batch[order_[group_end]]));
+    }
+    pool_.ParallelFor(group_end - pos, kSampleGrain,
+                      [&](size_t begin, size_t end) {
+      for (size_t g = begin; g < end; ++g) {
+        const size_t i = order_[pos + g];
+        const SampleView v = source.Get(batch[i]);
+        double w_pos, w_neg;
+        ResolveWeights(v.weight, w_pos, w_neg);
+
+        const size_t contexts = v.negatives.size() + 1;
+        std::span<double> center(center_grads_.data() + i * dim, dim);
+        std::span<NodeId> nodes(context_nodes_.data() + i * slot, contexts);
+        std::span<double> rows(context_grads_.data() + i * slot * dim,
+                               contexts * dim);
+        losses_[i] = ComputeSgnsGradientInto(model, v.center, v.context,
+                                             v.negatives, w_pos, w_neg,
+                                             center, nodes, rows);
+        context_counts_[i] = static_cast<uint32_t>(contexts);
+        centers_[i] = v.center;
+
+        if (opts_.clip_per_sample) {
+          // Per-sample clipping, separately per parameter matrix: e∇_{v_i}
+          // (center, Win) and the joint e∇_{v_j} block (contexts, Wout).
+          ClipL2InPlace(center, opts_.clip_threshold);
+          ClipL2InPlace(rows, opts_.clip_threshold);
+        }
+      }
+    });
+    pos = group_end;
+  }
 
   // Phase 2 (serial, cheap): loss in sample order and touched lists in
   // first-touch sample order — both independent of worker scheduling.
   double batch_loss = 0.0;
   for (size_t i = 0; i < m; ++i) {
     batch_loss += losses_[i];
-    grad_in_.Touch(subgraphs[batch[i]].center);
+    grad_in_.Touch(centers_[i]);
     const NodeId* nodes = context_nodes_.data() + i * slot;
     for (uint32_t k = 0; k < context_counts_[i]; ++k) {
       grad_out_.Touch(nodes[k]);
@@ -127,7 +169,7 @@ double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
   pool_.ParallelFor(shards, 1, [&](size_t begin, size_t end) {
     for (size_t shard = begin; shard < end; ++shard) {
       for (size_t i = 0; i < m; ++i) {
-        const NodeId center = subgraphs[batch[i]].center;
+        const NodeId center = centers_[i];
         if (center % shards == shard) {
           kernels::Axpy(1.0, center_grads_.data() + i * dim,
                         grad_in_.matrix().Row(center).data(), dim);

@@ -20,6 +20,15 @@
 //
 // Fixed block/grain sizes (never derived from num_threads) are what make
 // phases 1 and 4 scheduling-invariant.
+//
+// Samples reach the engine through the SampleSource interface so the batch
+// can live anywhere: the classic in-memory Subgraph vector, or a disk-backed
+// store paged through the buffer pool (out-of-core training). A sharded
+// source is visited in shard-sorted order within each batch — phase 1 groups
+// samples by shard, pins one shard at a time, and prefetches the next — but
+// every per-sample result is written to the sample's ORIGINAL batch slot, so
+// phases 2–3 (and therefore the model) are bit-identical to the unsharded
+// in-memory path.
 
 #ifndef SEPRIVGEMB_CORE_BATCH_GRADIENT_ENGINE_H_
 #define SEPRIVGEMB_CORE_BATCH_GRADIENT_ENGINE_H_
@@ -54,10 +63,76 @@ struct BatchGradientEngineOptions {
   size_t num_threads = 1;
 };
 
+/// One training sample as the gradient phase consumes it: the (center,
+/// context, negatives) triple plus its resolved positive weight p_ij. The
+/// negatives span points into source-owned storage and is only valid until
+/// the source's next PinShard call (or destruction).
+struct SampleView {
+  NodeId center = 0;
+  NodeId context = 0;
+  double weight = 0.0;  // p_ij of the sample's edge
+  std::span<const NodeId> negatives;
+};
+
+/// Where a batch's samples come from. Implementations: the in-memory
+/// Subgraph vector (single shard, Pin is a no-op) and the disk-backed
+/// SampleStore (samples paged through a BufferPool).
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  /// Total samples addressable by Get().
+  virtual size_t size() const = 0;
+
+  /// Negatives of sample `idx` — callable WITHOUT a pin (the engine sizes
+  /// its per-sample scratch slots before any shard is resident).
+  virtual size_t NegativesCount(uint32_t idx) const = 0;
+
+  /// Shard geometry. The engine visits a batch grouped by ShardOf and never
+  /// holds more than the pinned shard (plus the prefetched next one).
+  virtual size_t num_shards() const { return 1; }
+  virtual size_t ShardOf(uint32_t /*idx*/) const { return 0; }
+
+  /// Makes shard `s` resident; Get() for its samples is valid (and must be
+  /// safe to call concurrently from pool workers) until the next PinShard.
+  virtual void PinShard(size_t /*s*/) {}
+  virtual void PrefetchShard(size_t /*s*/) {}
+
+  /// Sample `idx`, which must belong to the currently pinned shard.
+  virtual SampleView Get(uint32_t idx) const = 0;
+};
+
+/// The classic source: a resident Subgraph vector + p_ij table. Single
+/// shard; Get() is pure indexing.
+class InMemorySampleSource final : public SampleSource {
+ public:
+  /// `edge_weights` is indexed by Subgraph::edge_index; both spans must
+  /// outlive the source.
+  InMemorySampleSource(std::span<const Subgraph> subgraphs,
+                       std::span<const double> edge_weights)
+      : subgraphs_(subgraphs), edge_weights_(edge_weights) {}
+
+  size_t size() const override { return subgraphs_.size(); }
+  size_t NegativesCount(uint32_t idx) const override {
+    return subgraphs_[idx].negatives.size();
+  }
+  SampleView Get(uint32_t idx) const override {
+    const Subgraph& s = subgraphs_[idx];
+    return {s.center, s.context, edge_weights_[s.edge_index], s.negatives};
+  }
+
+ private:
+  std::span<const Subgraph> subgraphs_;
+  std::span<const double> edge_weights_;
+};
+
 class BatchGradientEngine {
  public:
   /// `edge_weights` are the per-edge preferences p_ij (indexed by
-  /// Subgraph::edge_index); the span must outlive the engine.
+  /// Subgraph::edge_index); the span must outlive the engine. Only the
+  /// Subgraph-span AccumulateBatch overload reads it — SampleSource batches
+  /// carry their weights in the SampleView — so a source-driven caller may
+  /// pass an empty span.
   BatchGradientEngine(const BatchGradientEngineOptions& opts,
                       std::span<const double> edge_weights);
 
@@ -67,6 +142,15 @@ class BatchGradientEngine {
   /// also thread-count invariant).
   double AccumulateBatch(const SkipGramModel& model,
                          std::span<const Subgraph> subgraphs,
+                         std::span<const uint32_t> batch);
+
+  /// Source-driven form: `batch` holds sample indices into `source`. Visits
+  /// the batch shard-by-shard (PinShard + PrefetchShard of the next group)
+  /// but writes each sample's gradient to its original batch slot, so the
+  /// accumulated result — and the returned sample-order loss — is
+  /// bit-identical to the in-memory overload for every shard geometry,
+  /// thread count, and pool budget.
+  double AccumulateBatch(const SkipGramModel& model, SampleSource& source,
                          std::span<const uint32_t> batch);
 
   /// Ñ(·) of Eq. (9): adds N(0, stddev²) to every touched accumulator row,
@@ -89,8 +173,8 @@ class BatchGradientEngine {
   const SparseRowGrad& grad_out() const { return grad_out_; }
 
  private:
-  /// Resolves (w_pos, w_neg) for one sample under the weighting mode.
-  void ResolveWeights(const Subgraph& s, double& w_pos, double& w_neg) const;
+  /// Resolves (w_pos, w_neg) from one sample's p_ij under the weighting mode.
+  void ResolveWeights(double pij, double& w_pos, double& w_neg) const;
 
   BatchGradientEngineOptions opts_;
   std::span<const double> edge_weights_;
@@ -108,6 +192,8 @@ class BatchGradientEngine {
   std::vector<NodeId> context_nodes_;
   std::vector<uint32_t> context_counts_;
   std::vector<double> losses_;
+  std::vector<NodeId> centers_;   // sample i's center, for phases 2–3
+  std::vector<uint32_t> order_;   // shard-sorted visit order of batch slots
 };
 
 }  // namespace sepriv

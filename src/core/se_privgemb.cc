@@ -1,17 +1,157 @@
 #include "core/se_privgemb.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 
 #include "core/batch_gradient_engine.h"
+#include "embedding/sample_store.h"
 #include "embedding/subgraph_sampler.h"
+#include "proximity/local_proximity.h"
 #include "proximity/proximity_engine.h"
 #include "util/alias_table.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace sepriv {
+namespace {
+
+/// The epoch loop of Algorithm 2 (lines 4–10), shared verbatim by the
+/// in-memory and out-of-core trainers: both hand it a SampleSource and the
+/// same Rng position, so every downstream draw — batch subsampling, noise
+/// substreams — and therefore the model is identical between them.
+void RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
+               double min_weight, SampleSource& source,
+               const AliasTable* positive_alias, SkipGramModel& model,
+               Rng& rng, TrainResult& result) {
+  const bool is_private = cfg.perturbation != PerturbationStrategy::kNone;
+  const size_t population = source.size();
+
+  const double sampling_rate =
+      std::min(1.0, static_cast<double>(cfg.batch_size) /
+                        static_cast<double>(population));
+
+  // Privacy accountant (lines 8-10). MaxSteps gives the same stopping epoch
+  // as the per-epoch δ̂ >= δ test, in closed form.
+  std::unique_ptr<RdpAccountant> accountant;
+  result.epochs_allowed = std::numeric_limits<size_t>::max();
+  if (is_private) {
+    accountant = std::make_unique<RdpAccountant>(
+        cfg.noise_multiplier, sampling_rate, cfg.rdp_max_order);
+    result.epochs_allowed = accountant->MaxSteps(cfg.epsilon, cfg.delta);
+  }
+
+  // The parallel batch-gradient engine does the per-sample work (gradients,
+  // clipping, reduction, noise); this loop stays a thin orchestrator. The
+  // engine's output is bit-identical for every thread count. Weights reach
+  // it through the SampleView, so the engine-level table is empty.
+  BatchGradientEngineOptions eopts;
+  eopts.num_nodes = num_nodes;
+  eopts.dim = cfg.dim;
+  eopts.clip_per_sample = is_private;
+  eopts.clip_threshold = cfg.clip_threshold;
+  eopts.negative_weighting = cfg.negative_weighting;
+  eopts.min_weight = min_weight;
+  eopts.num_threads = cfg.ResolvedThreads();
+  BatchGradientEngine engine(eopts, {});
+
+  const double lr = cfg.learning_rate;
+  const double c = cfg.clip_threshold;
+  const double sigma = cfg.noise_multiplier;
+  // Noise scale per strategy: non-zero perturbation uses per-sample
+  // sensitivity C; the naive first cut uses the worst-case batch sensitivity
+  // B·C stated in §III-B.
+  //
+  // Note on Eq. (9)'s 1/B prefactor: scaling the released noisy sum by a
+  // public constant is post-processing, so privacy is identical whether the
+  // learning rate multiplies the batch MEAN or the batch SUM. We apply η to
+  // the sum — the convention of practical SGNS trainers — because averaging
+  // would dilute each touched row's update by 1/B (a row is typically hit by
+  // a single sample per batch) and make the paper's η ∈ {0.01..0.3} grid
+  // meaninglessly small.
+  const double nonzero_stddev = c * sigma;
+  const double naive_stddev =
+      static_cast<double>(cfg.batch_size) * c * sigma;
+
+  for (size_t epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+    if (is_private && epoch >= result.epochs_allowed) {
+      result.stopped_by_budget = true;
+      break;
+    }
+
+    // Line 5: sample B subgraphs.
+    std::vector<uint32_t> batch;
+    if (positive_alias != nullptr) {
+      batch.resize(std::min(cfg.batch_size, population));
+      for (auto& idx : batch) idx = positive_alias->Sample(rng);
+    } else {
+      batch = SampleBatchIndices(population, cfg.batch_size, rng);
+    }
+
+    // Per-sample gradients + clipping (Eq. 7/8, Eq. 3), fanned out over the
+    // pool, reduced in sample order.
+    const double batch_loss = engine.AccumulateBatch(model, source, batch);
+
+    // Perturb (lines 6-7) and apply the update.
+    switch (cfg.perturbation) {
+      case PerturbationStrategy::kNone:
+        break;
+      case PerturbationStrategy::kNonZero:
+        engine.PerturbNonZero(nonzero_stddev, rng);
+        break;
+      case PerturbationStrategy::kNaive:
+        engine.PerturbNaiveIntoModel(model, lr, naive_stddev, rng);
+        break;
+    }
+    engine.ApplyUpdate(model, lr);
+
+    if (is_private) accountant->Step();
+    ++result.epochs_run;
+    if (cfg.track_loss) {
+      result.loss_curve.push_back(batch_loss /
+                                  static_cast<double>(batch.size()));
+    }
+  }
+
+  if (is_private && accountant->steps() > 0) {
+    const DpBound bound = accountant->GetEpsilon(cfg.delta);
+    result.spent_epsilon = bound.epsilon;
+    result.best_rdp_order = bound.best_order;
+    result.spent_delta = accountant->GetDelta(cfg.epsilon);
+  }
+}
+
+/// AdjacencyOracle over a GraphStore: pins the center's shard on demand.
+/// Releases its previous pin BEFORE taking the next one, so together with
+/// the consumer's own sequential pin it never holds more than two — the
+/// store's minimum pool budget.
+class StoreAdjacencyOracle final : public AdjacencyOracle {
+ public:
+  explicit StoreAdjacencyOracle(GraphStore& store)
+      : store_(store), num_nodes_(store.num_nodes()) {}
+
+  size_t num_nodes() const override { return num_nodes_; }
+  bool HasEdge(NodeId u, NodeId v) const override {
+    const size_t s = store_.manifest().ShardOfNode(u);
+    if (s != cur_shard_) {
+      cur_ = PinnedShard();
+      cur_ = store_.Pin(s);
+      cur_shard_ = s;
+    }
+    return cur_->HasEdge(u, v);
+  }
+
+ private:
+  GraphStore& store_;
+  size_t num_nodes_;
+  mutable PinnedShard cur_;
+  mutable size_t cur_shard_ = SIZE_MAX;
+};
+
+}  // namespace
 
 SePrivGEmb::SePrivGEmb(const Graph& graph, ProximityKind preference,
                        const SePrivGEmbConfig& config,
@@ -21,16 +161,25 @@ SePrivGEmb::SePrivGEmb(const Graph& graph, ProximityKind preference,
   // engine (cache-through when a cache directory is configured): the output
   // is bit-identical to the serial ComputeEdgeProximities for every thread
   // count and for the warm-cache path. Workers are spun up only on a miss.
+  // proximity_shards > 1 exercises the shard-granular engine instead —
+  // still bit-identical (the finalisation arithmetic is shared).
   const auto provider = MakeProximity(preference, graph, prox_opts);
-  const EdgeProximity prox =
-      CachedEdgeProximities(graph, *provider, prox_opts,
-                            config_.ResolvedThreads(),
-                            config_.ResolvedProximityCachePath());
+  EdgeProximity prox;
+  if (config_.proximity_shards > 1) {
+    InMemoryGraphStore store(graph, config_.proximity_shards);
+    ThreadPool pool(config_.ResolvedThreads());
+    prox = ShardedEdgeProximities(store, *provider, prox_opts, pool,
+                                  config_.ResolvedProximityCachePath());
+  } else {
+    prox = CachedEdgeProximities(graph, *provider, prox_opts,
+                                 config_.ResolvedThreads(),
+                                 config_.ResolvedProximityCachePath());
+  }
   if (config_.normalize_proximity) {
-    owned_weights_ = prox.normalized;
+    owned_weights_ = std::move(prox.normalized);
     min_weight_ = prox.normalized_min_positive;
   } else {
-    owned_weights_ = prox.values;
+    owned_weights_ = std::move(prox.values);
     min_weight_ = prox.min_positive;
   }
 }
@@ -99,106 +248,129 @@ TrainResult SePrivGEmb::Train() {
 
   // Line 3: initialise Win / Wout.
   result.model = SkipGramModel(graph_.num_nodes(), cfg.dim, rng);
-  SkipGramModel& model = result.model;
 
   // Optional proximity-weighted positive sampling (ablation mode).
   AliasTable positive_alias;
-  if (cfg.positive_sampling == PositiveSampling::kProximityWeighted) {
-    positive_alias.Build(*weights_);
-  }
+  const bool weighted =
+      cfg.positive_sampling == PositiveSampling::kProximityWeighted;
+  if (weighted) positive_alias.Build(*weights_);
 
-  const double sampling_rate =
-      std::min(1.0, static_cast<double>(cfg.batch_size) /
-                        static_cast<double>(sampler.size()));
+  InMemorySampleSource source(sampler.All(), *weights_);
+  RunEpochs(cfg, graph_.num_nodes(), min_weight_, source,
+            weighted ? &positive_alias : nullptr, result.model, rng, result);
+  return result;
+}
 
-  // Privacy accountant (lines 8-10). MaxSteps gives the same stopping epoch
-  // as the per-epoch δ̂ >= δ test, in closed form.
-  std::unique_ptr<RdpAccountant> accountant;
-  result.epochs_allowed = std::numeric_limits<size_t>::max();
-  if (is_private) {
-    accountant = std::make_unique<RdpAccountant>(
-        cfg.noise_multiplier, sampling_rate, cfg.rdp_max_order);
-    result.epochs_allowed = accountant->MaxSteps(cfg.epsilon, cfg.delta);
-  }
+TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
+                           const SePrivGEmbConfig& config,
+                           const OutOfCoreTrainOptions& ooc,
+                           const ProximityOptions& prox_opts) {
+  const SePrivGEmbConfig& cfg = config;
+  SEPRIV_CHECK(preference == ProximityKind::kPreferentialAttachment,
+               "out-of-core training supports the degree preference only "
+               "(the one whose oracle state is node-level)");
+  SEPRIV_CHECK(!ooc.work_dir.empty(), "work_dir is required");
+  SEPRIV_CHECK(cfg.positive_sampling == PositiveSampling::kUniformEdges,
+               "proximity-weighted positive sampling needs the resident "
+               "weight table; out-of-core training is uniform-only");
+  const size_t n = store.num_nodes();
+  const size_t num_edges = store.num_edges();
+  SEPRIV_CHECK(num_edges > 0, "cannot train on an empty graph");
+  SEPRIV_CHECK(cfg.dim >= 1 && cfg.batch_size >= 1, "bad dim/batch config");
+  ::mkdir(ooc.work_dir.c_str(), 0755);  // EEXIST is fine
 
-  // The parallel batch-gradient engine does the per-sample work (gradients,
-  // clipping, reduction, noise); this loop stays a thin orchestrator. The
-  // engine's output is bit-identical for every thread count.
-  BatchGradientEngineOptions eopts;
-  eopts.num_nodes = graph_.num_nodes();
-  eopts.dim = cfg.dim;
-  eopts.clip_per_sample = is_private;
-  eopts.clip_threshold = cfg.clip_threshold;
-  eopts.negative_weighting = cfg.negative_weighting;
-  eopts.min_weight = min_weight_;
-  eopts.num_threads = cfg.ResolvedThreads();
-  BatchGradientEngine engine(eopts, *weights_);
+  const size_t num_shards = store.num_shards();
+  ThreadPool pool(cfg.ResolvedThreads());
+  const std::string cache_root = ooc.work_dir + "/proxcache";
+  const uint64_t graph_fp = store.fingerprint();
 
-  const double lr = cfg.learning_rate;
-  const double c = cfg.clip_threshold;
-  const double sigma = cfg.noise_multiplier;
-  // Noise scale per strategy: non-zero perturbation uses per-sample
-  // sensitivity C; the naive first cut uses the worst-case batch sensitivity
-  // B·C stated in §III-B.
-  //
-  // Note on Eq. (9)'s 1/B prefactor: scaling the released noisy sum by a
-  // public constant is post-processing, so privacy is identical whether the
-  // learning rate multiplies the batch MEAN or the batch SUM. We apply η to
-  // the sum — the convention of practical SGNS trainers — because averaging
-  // would dilute each touched row's update by 1/B (a row is typically hit by
-  // a single sample per batch) and make the paper's η ∈ {0.01..0.3} grid
-  // meaninglessly small.
-  const double nonzero_stddev = c * sigma;
-  const double naive_stddev =
-      static_cast<double>(cfg.batch_size) * c * sigma;
-
-  for (size_t epoch = 0; epoch < cfg.max_epochs; ++epoch) {
-    if (is_private && epoch >= result.epochs_allowed) {
-      result.stopped_by_budget = true;
-      break;
-    }
-
-    // Line 5: sample B subgraphs.
-    std::vector<uint32_t> batch;
-    if (cfg.positive_sampling == PositiveSampling::kProximityWeighted) {
-      batch.resize(std::min(cfg.batch_size, sampler.size()));
-      for (auto& idx : batch) idx = positive_alias.Sample(rng);
-    } else {
-      batch = sampler.SampleBatch(cfg.batch_size, rng);
-    }
-
-    // Per-sample gradients + clipping (Eq. 7/8, Eq. 3), fanned out over the
-    // pool, reduced in sample order.
-    const double batch_loss =
-        engine.AccumulateBatch(model, sampler.All(), batch);
-
-    // Perturb (lines 6-7) and apply the update.
-    switch (cfg.perturbation) {
-      case PerturbationStrategy::kNone:
-        break;
-      case PerturbationStrategy::kNonZero:
-        engine.PerturbNonZero(nonzero_stddev, rng);
-        break;
-      case PerturbationStrategy::kNaive:
-        engine.PerturbNaiveIntoModel(model, lr, naive_stddev, rng);
-        break;
-    }
-    engine.ApplyUpdate(model, lr);
-
-    if (is_private) accountant->Step();
-    ++result.epochs_run;
-    if (cfg.track_loss) {
-      result.loss_curve.push_back(batch_loss /
-                                  static_cast<double>(batch.size()));
+  // Degree vector: the node-level oracle state of the degree preference.
+  // O(|V|) resident, one sequential shard scan.
+  std::vector<double> degrees(n, 0.0);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (s + 1 < num_shards) store.Prefetch(s + 1);
+    PinnedShard pin = store.Pin(s);
+    for (NodeId u = pin->node_begin; u < pin->node_end; ++u) {
+      degrees[u] = static_cast<double>(pin->Degree(u));
     }
   }
+  DegreeVectorProximity provider(std::move(degrees), num_edges);
 
-  if (is_private && accountant->steps() > 0) {
-    const DpBound bound = accountant->GetEpsilon(cfg.delta);
-    result.spent_epsilon = bound.epsilon;
-    result.best_rdp_order = bound.best_order;
-    result.spent_delta = accountant->GetDelta(cfg.epsilon);
+  // Pass A: per-shard proximity passes (cache-through, so pass B reloads
+  // them warm) streamed into the shared floor/scale reduction. Never holds
+  // more than one shard's edge table.
+  ProximityFinalizer fin;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (s + 1 < num_shards) store.Prefetch(s + 1);
+    PinnedShard pin = store.Pin(s);
+    const ShardProximity sp = CachedShardProximities(
+        pin.view(), s, graph_fp, provider, prox_opts, pool, cache_root);
+    for (size_t k = 0; k < sp.forward.size(); ++k) {
+      fin.Accumulate(0.5 * (sp.forward[k] + sp.backward[k]));
+    }
   }
+  fin.Seal();
+  SEPRIV_CHECK(fin.count() == num_edges, "proximity pass lost edges");
+  const double min_weight = cfg.normalize_proximity
+                                ? fin.normalized_min_positive()
+                                : fin.min_positive();
+
+  Rng rng(cfg.seed);
+  TrainResult result;
+  result.min_proximity = min_weight;
+
+  // Algorithm 2 line 2, streamed: the generator reproduces the bulk
+  // sampler's RNG stream edge by edge; samples go to disk, not memory. The
+  // seed draw and the line-3 model init consume `rng` in the exact order
+  // Train() does.
+  const uint64_t sampler_seed = rng.Next();
+  result.model = SkipGramModel(n, cfg.dim, rng);
+
+  const std::string samples_path = ooc.work_dir + "/samples.bin";
+  {
+    StoreAdjacencyOracle oracle(store);
+    SubgraphGenerator gen(oracle, cfg.negatives, sampler_seed,
+                          EdgeOrientation::kRandom,
+                          cfg.negatives_exclude_neighbors);
+    auto writer = SampleStoreWriter::Create(
+        samples_path, static_cast<size_t>(cfg.negatives),
+        ooc.sample_page_bytes > 0 ? ooc.sample_page_bytes
+                                  : kSampleStorePageBytes);
+    SEPRIV_CHECK(writer != nullptr, "cannot create sample store %s",
+                 samples_path.c_str());
+    Subgraph scratch;
+    bool ok = true;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (s + 1 < num_shards) store.Prefetch(s + 1);
+      PinnedShard pin = store.Pin(s);
+      const ShardView& view = pin.view();
+      // Warm reload of this shard's raw proximities (pass A cached them);
+      // the sealed finalizer turns them into the stored p_ij weights.
+      const ShardProximity sp = CachedShardProximities(
+          view, s, graph_fp, provider, prox_opts, pool, cache_root);
+      view.ForEachEdge([&](size_t e, NodeId u, NodeId v) {
+        const size_t k = e - view.edge_begin;
+        const double sym = 0.5 * (sp.forward[k] + sp.backward[k]);
+        const double w =
+            cfg.normalize_proximity ? fin.Normalized(sym) : fin.Value(sym);
+        gen.Next(u, v, static_cast<uint32_t>(e), scratch);
+        ok = writer->Append(scratch, w) && ok;
+      });
+    }
+    ok = writer->Finish() && ok;
+    SEPRIV_CHECK(ok, "sample store write failed (%s)", samples_path.c_str());
+  }
+
+  auto samples = SampleStore::Open(samples_path, ooc.sample_pool_pages);
+  SEPRIV_CHECK(samples != nullptr, "cannot open sample store %s",
+               samples_path.c_str());
+  SEPRIV_CHECK(samples->size() == num_edges, "sample store size mismatch");
+
+  RunEpochs(cfg, n, min_weight, *samples, /*positive_alias=*/nullptr,
+            result.model, rng, result);
+
+  samples.reset();  // close before unlinking
+  if (!ooc.keep_sample_store) std::remove(samples_path.c_str());
   return result;
 }
 

@@ -19,12 +19,14 @@
 #define SEPRIVGEMB_CORE_SE_PRIVGEMB_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "dp/accountant.h"
 #include "embedding/skipgram.h"
 #include "graph/graph.h"
+#include "graph/shard.h"
 #include "proximity/proximity.h"
 
 namespace sepriv {
@@ -92,6 +94,40 @@ class SePrivGEmb {
   const std::vector<double>* weights_ = &owned_weights_;
   double min_weight_ = 0.0;           // min(P) over edges
 };
+
+/// Scratch-space knobs of the out-of-core trainer.
+struct OutOfCoreTrainOptions {
+  /// Required: directory (created if missing) for the per-shard proximity
+  /// cache and the on-disk sample store. Reusable across runs — the caches
+  /// are fingerprint-keyed.
+  std::string work_dir;
+
+  /// BufferPool budget for the sample store, in pages. 0 = auto
+  /// (SEPRIV_POOL_PAGES, fallback 4); always clamped to >= 2.
+  size_t sample_pool_pages = 0;
+
+  /// Page size of the sample store file. 0 = kSampleStorePageBytes.
+  size_t sample_page_bytes = 0;
+
+  /// Leave <work_dir>/samples.bin behind for inspection instead of deleting
+  /// it when training completes.
+  bool keep_sample_store = false;
+};
+
+/// Algorithm 2 against a (possibly disk-resident) GraphStore: proximities
+/// run shard-at-a-time through the per-shard cache, GS streams through an
+/// on-disk sample store, and epochs page samples through a fixed-budget
+/// buffer pool — resident state is O(|V| + one shard + pool budget), never
+/// O(|E|). Only ProximityKind::kPreferentialAttachment is supported (the
+/// one preference whose oracle state is node-level: the degree vector).
+/// For identical (store contents, config), the returned result — model
+/// bits, loss curve, accounting — is identical to SePrivGEmb::Train() on
+/// the equivalent in-memory graph, for every shard count, thread count,
+/// and pool budget.
+TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
+                           const SePrivGEmbConfig& config,
+                           const OutOfCoreTrainOptions& ooc,
+                           const ProximityOptions& prox_opts = {});
 
 }  // namespace sepriv
 

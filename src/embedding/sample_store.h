@@ -1,0 +1,129 @@
+// Disk-backed subgraph sample store: the out-of-core form of Algorithm 1's
+// pre-collected set GS.
+//
+// A SampleStoreWriter streams fixed-size records — (center, context,
+// edge_index, p_ij weight, k negatives) — into a PageFile as the
+// SubgraphGenerator produces them, so GS never has to be resident. The
+// matching SampleStore is a SampleSource whose shards are the file's data
+// pages, read through a fixed-budget BufferPool: the batch-gradient engine
+// pins one page of samples at a time and prefetches the next, bounding
+// training's sample memory at (pool budget) pages regardless of |E|.
+//
+// Layout (all little-endian, the only architecture the project targets):
+//   page 0        — header words: magic, version, num_samples, k,
+//                   record_bytes, samples_per_page, page_size, checksum
+//                   (FnvDigest of the preceding words).
+//   pages 1..P    — data pages: word 0 = FnvDigest of bytes [8, page_size),
+//                   then samples_per_page records back to back.
+//   record        — u32 center, u32 context, u32 edge_index, u32 k,
+//                   f64 weight, k × u32 negatives, zero-padded to 8 bytes.
+//
+// Every data page is checksum-verified once per disk read (keyed by the
+// pool's load_id, the same discipline as SsdGraphStore), so repeated pins of
+// a resident page cost nothing.
+
+#ifndef SEPRIVGEMB_EMBEDDING_SAMPLE_STORE_H_
+#define SEPRIVGEMB_EMBEDDING_SAMPLE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch_gradient_engine.h"
+#include "embedding/subgraph_sampler.h"
+#include "util/buffer_pool.h"
+#include "util/page_file.h"
+
+namespace sepriv {
+
+/// Default data-page size: large enough that a page amortises its seek over
+/// hundreds of records, small enough that a handful fit in a tight pool.
+inline constexpr size_t kSampleStorePageBytes = size_t{256} * 1024;
+
+/// Bytes of one record for a store with k negatives per sample.
+size_t SampleRecordBytes(size_t negatives_per_sample);
+
+/// Sequential writer. Records must all carry exactly `negatives_per_sample`
+/// negatives (the SubgraphGenerator guarantees this).
+class SampleStoreWriter {
+ public:
+  /// Creates (truncates) `path`. Returns nullptr on I/O failure; aborts if
+  /// `page_size` cannot hold a single record.
+  static std::unique_ptr<SampleStoreWriter> Create(
+      const std::string& path, size_t negatives_per_sample,
+      size_t page_size = kSampleStorePageBytes);
+
+  /// Appends one sample. Returns false on I/O failure (sticky).
+  bool Append(const Subgraph& s, double weight);
+
+  /// Flushes the tail page, publishes the header, and syncs. The store is
+  /// readable only after Finish() returns true. No Appends may follow.
+  bool Finish();
+
+  size_t num_samples() const { return num_samples_; }
+
+ private:
+  SampleStoreWriter(std::unique_ptr<PageFile> file, size_t k);
+
+  std::unique_ptr<PageFile> file_;
+  size_t k_;
+  size_t record_bytes_;
+  size_t samples_per_page_;
+  std::vector<std::byte> page_;   // current data page being filled
+  size_t page_fill_ = 0;          // records in page_
+  size_t num_samples_ = 0;
+  bool failed_ = false;
+  bool finished_ = false;
+};
+
+/// Read side: a SampleSource over the finished file. One shard per data
+/// page; PinShard/Get follow the engine's contract (Get is lock-free reads
+/// of the pinned frame, safe from concurrent pool workers).
+class SampleStore final : public SampleSource {
+ public:
+  /// Opens `path`, validating the header (magic, version, checksum, record
+  /// geometry vs file size). `budget_pages` = 0 resolves SEPRIV_POOL_PAGES
+  /// (fallback 4); the effective budget is clamped to >= 2 so the pinned
+  /// page and a prefetched page can coexist. Returns nullptr on any
+  /// validation or I/O failure.
+  static std::unique_ptr<SampleStore> Open(const std::string& path,
+                                           size_t budget_pages = 0);
+
+  size_t size() const override { return num_samples_; }
+  size_t NegativesCount(uint32_t /*idx*/) const override { return k_; }
+  size_t num_shards() const override { return num_data_pages_; }
+  size_t ShardOf(uint32_t idx) const override {
+    return idx / samples_per_page_;
+  }
+  void PinShard(size_t s) override;
+  void PrefetchShard(size_t s) override;
+  SampleView Get(uint32_t idx) const override;
+
+  size_t negatives_per_sample() const { return k_; }
+  const BufferPool& pool() const { return *pool_; }
+
+ private:
+  SampleStore(std::unique_ptr<PageFile> file, size_t budget_pages,
+              size_t num_samples, size_t k, size_t record_bytes,
+              size_t samples_per_page, size_t num_data_pages);
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  size_t num_samples_;
+  size_t k_;
+  size_t record_bytes_;
+  size_t samples_per_page_;
+  size_t num_data_pages_;
+
+  BufferPool::PageHandle pinned_;
+  size_t pinned_shard_ = SIZE_MAX;
+  /// load_id of the last checksum-verified read of each data page; a pin
+  /// whose load_id matches skips re-verification (same bytes, proven).
+  std::vector<uint64_t> verified_load_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EMBEDDING_SAMPLE_STORE_H_

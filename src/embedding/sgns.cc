@@ -20,14 +20,25 @@ double ComputeSgnsGradientInto(const SkipGramModel& model, const Subgraph& s,
                                std::span<double> center_grad,
                                std::span<NodeId> context_nodes,
                                std::span<double> context_grads) {
+  return ComputeSgnsGradientInto(model, s.center, s.context, s.negatives,
+                                 w_pos, w_neg, center_grad, context_nodes,
+                                 context_grads);
+}
+
+double ComputeSgnsGradientInto(const SkipGramModel& model, NodeId center,
+                               NodeId context,
+                               std::span<const NodeId> negatives, double w_pos,
+                               double w_neg, std::span<double> center_grad,
+                               std::span<NodeId> context_nodes,
+                               std::span<double> context_grads) {
   const size_t dim = model.dim();
-  const size_t contexts = s.negatives.size() + 1;
+  const size_t contexts = negatives.size() + 1;
   SEPRIV_DCHECK(center_grad.size() == dim);
   SEPRIV_DCHECK(context_nodes.size() >= contexts);
   SEPRIV_DCHECK(context_grads.size() >= contexts * dim);
 
   for (size_t d = 0; d < dim; ++d) center_grad[d] = 0.0;
-  const auto vi = model.w_in.Row(s.center);
+  const auto vi = model.w_in.Row(center);
 
   double loss = 0.0;
   auto accumulate = [&](size_t slot, NodeId ctx, double indicator,
@@ -47,9 +58,9 @@ double ComputeSgnsGradientInto(const SkipGramModel& model, const Subgraph& s,
     }
   };
 
-  accumulate(0, s.context, 1.0, w_pos);
-  for (size_t k = 0; k < s.negatives.size(); ++k) {
-    accumulate(k + 1, s.negatives[k], 0.0, w_neg);
+  accumulate(0, context, 1.0, w_pos);
+  for (size_t k = 0; k < negatives.size(); ++k) {
+    accumulate(k + 1, negatives[k], 0.0, w_neg);
   }
   return loss;
 }

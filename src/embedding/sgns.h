@@ -56,6 +56,17 @@ double ComputeSgnsGradientInto(const SkipGramModel& model, const Subgraph& s,
                                std::span<NodeId> context_nodes,
                                std::span<double> context_grads);
 
+/// The same computation on a raw (center, context, negatives) triple — the
+/// sample-source form used when the Subgraph is not materialised (samples
+/// streamed from a disk store). The Subgraph overload delegates here, so the
+/// two entry points cannot drift.
+double ComputeSgnsGradientInto(const SkipGramModel& model, NodeId center,
+                               NodeId context,
+                               std::span<const NodeId> negatives, double w_pos,
+                               double w_neg, std::span<double> center_grad,
+                               std::span<NodeId> context_nodes,
+                               std::span<double> context_grads);
+
 /// Plain (non-private) SGD step on one subgraph; returns the loss before the
 /// update. Used by the SE-GEmb non-private counterpart's fast path and by
 /// convergence tests.

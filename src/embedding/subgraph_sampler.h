@@ -3,6 +3,14 @@
 // k uniformly drawn negative nodes that are non-adjacent to the center.
 // Collecting samples before training (footnote 2) makes the epoch-level
 // subsampling rate exactly B/|E| for the privacy amplification analysis.
+//
+// The per-edge construction is factored into SubgraphGenerator, driven by an
+// AdjacencyOracle, so the out-of-core pipeline can stream edges from a
+// sharded store and write each Subgraph to disk without ever materialising
+// GS. SubgraphSampler (the resident form) is a thin loop over the generator;
+// for a fixed (seed, orientation, exclude_neighbors, negatives) and the same
+// edge order, both produce the identical RNG stream and hence identical
+// samples.
 
 #ifndef SEPRIVGEMB_EMBEDDING_SUBGRAPH_SAMPLER_H_
 #define SEPRIVGEMB_EMBEDDING_SUBGRAPH_SAMPLER_H_
@@ -29,6 +37,54 @@ enum class EdgeOrientation {
   kRandom,     // uniform coin per edge; avoids systematic low-id bias
 };
 
+/// The adjacency questions Algorithm 1 asks — the only graph access the
+/// generator needs, so an out-of-core store can answer from a pinned shard.
+class AdjacencyOracle {
+ public:
+  virtual ~AdjacencyOracle() = default;
+  virtual size_t num_nodes() const = 0;
+  /// Whether the undirected edge {u, v} exists. Called with u = a sample's
+  /// center, so shard-aware implementations should keep u's shard pinned.
+  virtual bool HasEdge(NodeId u, NodeId v) const = 0;
+};
+
+/// Oracle over a resident Graph.
+class GraphAdjacencyOracle final : public AdjacencyOracle {
+ public:
+  explicit GraphAdjacencyOracle(const Graph& graph) : graph_(graph) {}
+  size_t num_nodes() const override { return graph_.num_nodes(); }
+  bool HasEdge(NodeId u, NodeId v) const override {
+    return graph_.HasEdge(u, v);
+  }
+
+ private:
+  const Graph& graph_;
+};
+
+/// Streaming form of Algorithm 1: call Next() once per canonical edge, in
+/// edge-index order, and it emits that edge's Subgraph while advancing the
+/// single sampler RNG stream exactly as SubgraphSampler's bulk construction
+/// does.
+class SubgraphGenerator {
+ public:
+  SubgraphGenerator(const AdjacencyOracle& oracle, int negatives_per_edge,
+                    uint64_t seed,
+                    EdgeOrientation orientation = EdgeOrientation::kRandom,
+                    bool exclude_neighbors = true);
+
+  /// Builds the sample for edge {u, v} with index `edge_index`. `out` is
+  /// overwritten (its negatives vector is reused — no per-call allocation
+  /// once warm).
+  void Next(NodeId u, NodeId v, uint32_t edge_index, Subgraph& out);
+
+ private:
+  const AdjacencyOracle& oracle_;
+  int negatives_per_edge_;
+  EdgeOrientation orientation_;
+  bool exclude_neighbors_;
+  Rng rng_;
+};
+
 /// Materialises GS = {S_1, ..., S_|E|}.
 class SubgraphSampler {
  public:
@@ -50,6 +106,13 @@ class SubgraphSampler {
  private:
   std::vector<Subgraph> subgraphs_;
 };
+
+/// The batch-subsampling step alone: a uniform min(batch_size, population)-
+/// subset of [0, population) without replacement. SubgraphSampler::SampleBatch
+/// delegates here; out-of-core trainers call it directly with the sample
+/// store's size (identical RNG stream, so identical batches).
+std::vector<uint32_t> SampleBatchIndices(size_t population, size_t batch_size,
+                                         Rng& rng);
 
 }  // namespace sepriv
 

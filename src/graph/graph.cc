@@ -9,31 +9,33 @@
 namespace sepriv {
 
 Graph Graph::FromEdges(size_t num_nodes, std::vector<Edge> edges) {
-  // Canonicalise: drop self-loops, order endpoints, dedupe.
-  std::vector<Edge> canon;
-  canon.reserve(edges.size());
+  // Canonicalise IN PLACE: drop self-loops, order endpoints, dedupe. The
+  // compact-sort-unique runs on the caller's buffer, so peak memory at load
+  // is one edge list, not two.
+  size_t kept = 0;
   NodeId max_node = 0;
   for (const Edge& e : edges) {
     if (e.u == e.v) continue;  // simple graph: no self-loops (paper §VI-A)
     const Edge c{std::min(e.u, e.v), std::max(e.u, e.v)};
     max_node = std::max(max_node, c.v);
-    canon.push_back(c);
+    edges[kept++] = c;
   }
-  std::sort(canon.begin(), canon.end(), [](const Edge& a, const Edge& b) {
+  edges.resize(kept);
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
     return a.u != b.u ? a.u < b.u : a.v < b.v;
   });
-  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
   size_t n = num_nodes;
   if (n == 0) {
-    n = canon.empty() ? 0 : static_cast<size_t>(max_node) + 1;
+    n = edges.empty() ? 0 : static_cast<size_t>(max_node) + 1;
   } else {
-    SEPRIV_CHECK(canon.empty() || static_cast<size_t>(max_node) < n,
+    SEPRIV_CHECK(edges.empty() || static_cast<size_t>(max_node) < n,
                  "edge endpoint %u out of range for %zu nodes", max_node, n);
   }
 
   Graph g;
-  g.edges_ = std::move(canon);
+  g.edges_ = std::move(edges);
   g.offsets_.assign(n + 1, 0);
   for (const Edge& e : g.edges_) {
     ++g.offsets_[e.u + 1];

@@ -67,6 +67,11 @@ class Graph {
   /// Canonical edge list, each edge once with u < v, sorted lexicographically.
   const std::vector<Edge>& Edges() const { return edges_; }
 
+  /// Raw CSR arrays (offsets size |V|+1, adjacency size 2|E|). The sharding
+  /// layer slices these directly; other callers should prefer Neighbors().
+  std::span<const size_t> OffsetArray() const { return offsets_; }
+  std::span<const NodeId> AdjacencyArray() const { return adjacency_; }
+
   /// Number of common neighbours of u and v (sorted-list intersection).
   size_t CommonNeighborCount(NodeId u, NodeId v) const;
 

@@ -8,10 +8,12 @@
 #ifndef SEPRIVGEMB_GRAPH_IO_H_
 #define SEPRIVGEMB_GRAPH_IO_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
 #include "graph/graph.h"
+#include "graph/shard.h"
 
 namespace sepriv {
 
@@ -22,6 +24,24 @@ namespace sepriv {
 /// order.
 std::optional<Graph> ReadEdgeList(const std::string& path,
                                   bool remap_ids = false);
+
+/// Streaming ingest: parses `path` (same strict line semantics and remap
+/// numbering as ReadEdgeList) directly into a shard directory, WITHOUT ever
+/// materialising the full edge list. Pass 1 streams the file for per-node
+/// raw degree counts; pass 2 re-streams it once per node group, where a
+/// group's working set (its raw adjacency entries) is sized to
+/// `bytes_budget`, so edge-level memory stays bounded no matter how large
+/// the file is (node-level O(|V|) state — degrees, remap table — remains).
+/// Shard ranges are balanced by raw adjacency counts, so with duplicate
+/// edges the balance is approximate and the shard count may exceed
+/// `num_shards` when the budget forces more groups than shards.
+/// The resulting directory is equivalent to
+/// WriteGraphShards(*ReadEdgeList(path), ...) up to shard boundaries: same
+/// manifest graph_fingerprint, and MaterializeGraph reproduces the graph
+/// exactly. Returns the manifest, or nullopt on I/O or parse failure.
+std::optional<ShardManifest> ReadEdgeListToShards(
+    const std::string& path, const std::string& out_dir, size_t num_shards,
+    bool remap_ids = false, size_t bytes_budget = size_t{64} << 20);
 
 /// Writes the canonical edge list ("u v" per line). Returns false on failure.
 bool WriteEdgeList(const Graph& graph, const std::string& path);

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "graph/graph.h"
 #include "proximity/proximity.h"
@@ -56,6 +57,36 @@ class PreferentialAttachmentProximity : public ProximityProvider {
 
  private:
   const Graph& graph_;
+  double inv_two_m_;
+};
+
+/// PreferentialAttachmentProximity computed from a degree vector instead of
+/// a resident Graph — the out-of-core pipeline's form of the "degree"
+/// preference, which is the one preference whose oracle state is node-level
+/// (O(|V|) degrees) rather than edge-level. Name() and the At() arithmetic
+/// match PreferentialAttachmentProximity exactly (same products, same
+/// 1/2|E| factor), so proximities, cache keys, and training digests are
+/// bit-identical between the two providers.
+class DegreeVectorProximity : public ProximityProvider {
+ public:
+  DegreeVectorProximity(std::vector<double> degrees, size_t num_edges)
+      : degrees_(std::make_shared<const std::vector<double>>(
+            std::move(degrees))),
+        inv_two_m_(num_edges > 0 ? 0.5 / static_cast<double>(num_edges)
+                                 : 0.0) {}
+
+  std::string Name() const override { return "degree"; }
+  double At(NodeId i, NodeId j) const override {
+    return (*degrees_)[i] * (*degrees_)[j] * inv_two_m_;
+  }
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::unique_ptr<ProximityProvider>(new DegreeVectorProximity(*this));
+  }
+
+ private:
+  DegreeVectorProximity(const DegreeVectorProximity&) = default;
+
+  std::shared_ptr<const std::vector<double>> degrees_;  // shared by clones
   double inv_two_m_;
 };
 

@@ -9,6 +9,33 @@
 
 namespace sepriv {
 
+void ProximityFinalizer::Accumulate(double p) {
+  SEPRIV_CHECK(!sealed_, "ProximityFinalizer::Accumulate after Seal");
+  if (count_ == 0) min_pos_ = std::numeric_limits<double>::infinity();
+  ++count_;
+  if (p > 0.0) {
+    min_pos_ = std::min(min_pos_, p);
+  } else {
+    has_nonpositive_ = true;
+  }
+  max_val_ = std::max(max_val_, p);
+}
+
+void ProximityFinalizer::Seal() {
+  SEPRIV_CHECK(!sealed_, "ProximityFinalizer sealed twice");
+  sealed_ = true;
+  if (count_ == 0) return;  // empty table: all-zero summary, like the legacy path
+  // Floor zero proximities (possible for sampled estimators) at half the
+  // smallest positive value so no edge is silently dropped from the loss.
+  double min_pos = min_pos_;
+  if (!std::isfinite(min_pos)) min_pos = 1.0;  // fully degenerate provider
+  floor_ = 0.5 * min_pos;
+  min_positive_ = has_nonpositive_ ? floor_ : min_pos;
+  max_value_ = std::max(max_val_, min_positive_);
+  inv_max_ = 1.0 / max_value_;
+  normalized_min_positive_ = min_positive_ * inv_max_;
+}
+
 EdgeProximity FinalizeEdgeProximities(const std::vector<double>& forward,
                                       const std::vector<double>& backward) {
   SEPRIV_CHECK(forward.size() == backward.size(),
@@ -16,30 +43,22 @@ EdgeProximity FinalizeEdgeProximities(const std::vector<double>& forward,
                forward.size(), backward.size());
   EdgeProximity out;
   if (forward.empty()) return out;
-  out.values.reserve(forward.size());
 
-  double min_pos = std::numeric_limits<double>::infinity();
-  double max_val = 0.0;
+  ProximityFinalizer fin;
+  for (size_t e = 0; e < forward.size(); ++e)
+    fin.Accumulate(0.5 * (forward[e] + backward[e]));
+  fin.Seal();
+
+  out.values.resize(forward.size());
+  out.normalized.resize(forward.size());
   for (size_t e = 0; e < forward.size(); ++e) {
     const double p = 0.5 * (forward[e] + backward[e]);
-    out.values.push_back(p);
-    if (p > 0.0) min_pos = std::min(min_pos, p);
-    max_val = std::max(max_val, p);
+    out.values[e] = fin.Value(p);
+    out.normalized[e] = fin.Normalized(p);
   }
-  // Floor zero proximities (possible for sampled estimators) at half the
-  // smallest positive value so no edge is silently dropped from the loss.
-  if (!std::isfinite(min_pos)) min_pos = 1.0;  // fully degenerate provider
-  for (double& p : out.values) {
-    if (p <= 0.0) p = 0.5 * min_pos;
-  }
-  out.min_positive = *std::min_element(out.values.begin(), out.values.end());
-  out.max_value = std::max(max_val, out.min_positive);
-
-  out.normalized.resize(out.values.size());
-  const double inv_max = 1.0 / out.max_value;
-  for (size_t e = 0; e < out.values.size(); ++e)
-    out.normalized[e] = out.values[e] * inv_max;
-  out.normalized_min_positive = out.min_positive * inv_max;
+  out.min_positive = fin.min_positive();
+  out.max_value = fin.max_value();
+  out.normalized_min_positive = fin.normalized_min_positive();
   return out;
 }
 

@@ -94,6 +94,45 @@ struct EdgeProximity {
 EdgeProximity ComputeEdgeProximities(const Graph& graph,
                                      const ProximityProvider& provider);
 
+/// Streaming form of the finalisation arithmetic: Accumulate every symmetric
+/// edge proximity (pass 1), Seal, then map each value through Value() /
+/// Normalized() (pass 2). FinalizeEdgeProximities is implemented on top of
+/// this class, and the sharded/out-of-core proximity passes — which never
+/// hold the full edge table in memory — stream through it directly, so the
+/// two pipelines floor, clamp, and scale with bit-identical arithmetic.
+class ProximityFinalizer {
+ public:
+  /// Pass 1: feed the symmetric proximity of every edge, in any order.
+  void Accumulate(double p);
+
+  /// Freezes the floor and scale. Accumulate must not be called afterwards.
+  void Seal();
+
+  /// Pass 2 (after Seal): the floored edge value, exactly as stored in
+  /// EdgeProximity::values.
+  double Value(double p) const { return p <= 0.0 ? floor_ : p; }
+
+  /// Pass 2 (after Seal): the max-scaled value (EdgeProximity::normalized).
+  double Normalized(double p) const { return Value(p) * inv_max_; }
+
+  size_t count() const { return count_; }
+  double min_positive() const { return min_positive_; }
+  double max_value() const { return max_value_; }
+  double normalized_min_positive() const { return normalized_min_positive_; }
+
+ private:
+  size_t count_ = 0;
+  bool has_nonpositive_ = false;
+  bool sealed_ = false;
+  double min_pos_ = 0.0;  // running min over positive inputs (inf-init)
+  double max_val_ = 0.0;
+  double floor_ = 0.0;
+  double min_positive_ = 0.0;
+  double max_value_ = 0.0;
+  double inv_max_ = 1.0;
+  double normalized_min_positive_ = 0.0;
+};
+
 /// Shared tail of ComputeEdgeProximities and ParallelEdgeProximities:
 /// symmetrises the per-edge forward/backward passes, floors zero values,
 /// records min/max, and normalises. Kept common so the serial and parallel

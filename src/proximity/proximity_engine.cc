@@ -416,4 +416,261 @@ std::string ProximityCacheDirFromEnv() {
   return GetStringEnv("SEPRIV_PROXIMITY_CACHE");
 }
 
+// ---------------------------------------------------------------------------
+// Shard-granular proximity passes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kShardCacheMagic = 0x53505853;  // "SPXS"
+constexpr uint32_t kShardCacheVersion = 1;
+
+/// One shard's canonical edges materialised for the parallel passes:
+/// edge-level memory for ONE shard only, the bound the out-of-core layer is
+/// built around.
+std::vector<Edge> ShardEdgeList(const ShardView& view) {
+  std::vector<Edge> edges;
+  edges.reserve(view.edge_count);
+  view.ForEachEdge([&edges](size_t, NodeId u, NodeId v) {
+    edges.push_back({u, v});
+  });
+  return edges;
+}
+
+std::string ShardCacheFilePath(const std::string& cache_root,
+                               uint64_t graph_fingerprint, size_t shard_index,
+                               uint64_t shard_fingerprint,
+                               const std::string& provider_name,
+                               const ProximityOptions& opts) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/shard_%zu_%016llx.bin", shard_index,
+                static_cast<unsigned long long>(shard_fingerprint));
+  return cache_root + "/" +
+         ShardProximityCacheDirName(graph_fingerprint, provider_name, opts) +
+         buf;
+}
+
+}  // namespace
+
+ShardProximity ComputeShardProximities(const ShardView& view,
+                                       const ProximityProvider& provider,
+                                       ThreadPool& pool) {
+  const std::vector<Edge> edges = ShardEdgeList(view);
+  const size_t m = edges.size();
+  ShardProximity out;
+  out.forward.resize(m);
+  out.backward.resize(m);
+  if (m == 0) return out;
+
+  const size_t threads = pool.num_threads();
+  if (threads <= 1 || m < 2) {
+    // Serial path, identical visit discipline to ComputeEdgeProximities:
+    // forward grouped by u (the natural order), backward grouped by v.
+    for (size_t e = 0; e < m; ++e)
+      out.forward[e] = provider.At(edges[e].u, edges[e].v);
+    std::vector<size_t> by_v(m);
+    for (size_t e = 0; e < m; ++e) by_v[e] = e;
+    std::sort(by_v.begin(), by_v.end(), [&edges](size_t a, size_t b) {
+      return edges[a].v != edges[b].v ? edges[a].v < edges[b].v
+                                      : edges[a].u < edges[b].u;
+    });
+    for (size_t idx : by_v)
+      out.backward[idx] = provider.At(edges[idx].v, edges[idx].u);
+    return out;
+  }
+
+  std::vector<size_t> by_v(m);
+  for (size_t e = 0; e < m; ++e) by_v[e] = e;
+  std::sort(by_v.begin(), by_v.end(), [&edges](size_t a, size_t b) {
+    return edges[a].v != edges[b].v ? edges[a].v < edges[b].v
+                                    : edges[a].u < edges[b].u;
+  });
+
+  const size_t target_shards = threads * 4;
+  ClonePool clones(provider, threads);
+
+  const auto fwd_shards = AlignedShards(
+      m, target_shards, [&edges](size_t e) { return edges[e].u; });
+  RunPass(fwd_shards, clones, pool,
+          [&](const ProximityProvider& p, size_t i) {
+            out.forward[i] = p.At(edges[i].u, edges[i].v);
+          });
+
+  const auto bwd_shards = AlignedShards(
+      m, target_shards, [&](size_t e) { return edges[by_v[e]].v; });
+  RunPass(bwd_shards, clones, pool,
+          [&](const ProximityProvider& p, size_t i) {
+            const size_t idx = by_v[i];
+            out.backward[idx] = p.At(edges[idx].v, edges[idx].u);
+          });
+
+  return out;
+}
+
+std::string ShardProximityCacheDirName(uint64_t graph_fingerprint,
+                                       const std::string& provider_name,
+                                       const ProximityOptions& opts) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "proxshard_%016llx_%016llx",
+                static_cast<unsigned long long>(graph_fingerprint),
+                static_cast<unsigned long long>(
+                    CacheKeyHash(provider_name, opts)));
+  return buf;
+}
+
+bool SaveShardProximityCache(const std::string& cache_root,
+                             uint64_t graph_fingerprint, size_t shard_index,
+                             uint64_t shard_fingerprint,
+                             const std::string& provider_name,
+                             const ProximityOptions& opts,
+                             const ShardProximity& prox) {
+  if (cache_root.empty()) return false;
+  if (prox.forward.size() != prox.backward.size()) return false;
+  const std::string path =
+      ShardCacheFilePath(cache_root, graph_fingerprint, shard_index,
+                         shard_fingerprint, provider_name, opts);
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);  // best effort
+
+  std::string blob;
+  blob.reserve(96 + provider_name.size() +
+               2 * prox.forward.size() * sizeof(double));
+  AppendPod(blob, kShardCacheMagic);
+  AppendPod(blob, kShardCacheVersion);
+  AppendPod(blob, graph_fingerprint);
+  AppendPod(blob, static_cast<uint64_t>(shard_index));
+  AppendPod(blob, shard_fingerprint);
+  AppendPod(blob, static_cast<uint64_t>(prox.forward.size()));
+  for (uint64_t word : OptionWords(opts)) AppendPod(blob, word);
+  AppendPod(blob, static_cast<uint32_t>(provider_name.size()));
+  blob.append(provider_name);
+  AppendDoubles(blob, prox.forward);
+  AppendDoubles(blob, prox.backward);
+  AppendPod(blob, DigestBytes(blob.data(), blob.size()));
+
+  char tmp_suffix[32];
+  std::snprintf(tmp_suffix, sizeof(tmp_suffix), ".tmp.%ld",
+                static_cast<long>(::getpid()));
+  const std::string tmp_path = path + tmp_suffix;
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<ShardProximity> LoadShardProximityCache(
+    const std::string& cache_root, uint64_t graph_fingerprint,
+    size_t shard_index, uint64_t shard_fingerprint,
+    const std::string& provider_name, const ProximityOptions& opts,
+    size_t edge_count) {
+  if (cache_root.empty()) return std::nullopt;
+  const std::string path =
+      ShardCacheFilePath(cache_root, graph_fingerprint, shard_index,
+                         shard_fingerprint, provider_name, opts);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+
+  if (blob.size() < sizeof(uint64_t)) return std::nullopt;
+  const size_t payload_len = blob.size() - sizeof(uint64_t);
+  uint64_t stored_digest = 0;
+  std::memcpy(&stored_digest, blob.data() + payload_len, sizeof(uint64_t));
+  if (DigestBytes(blob.data(), payload_len) != stored_digest)
+    return std::nullopt;
+
+  ByteReader reader(blob.data(), payload_len);
+  uint32_t magic = 0, version = 0, name_len = 0;
+  uint64_t graph_fp = 0, idx = 0, shard_fp = 0, count = 0;
+  std::string name;
+  if (!reader.Read(&magic) || magic != kShardCacheMagic) return std::nullopt;
+  if (!reader.Read(&version) || version != kShardCacheVersion)
+    return std::nullopt;
+  if (!reader.Read(&graph_fp) || graph_fp != graph_fingerprint)
+    return std::nullopt;
+  if (!reader.Read(&idx) || idx != shard_index) return std::nullopt;
+  // The shard fingerprint is verified from the HEADER, not just the file
+  // name: a file renamed or hash-colliding into place still cannot serve
+  // stale data for a changed shard.
+  if (!reader.Read(&shard_fp) || shard_fp != shard_fingerprint)
+    return std::nullopt;
+  if (!reader.Read(&count) || count != edge_count) return std::nullopt;
+  for (uint64_t expected : OptionWords(opts)) {
+    uint64_t stored = 0;
+    if (!reader.Read(&stored) || stored != expected) return std::nullopt;
+  }
+  if (!reader.Read(&name_len) || !reader.ReadString(name_len, &name) ||
+      name != provider_name) {
+    return std::nullopt;
+  }
+
+  ShardProximity out;
+  if (!reader.ReadDoubles(edge_count, &out.forward) ||
+      !reader.ReadDoubles(edge_count, &out.backward) || !reader.AtEnd()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+ShardProximity CachedShardProximities(const ShardView& view,
+                                      size_t shard_index,
+                                      uint64_t graph_fingerprint,
+                                      const ProximityProvider& provider,
+                                      const ProximityOptions& opts,
+                                      ThreadPool& pool,
+                                      const std::string& cache_root) {
+  const uint64_t shard_fp = ShardFingerprint(view);
+  if (!cache_root.empty()) {
+    if (auto cached = LoadShardProximityCache(
+            cache_root, graph_fingerprint, shard_index, shard_fp,
+            provider.Name(), opts, view.edge_count)) {
+      return std::move(*cached);
+    }
+  }
+  ShardProximity prox = ComputeShardProximities(view, provider, pool);
+  if (!cache_root.empty() && !prox.forward.empty()) {
+    SaveShardProximityCache(cache_root, graph_fingerprint, shard_index,
+                            shard_fp, provider.Name(), opts, prox);
+  }
+  return prox;
+}
+
+EdgeProximity ShardedEdgeProximities(GraphStore& store,
+                                     const ProximityProvider& provider,
+                                     const ProximityOptions& opts,
+                                     ThreadPool& pool,
+                                     const std::string& cache_root) {
+  const size_t m = store.num_edges();
+  std::vector<double> forward(m), backward(m);
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    store.Prefetch(s + 1);
+    const PinnedShard pin = store.Pin(s);
+    const ShardView& view = pin.view();
+    const ShardProximity sp = CachedShardProximities(
+        view, s, store.fingerprint(), provider, opts, pool, cache_root);
+    SEPRIV_CHECK(sp.forward.size() == view.edge_count,
+                 "shard %zu proximity size %zu != edge count %zu", s,
+                 sp.forward.size(), view.edge_count);
+    std::copy(sp.forward.begin(), sp.forward.end(),
+              forward.begin() + static_cast<ptrdiff_t>(view.edge_begin));
+    std::copy(sp.backward.begin(), sp.backward.end(),
+              backward.begin() + static_cast<ptrdiff_t>(view.edge_begin));
+  }
+  return FinalizeEdgeProximities(forward, backward);
+}
+
 }  // namespace sepriv

@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "graph/graph.h"
+#include "graph/shard.h"
 #include "proximity/proximity.h"
 #include "util/thread_pool.h"
 
@@ -98,6 +100,78 @@ EdgeProximity CachedEdgeProximities(const Graph& graph,
 /// process-wide default cache directory used when no explicit path is
 /// configured, so test/bench sweeps opt in without code changes.
 std::string ProximityCacheDirFromEnv();
+
+// ---------------------------------------------------------------------------
+// Shard-granular proximity passes (the out-of-core pipeline)
+// ---------------------------------------------------------------------------
+
+/// Raw directional proximities of ONE shard's canonical edges, rebased to
+/// [0, edge_count): forward[k] = At(u, v), backward[k] = At(v, u). The
+/// global floor/scale reduction is deliberately absent — it needs every
+/// shard, and ProximityFinalizer streams it without holding them.
+struct ShardProximity {
+  std::vector<double> forward;
+  std::vector<double> backward;
+};
+
+/// Evaluates the provider on one shard's edges using the pool's workers
+/// (same shard-by-source-node decomposition as ParallelEdgeProximities).
+/// Per-edge values are bit-identical to the whole-graph passes: At() is pure
+/// in (i, j), and the visit set for this edge range is the same.
+ShardProximity ComputeShardProximities(const ShardView& view,
+                                       const ProximityProvider& provider,
+                                       ThreadPool& pool);
+
+/// Directory (no root) a graph+provider+options' per-shard cache entries
+/// live under: "proxshard_<graph-fingerprint>_<key-hash>". The GRAPH
+/// fingerprint is part of the directory identity, so entries can never be
+/// reused across graphs; the per-shard file name and header then carry the
+/// SHARD fingerprint, so within one graph a stale or foreign shard file is
+/// a miss for exactly that shard — the others stay warm.
+std::string ShardProximityCacheDirName(uint64_t graph_fingerprint,
+                                       const std::string& provider_name,
+                                       const ProximityOptions& opts);
+
+/// Saves one shard's table under cache_root (subdirectory created on
+/// demand), write-to-temp + atomic rename. Returns false on I/O failure.
+bool SaveShardProximityCache(const std::string& cache_root,
+                             uint64_t graph_fingerprint, size_t shard_index,
+                             uint64_t shard_fingerprint,
+                             const std::string& provider_name,
+                             const ProximityOptions& opts,
+                             const ShardProximity& prox);
+
+/// Loads one shard's table; nullopt — never stale data — when missing,
+/// truncated, checksum-corrupt, the wrong format version, or keyed to a
+/// different graph/shard/provider/options/edge-count.
+std::optional<ShardProximity> LoadShardProximityCache(
+    const std::string& cache_root, uint64_t graph_fingerprint,
+    size_t shard_index, uint64_t shard_fingerprint,
+    const std::string& provider_name, const ProximityOptions& opts,
+    size_t edge_count);
+
+/// Cache-through per-shard pass: load when valid, else compute on `pool`
+/// and save. Empty cache_root disables caching.
+ShardProximity CachedShardProximities(const ShardView& view,
+                                      size_t shard_index,
+                                      uint64_t graph_fingerprint,
+                                      const ProximityProvider& provider,
+                                      const ProximityOptions& opts,
+                                      ThreadPool& pool,
+                                      const std::string& cache_root);
+
+/// Whole-table front end over the sharded passes: iterates the store's
+/// shards SEQUENTIALLY (prefetching shard s+1 while computing shard s, so at
+/// most two shards are resident), then runs the shared finalisation.
+/// Bit-identical to ComputeEdgeProximities / ParallelEdgeProximities on the
+/// equivalent graph for every shard count, thread count, and cache state.
+/// Note the returned table is O(|E|) — out-of-core consumers stream through
+/// CachedShardProximities + ProximityFinalizer instead.
+EdgeProximity ShardedEdgeProximities(GraphStore& store,
+                                     const ProximityProvider& provider,
+                                     const ProximityOptions& opts,
+                                     ThreadPool& pool,
+                                     const std::string& cache_root);
 
 }  // namespace sepriv
 

@@ -1,0 +1,179 @@
+#include "util/buffer_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/env.h"
+
+namespace sepriv {
+
+BufferPool::BufferPool(const PageFile& file, size_t budget_pages)
+    : file_(file) {
+  budget_pages = std::max<size_t>(1, budget_pages);
+  frames_.resize(budget_pages);
+  for (Frame& f : frames_) f.buf.resize(file_.page_size());
+  page_to_frame_.reserve(budget_pages);
+  prefetcher_ = std::thread([this] { PrefetchLoop(); });
+}
+
+BufferPool::~BufferPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  prefetcher_.join();
+}
+
+size_t BufferPool::ClaimFrameLocked(size_t page) {
+  size_t victim = kNoFrame;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pins > 0 || f.loading) continue;
+    if (f.page == kNoPage) {  // empty frame: take it immediately
+      victim = i;
+      break;
+    }
+    if (victim == kNoFrame || f.last_use < frames_[victim].last_use) {
+      victim = i;  // LRU among unpinned resident frames
+    }
+  }
+  if (victim == kNoFrame) return kNoFrame;
+  Frame& f = frames_[victim];
+  if (f.page != kNoPage) {
+    page_to_frame_.erase(f.page);
+    ++stats_.evictions;
+  }
+  f.page = page;
+  f.loading = true;
+  f.failed = false;
+  page_to_frame_.emplace(page, victim);
+  return victim;
+}
+
+void BufferPool::FinishLoadLocked(size_t frame, bool ok) {
+  Frame& f = frames_[frame];
+  f.loading = false;
+  f.failed = !ok;
+  if (ok) f.load_id = ++load_counter_;
+  if (!ok) {
+    // Leave no mapping to a garbage frame; the next Pin retries the read.
+    page_to_frame_.erase(f.page);
+    f.page = kNoPage;
+  }
+  frame_cv_.notify_all();
+}
+
+BufferPool::PageHandle BufferPool::Pin(size_t page) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = page_to_frame_.find(page);
+    if (it != page_to_frame_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.loading) {
+        // A prefetch (or another Pin) is reading this page right now; wait
+        // for the read instead of issuing a duplicate one.
+        frame_cv_.wait(lock);
+        continue;  // re-resolve: the load may have failed
+      }
+      ++f.pins;
+      f.last_use = ++tick_;
+      ++stats_.hits;
+      return PageHandle(this, it->second, f.buf.data(), page, f.load_id);
+    }
+
+    const size_t frame = ClaimFrameLocked(page);
+    if (frame == kNoFrame) {
+      // Every frame is pinned or mid-load. If anything is loading, a frame
+      // will free up; waiting is correct. If everything is *pinned*, the
+      // caller holds more handles than the budget — a usage bug.
+      const bool any_loading = std::any_of(
+          frames_.begin(), frames_.end(),
+          [](const Frame& f) { return f.loading; });
+      SEPRIV_CHECK(any_loading,
+                   "buffer pool over-pinned: all %zu frames hold live pins "
+                   "(raise the budget or drop handles before pinning more)",
+                   frames_.size());
+      frame_cv_.wait(lock);
+      continue;
+    }
+
+    ++stats_.misses;
+    lock.unlock();
+    const bool ok = file_.ReadPage(page, frames_[frame].buf.data());
+    lock.lock();
+    FinishLoadLocked(frame, ok);
+    if (!ok) return PageHandle();  // invalid handle: read failure
+    Frame& f = frames_[frame];
+    ++f.pins;
+    f.last_use = ++tick_;
+    return PageHandle(this, frame, f.buf.data(), page, f.load_id);
+  }
+}
+
+void BufferPool::Prefetch(size_t page) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || page >= file_.num_pages() ||
+        page_to_frame_.count(page) != 0 ||
+        std::find(prefetch_queue_.begin(), prefetch_queue_.end(), page) !=
+            prefetch_queue_.end()) {
+      ++stats_.prefetch_dropped;
+      return;
+    }
+    prefetch_queue_.push_back(page);
+  }
+  work_cv_.notify_one();
+}
+
+void BufferPool::PrefetchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !prefetch_queue_.empty(); });
+    if (stop_) return;
+    const size_t page = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    if (page_to_frame_.count(page) != 0) {
+      ++stats_.prefetch_dropped;  // became resident since the hint
+      continue;
+    }
+    const size_t frame = ClaimFrameLocked(page);
+    if (frame == kNoFrame) {
+      ++stats_.prefetch_dropped;  // pool saturated with pins: hint dropped
+      continue;
+    }
+    lock.unlock();
+    const bool ok = file_.ReadPage(page, frames_[frame].buf.data());
+    lock.lock();
+    FinishLoadLocked(frame, ok);
+    if (ok) ++stats_.prefetch_loads;
+  }
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame];
+  SEPRIV_CHECK(f.pins > 0, "unpin of an unpinned frame");
+  --f.pins;
+  // No notify needed for eviction (scans find the frame), but a Pin may be
+  // waiting for *any* frame to become evictable.
+  if (f.pins == 0) frame_cv_.notify_all();
+}
+
+void BufferPool::PageHandle::Release() {
+  if (pool_ != nullptr && data_ != nullptr) pool_->Unpin(frame_);
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BufferPool::BudgetFromEnv(size_t fallback) {
+  return ParseSizeEnv("SEPRIV_POOL_PAGES", /*max=*/1u << 20, fallback,
+                      /*zero_means_fallback=*/true);
+}
+
+}  // namespace sepriv

@@ -1,0 +1,162 @@
+// Fixed-budget buffer pool over a PageFile, with asynchronous prefetch.
+//
+// The pool owns `budget` page-sized frames — the hard memory ceiling of the
+// out-of-core layer; it NEVER allocates a frame beyond the budget. Pages are
+// pinned for reading (Pin blocks on a miss, reading from disk into an
+// LRU-evicted frame) and released by dropping the returned handle. Unpinned
+// frames stay resident as a cache; eviction is least-recently-used among
+// unpinned frames only, so a pinned page can never be stolen mid-read.
+//
+// Prefetch(page) is a non-blocking hint serviced by one background thread:
+// it loads the page into a free/evictable frame so the next Pin is a cache
+// hit, hiding the SSD latency behind the caller's compute. Hints are
+// best-effort — dropped when the page is already resident, already queued,
+// or every frame is pinned — and never change what Pin returns, only how
+// fast it returns. The sequential consumers (sharded proximity passes,
+// shard-sorted training epochs) pin shard s while prefetching s+1.
+//
+// Thread-safety: all public methods may be called concurrently; handles may
+// be dropped from any thread. One Pin of a page blocks other Pins of the
+// same page only for the duration of the disk read.
+
+#ifndef SEPRIVGEMB_UTIL_BUFFER_POOL_H_
+#define SEPRIVGEMB_UTIL_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/page_file.h"
+
+namespace sepriv {
+
+/// Counters exposed for benches and tests. Snapshot semantics (one lock).
+struct BufferPoolStats {
+  uint64_t hits = 0;            // Pin found the page resident
+  uint64_t misses = 0;          // Pin had to read from disk
+  uint64_t evictions = 0;       // resident page displaced from its frame
+  uint64_t prefetch_loads = 0;  // pages loaded by the background thread
+  uint64_t prefetch_dropped = 0;  // hints skipped (resident/queued/no frame)
+};
+
+class BufferPool {
+ public:
+  /// `budget_pages` frames of file.page_size() bytes each; clamped to >= 1.
+  /// The pool reads through `file`, which must outlive it.
+  BufferPool(const PageFile& file, size_t budget_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// RAII pin: keeps the page's frame resident and readable until destroyed.
+  class PageHandle {
+   public:
+    PageHandle() = default;
+    PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+    PageHandle& operator=(PageHandle&& other) noexcept {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      data_ = other.data_;
+      page_ = other.page_;
+      load_id_ = other.load_id_;
+      other.pool_ = nullptr;
+      other.data_ = nullptr;
+      return *this;
+    }
+    PageHandle(const PageHandle&) = delete;
+    PageHandle& operator=(const PageHandle&) = delete;
+    ~PageHandle() { Release(); }
+
+    bool valid() const { return data_ != nullptr; }
+    const std::byte* data() const { return data_; }
+    size_t page() const { return page_; }
+
+    /// Monotone id of the disk read that filled this frame: two handles with
+    /// equal (page, load_id) are provably the same bytes, so a caller that
+    /// has validated the page once can skip re-validation until the page is
+    /// evicted and re-read. 0 for an invalid handle.
+    uint64_t load_id() const { return load_id_; }
+
+   private:
+    friend class BufferPool;
+    PageHandle(BufferPool* pool, size_t frame, const std::byte* data,
+               size_t page, uint64_t load_id)
+        : pool_(pool), frame_(frame), data_(data), page_(page),
+          load_id_(load_id) {}
+    void Release();
+
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+    const std::byte* data_ = nullptr;
+    size_t page_ = 0;
+    uint64_t load_id_ = 0;
+  };
+
+  /// Pins `page`, reading it from disk if not resident. Aborts
+  /// (SEPRIV_CHECK) when every frame is pinned — the pool is over-pinned,
+  /// a caller bug — and returns an invalid handle if the disk read fails.
+  PageHandle Pin(size_t page);
+
+  /// Asynchronous load hint; never blocks beyond a mutex.
+  void Prefetch(size_t page);
+
+  size_t budget_pages() const { return frames_.size(); }
+  size_t page_size() const { return file_.page_size(); }
+  BufferPoolStats stats() const;
+
+  /// The SEPRIV_POOL_PAGES environment variable, `fallback` when unset or
+  /// invalid; 0 also resolves to the fallback (the documented auto value).
+  static size_t BudgetFromEnv(size_t fallback);
+
+ private:
+  static constexpr size_t kNoPage = SIZE_MAX;
+  static constexpr size_t kNoFrame = SIZE_MAX;
+
+  struct Frame {
+    std::vector<std::byte> buf;
+    size_t page = kNoPage;
+    size_t pins = 0;
+    bool loading = false;
+    bool failed = false;     // last read failed; frame holds no valid data
+    uint64_t last_use = 0;
+    uint64_t load_id = 0;    // id of the read that filled the frame
+  };
+
+  /// Claims a frame for `page` (evicting an unpinned resident page if
+  /// needed) and marks it loading. Returns kNoFrame when every frame is
+  /// pinned or loading. Caller holds mu_.
+  size_t ClaimFrameLocked(size_t page);
+
+  /// Completes a claimed frame after the (unlocked) disk read. Caller holds
+  /// mu_.
+  void FinishLoadLocked(size_t frame, bool ok);
+
+  void PrefetchLoop();
+  void Unpin(size_t frame);
+
+  const PageFile& file_;
+
+  mutable std::mutex mu_;
+  std::condition_variable frame_cv_;    // a loading frame became ready
+  std::condition_variable work_cv_;     // prefetch queue or shutdown
+  std::vector<Frame> frames_;
+  std::unordered_map<size_t, size_t> page_to_frame_;
+  std::deque<size_t> prefetch_queue_;
+  uint64_t tick_ = 0;
+  uint64_t load_counter_ = 0;
+  bool stop_ = false;
+  BufferPoolStats stats_;
+
+  std::thread prefetcher_;
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_BUFFER_POOL_H_

@@ -1,0 +1,51 @@
+// Process memory introspection: current and peak resident set size, read
+// from /proc/self/status (VmRSS / VmHWM). Used by the bench family so every
+// BENCH_*.json baseline tracks memory alongside time, and by bench_oocore to
+// witness that out-of-core training stays under its configured footprint.
+// Returns 0 on platforms without procfs — callers treat 0 as "unknown",
+// never as "no memory used".
+
+#ifndef SEPRIVGEMB_UTIL_MEM_H_
+#define SEPRIVGEMB_UTIL_MEM_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sepriv {
+
+namespace internal {
+
+/// Reads one "Key:  <n> kB" line from /proc/self/status; 0 when absent.
+inline size_t ProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t key_len = std::strlen(key);
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') continue;
+    kb = std::strtoull(line + key_len + 1, nullptr, 10);
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace internal
+
+/// Current resident set size in bytes (VmRSS); 0 when unavailable.
+inline size_t CurrentRssBytes() {
+  return internal::ProcStatusKb("VmRSS") * 1024;
+}
+
+/// Peak resident set size in bytes (VmHWM, the high-water mark over the
+/// process lifetime); 0 when unavailable.
+inline size_t PeakRssBytes() {
+  return internal::ProcStatusKb("VmHWM") * 1024;
+}
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_UTIL_MEM_H_

@@ -1,0 +1,97 @@
+#include "util/page_file.h"
+
+#include <cerrno>
+#include <cstdint>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace sepriv {
+namespace {
+
+/// Full-length pread/pwrite loops: POSIX allows short transfers, a torn page
+/// read must look like an error, never like data.
+bool FullPread(int fd, void* buf, size_t len, off_t offset) {
+  auto* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t got = ::pread(fd, p, len, offset);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += got;
+    len -= static_cast<size_t>(got);
+    offset += got;
+  }
+  return true;
+}
+
+bool FullPwrite(int fd, const void* buf, size_t len, off_t offset) {
+  const auto* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t put = ::pwrite(fd, p, len, offset);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    len -= static_cast<size_t>(put);
+    offset += put;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<PageFile> PageFile::Create(const std::string& path,
+                                           size_t page_size) {
+  if (page_size == 0) return nullptr;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return nullptr;
+  return std::unique_ptr<PageFile>(new PageFile(fd, path, page_size, 0));
+}
+
+std::unique_ptr<PageFile> PageFile::Open(const std::string& path,
+                                         size_t page_size) {
+  if (page_size == 0) return nullptr;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0 ||
+      static_cast<uint64_t>(st.st_size) % page_size != 0) {
+    ::close(fd);
+    return nullptr;  // missing or truncated mid-page
+  }
+  const size_t pages = static_cast<uint64_t>(st.st_size) / page_size;
+  return std::unique_ptr<PageFile>(new PageFile(fd, path, page_size, pages));
+}
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool PageFile::ReadPage(size_t index, void* out) const {
+  if (index >= num_pages_) return false;
+  return FullPread(fd_, out, page_size_,
+                   static_cast<off_t>(index * page_size_));
+}
+
+bool PageFile::WritePage(size_t index, const void* data) {
+  if (index > num_pages_) return false;  // no holes
+  if (!FullPwrite(fd_, data, page_size_,
+                  static_cast<off_t>(index * page_size_))) {
+    return false;
+  }
+  if (index == num_pages_) ++num_pages_;
+  return true;
+}
+
+size_t PageFile::AppendPage(const void* data) {
+  const size_t index = num_pages_;
+  return WritePage(index, data) ? index : SIZE_MAX;
+}
+
+bool PageFile::Sync() { return ::fsync(fd_) == 0; }
+
+}  // namespace sepriv

@@ -2,14 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <system_error>
 #include <vector>
 
 #include "graph/generators.h"
+#include "graph/shard.h"
 
 namespace sepriv {
 namespace {
@@ -267,6 +271,184 @@ TEST_F(ProximityEngineTest, GarbageFileRejected) {
   }
   EXPECT_FALSE(
       LoadEdgeProximityCache(dir, g, provider->Name(), opts).has_value());
+}
+
+// --- shard-granular passes (the out-of-core pipeline) ------------------------
+
+/// Wraps a provider and counts At() calls across all clones, so tests can
+/// assert exactly how much proximity work a cache state caused.
+class CountingProvider final : public ProximityProvider {
+ public:
+  CountingProvider(std::unique_ptr<ProximityProvider> inner,
+                   std::shared_ptr<std::atomic<uint64_t>> calls)
+      : inner_(std::move(inner)), calls_(std::move(calls)) {}
+
+  std::string Name() const override { return inner_->Name(); }
+  double At(NodeId i, NodeId j) const override {
+    calls_->fetch_add(1, std::memory_order_relaxed);
+    return inner_->At(i, j);
+  }
+  std::unique_ptr<ProximityProvider> Clone() const override {
+    return std::make_unique<CountingProvider>(inner_->Clone(), calls_);
+  }
+
+ private:
+  std::unique_ptr<ProximityProvider> inner_;
+  std::shared_ptr<std::atomic<uint64_t>> calls_;
+};
+
+TEST_P(AllKindsEngineTest, ShardedEngineMatchesSerialForEveryShardCount) {
+  const Graph g = ErdosRenyiGnm(120, 320, 13);
+  const ProximityOptions opts = TestOptions();
+  const auto provider = MakeProximity(GetParam(), g, opts);
+  const EdgeProximity serial = ComputeEdgeProximities(g, *provider);
+  ThreadPool pool(2);
+  for (size_t shards : {1UL, 4UL, 9UL}) {
+    InMemoryGraphStore store(g, shards);
+    ExpectBitIdentical(
+        serial, ShardedEdgeProximities(store, *provider, opts, pool,
+                                       /*cache_root=*/""));
+  }
+}
+
+class ShardCacheTest : public ProximityEngineTest {
+ protected:
+  /// Path of shard `s`'s cache file, resolved by directory listing (the
+  /// name embeds the shard fingerprint).
+  static std::string ShardCacheFile(const std::string& cache_root,
+                                    const Graph& g,
+                                    const ProximityProvider& p,
+                                    const ProximityOptions& opts, size_t s) {
+    const std::string dir =
+        cache_root + "/" +
+        ShardProximityCacheDirName(g.Fingerprint(), p.Name(), opts);
+    const std::string prefix = "shard_" + std::to_string(s) + "_";
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().filename().string().rfind(prefix, 0) == 0) {
+        return entry.path().string();
+      }
+    }
+    return "";
+  }
+};
+
+TEST_F(ShardCacheTest, ColdThenWarmBitIdenticalAndWarmComputesNothing) {
+  const std::string cache_root = TempDirFor("shard_warm");
+  const Graph g = ErdosRenyiGnm(100, 280, 17);
+  const ProximityOptions opts = TestOptions();
+  auto calls = std::make_shared<std::atomic<uint64_t>>(0);
+  const CountingProvider provider(
+      MakeProximity(ProximityKind::kCommonNeighbors, g, opts), calls);
+  ThreadPool pool(2);
+  InMemoryGraphStore store(g, 5);
+
+  const EdgeProximity cold =
+      ShardedEdgeProximities(store, provider, opts, pool, cache_root);
+  // The engine evaluates every canonical edge in both directions, once.
+  EXPECT_EQ(calls->load(), 2 * g.num_edges());
+
+  calls->store(0);
+  const EdgeProximity warm =
+      ShardedEdgeProximities(store, provider, opts, pool, cache_root);
+  EXPECT_EQ(calls->load(), 0u) << "warm pass must not re-evaluate anything";
+  ExpectBitIdentical(cold, warm);
+}
+
+TEST_F(ShardCacheTest, InvalidatingOneShardRecomputesOnlyThatShard) {
+  const std::string cache_root = TempDirFor("shard_invalidate");
+  const Graph g = ErdosRenyiGnm(100, 280, 19);
+  const ProximityOptions opts = TestOptions();
+  auto calls = std::make_shared<std::atomic<uint64_t>>(0);
+  const CountingProvider provider(
+      MakeProximity(ProximityKind::kCommonNeighbors, g, opts), calls);
+  ThreadPool pool(2);
+  InMemoryGraphStore store(g, 5);
+  ASSERT_EQ(store.num_shards(), 5u);
+
+  const EdgeProximity cold =
+      ShardedEdgeProximities(store, provider, opts, pool, cache_root);
+
+  // Corrupt shard 2's entry (checksum failure) and delete shard 0's
+  // (missing file): exactly those two shards recompute, the rest load.
+  const std::string f2 = ShardCacheFile(cache_root, g, provider, opts, 2);
+  ASSERT_FALSE(f2.empty());
+  {
+    std::fstream f(f2, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(64);
+    char byte = 0x7f;
+    f.write(&byte, 1);
+  }
+  const std::string f0 = ShardCacheFile(cache_root, g, provider, opts, 0);
+  ASSERT_FALSE(f0.empty());
+  std::filesystem::remove(f0);
+
+  calls->store(0);
+  const EdgeProximity repaired =
+      ShardedEdgeProximities(store, provider, opts, pool, cache_root);
+  const size_t affected_edges = store.manifest().shards[0].edge_count +
+                                store.manifest().shards[2].edge_count;
+  EXPECT_EQ(calls->load(), 2 * affected_edges)
+      << "recompute must touch exactly the invalidated shards";
+  EXPECT_LT(calls->load(), 2 * g.num_edges());
+  ExpectBitIdentical(cold, repaired);
+
+  // The repair re-saved both entries: a further pass is fully warm again.
+  calls->store(0);
+  const EdgeProximity rewarmed =
+      ShardedEdgeProximities(store, provider, opts, pool, cache_root);
+  EXPECT_EQ(calls->load(), 0u);
+  ExpectBitIdentical(cold, rewarmed);
+}
+
+TEST_F(ShardCacheTest, ShardCacheRoundTripAndKeyMismatchesMiss) {
+  const std::string cache_root = TempDirFor("shard_keys");
+  const Graph g = ErdosRenyiGnm(60, 150, 23);
+  const ProximityOptions opts = TestOptions();
+  const auto provider =
+      MakeProximity(ProximityKind::kPreferentialAttachment, g, opts);
+  ThreadPool pool(1);
+  InMemoryGraphStore store(g, 3);
+  PinnedShard pin = store.Pin(1);
+  const uint64_t shard_fp = store.manifest().shards[1].fingerprint;
+
+  const ShardProximity computed =
+      ComputeShardProximities(pin.view(), *provider, pool);
+  ASSERT_EQ(computed.forward.size(), pin->edge_count);
+  ASSERT_TRUE(SaveShardProximityCache(cache_root, g.Fingerprint(), 1,
+                                      shard_fp, provider->Name(), opts,
+                                      computed));
+
+  const auto loaded = LoadShardProximityCache(
+      cache_root, g.Fingerprint(), 1, shard_fp, provider->Name(), opts,
+      pin->edge_count);
+  ASSERT_TRUE(loaded.has_value());
+  for (size_t k = 0; k < computed.forward.size(); ++k) {
+    EXPECT_EQ(loaded->forward[k], computed.forward[k]);
+    EXPECT_EQ(loaded->backward[k], computed.backward[k]);
+  }
+
+  // Any key component off by one bit is a miss, never stale data: shard
+  // index, shard fingerprint, graph fingerprint, provider, edge count.
+  EXPECT_FALSE(LoadShardProximityCache(cache_root, g.Fingerprint(), 2,
+                                       shard_fp, provider->Name(), opts,
+                                       pin->edge_count)
+                   .has_value());
+  EXPECT_FALSE(LoadShardProximityCache(cache_root, g.Fingerprint(), 1,
+                                       shard_fp ^ 1, provider->Name(), opts,
+                                       pin->edge_count)
+                   .has_value());
+  EXPECT_FALSE(LoadShardProximityCache(cache_root, g.Fingerprint() ^ 1, 1,
+                                       shard_fp, provider->Name(), opts,
+                                       pin->edge_count)
+                   .has_value());
+  EXPECT_FALSE(LoadShardProximityCache(cache_root, g.Fingerprint(), 1,
+                                       shard_fp, "other-provider", opts,
+                                       pin->edge_count)
+                   .has_value());
+  EXPECT_FALSE(LoadShardProximityCache(cache_root, g.Fingerprint(), 1,
+                                       shard_fp, provider->Name(), opts,
+                                       pin->edge_count - 1)
+                   .has_value());
 }
 
 }  // namespace
