@@ -21,6 +21,14 @@
 // Fixed block/grain sizes (never derived from num_threads) are what make
 // phases 1 and 4 scheduling-invariant.
 //
+// Thread-safety model: the engine holds NO locks of its own — every phase
+// partitions its writes by ownership (per-sample scratch slots, per-row
+// reduction ownership, per-block noise streams) and synchronises only
+// through ThreadPool::ParallelFor's fork/join barrier, whose internal
+// discipline is machine-checked via the annotated Mutex (util/mutex.h,
+// -Wthread-safety under clang). An AccumulateBatch/Perturb*/ApplyUpdate
+// call is NOT reentrant: one engine serves one training loop.
+//
 // Samples reach the engine through the SampleSource interface so the batch
 // can live anywhere: the classic in-memory Subgraph vector, or a disk-backed
 // store paged through the buffer pool (out-of-core training). A sharded

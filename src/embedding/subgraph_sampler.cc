@@ -95,6 +95,8 @@ std::vector<uint32_t> SampleBatchIndices(size_t population, size_t batch_size,
   // Floyd's algorithm: uniform m-subset without replacement in O(m).
   // Membership is tracked in a flat hash set keyed by index — the previous
   // std::find over the picked vector made large private batches O(m²).
+  // Membership-only (never iterated), so hash order cannot reach the
+  // sampled picks; the draw order comes from `picked` and the rng stream.
   std::vector<uint32_t> picked;
   picked.reserve(m);
   std::unordered_set<uint32_t> in_pick;

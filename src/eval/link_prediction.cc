@@ -50,6 +50,8 @@ LinkPredictionSplit MakeLinkPredictionSplit(const Graph& graph,
   const size_t available = total_pairs - graph.num_edges();
   const size_t target = std::min(n_test, available);
 
+  // Dedup membership only (never iterated): the emitted negative-pair order
+  // is the rng draw order / deterministic scan order, not hash order.
   std::unordered_set<uint64_t> used;
   split.test_neg.reserve(target);
   size_t attempts = 0;

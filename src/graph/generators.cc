@@ -25,6 +25,9 @@ Graph ErdosRenyiGnm(size_t n, size_t m, uint64_t seed) {
   SEPRIV_CHECK(m <= max_edges, "too many edges requested: %zu > %zu", m,
                max_edges);
   Rng rng(seed);
+  // Determinism audit (sepriv-lint unordered-iteration): the dedup sets in
+  // this file are insert/count membership only — edges are emitted in rng
+  // draw order, so hash iteration order never reaches a result.
   std::unordered_set<uint64_t> chosen;
   chosen.reserve(m * 2);
   std::vector<Edge> edges;

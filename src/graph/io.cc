@@ -38,6 +38,10 @@ bool ParseNodeId(const std::string& tok, uint64_t* out) {
 /// including both endpoints of self-loop lines (the loop is dropped later,
 /// its ids are not). With build_remap = false unknown ids are a failure —
 /// the file changed between passes. Returns false on I/O or parse errors.
+// Determinism audit (sepriv-lint unordered-iteration): every remap table in
+// this file is lookup/insert only — new ids are assigned in first-SEEN order
+// (remap->size() at insert time), which depends on the file, never on hash
+// iteration order. Nothing iterates the maps.
 template <typename Fn>
 bool ScanEdgeLines(const std::string& path, bool remap_ids,
                    std::unordered_map<uint64_t, NodeId>* remap,

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/env.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -141,9 +141,12 @@ void GemmNTTile(const double* a, const double* b, double* c, size_t k,
 // --- Shared pool -------------------------------------------------------------
 
 struct LinalgPool {
-  std::mutex mu;                     // serializes pool use and resizing
-  std::unique_ptr<ThreadPool> pool;  // built lazily at the resolved size
-  size_t requested = 0;              // 0 = auto policy
+  Mutex mu;  // serializes pool use and resizing
+  // Built lazily at the resolved size; guarded so -Wthread-safety proves
+  // the lazy init is raced by nobody (the init was a TSan/TSA blind spot
+  // before the annotation pass).
+  std::unique_ptr<ThreadPool> pool SEPRIV_GUARDED_BY(mu);
+  size_t requested SEPRIV_GUARDED_BY(mu) = 0;  // 0 = auto policy
   // Thread count published for lock-free reads: LinalgThreads() must be
   // callable from inside a running task, where mu is held by the
   // dispatching thread for the whole ParallelFor. Set whenever the pool is
@@ -180,14 +183,14 @@ size_t LinalgThreads() {
   // inside a task never touch the mutex — no deadlock, no recursive lock.
   const size_t cached = st.resolved.load(std::memory_order_acquire);
   if (cached > 0) return cached;
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   if (st.pool) return st.pool->num_threads();
   return st.requested > 0 ? st.requested : ResolveAuto();
 }
 
 void SetLinalgThreads(size_t n) {
   LinalgPool& st = PoolState();
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   st.requested = n;
   st.pool.reset();  // rebuilt lazily at the new size
   st.resolved.store(n, std::memory_order_release);  // 0 = re-resolve lazily
@@ -196,14 +199,14 @@ void SetLinalgThreads(size_t n) {
 void ParallelTasks(size_t n_tasks, const std::function<void(size_t)>& task) {
   if (n_tasks == 0) return;
   LinalgPool& st = PoolState();
-  std::unique_lock<std::mutex> lock(st.mu, std::defer_lock);
   // Serial fallback: nested call, single task, or pool busy in another
   // thread. Each task owns its outputs, so serial and parallel execution
   // produce bit-identical results.
-  if (tls_in_parallel || n_tasks == 1 || !lock.try_lock()) {
+  if (tls_in_parallel || n_tasks == 1 || !st.mu.TryLock()) {
     for (size_t t = 0; t < n_tasks; ++t) task(t);
     return;
   }
+  MutexLock lock(st.mu, kAdoptLock);
   if (!st.pool) {
     const size_t threads = st.requested > 0 ? st.requested : ResolveAuto();
     st.pool = std::make_unique<ThreadPool>(threads);

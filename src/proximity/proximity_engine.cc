@@ -9,7 +9,6 @@
 #include <fstream>
 #include <iterator>
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -18,6 +17,7 @@
 
 #include "util/check.h"
 #include "util/env.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace sepriv {
@@ -63,23 +63,25 @@ class ClonePool {
     }
   }
 
-  ProximityProvider* Acquire() {
-    std::lock_guard<std::mutex> lock(mu_);
+  ProximityProvider* Acquire() SEPRIV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     SEPRIV_CHECK(!free_.empty(), "clone pool exhausted (pool misuse)");
     ProximityProvider* p = free_.back();
     free_.pop_back();
     return p;
   }
 
-  void Release(ProximityProvider* p) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Release(ProximityProvider* p) SEPRIV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     free_.push_back(p);
   }
 
  private:
+  // clones_ is immutable after the constructor (workers mutate the clones
+  // they own, never the vector); only the freelist needs the latch.
   std::vector<std::unique_ptr<ProximityProvider>> clones_;
-  std::vector<ProximityProvider*> free_;
-  std::mutex mu_;
+  std::vector<ProximityProvider*> free_ SEPRIV_GUARDED_BY(mu_);
+  Mutex mu_;
 };
 
 /// Runs one direction pass: every shard queries a private clone for its

@@ -7,6 +7,13 @@
 
 namespace sepriv::runner {
 
+// Thread-safety model: the runner owns no locks — each cell writes only its
+// own result slot (out[i]), and cross-cell synchronisation is exactly the
+// ParallelTasks fork/join barrier (linalg/kernels.cc), whose pool/latch
+// discipline is machine-checked by -Wthread-safety via util/mutex.h. Cell
+// bodies must not share mutable state; everything they need arrives in the
+// per-cell CellContext.
+
 uint64_t CellSeed(uint64_t base_seed, uint64_t index) {
   // Two chained splitmix64 steps over (base, index): a single step keyed
   // only by base ^ index would alias (base, index) pairs with equal xor.

@@ -10,18 +10,25 @@ namespace sepriv {
 BufferPool::BufferPool(const PageFile& file, size_t budget_pages)
     : file_(file) {
   budget_pages = std::max<size_t>(1, budget_pages);
-  frames_.resize(budget_pages);
-  for (Frame& f : frames_) f.buf.resize(file_.page_size());
-  page_to_frame_.reserve(budget_pages);
+  budget_pages_ = budget_pages;
+  {
+    // The constructor is single-threaded, but the prefetcher starts before
+    // the body returns — initialise the guarded state under the latch so
+    // the analysis (and TSan) see a proper release/acquire pair.
+    MutexLock lock(mu_);
+    frames_.resize(budget_pages);
+    for (Frame& f : frames_) f.buf.resize(file_.page_size());
+    page_to_frame_.reserve(budget_pages);
+  }
   prefetcher_ = std::thread([this] { PrefetchLoop(); });
 }
 
 BufferPool::~BufferPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   prefetcher_.join();
 }
 
@@ -61,11 +68,11 @@ void BufferPool::FinishLoadLocked(size_t frame, bool ok) {
     page_to_frame_.erase(f.page);
     f.page = kNoPage;
   }
-  frame_cv_.notify_all();
+  frame_cv_.NotifyAll();
 }
 
 BufferPool::PageHandle BufferPool::Pin(size_t page) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     auto it = page_to_frame_.find(page);
     if (it != page_to_frame_.end()) {
@@ -73,7 +80,7 @@ BufferPool::PageHandle BufferPool::Pin(size_t page) {
       if (f.loading) {
         // A prefetch (or another Pin) is reading this page right now; wait
         // for the read instead of issuing a duplicate one.
-        frame_cv_.wait(lock);
+        frame_cv_.Wait(mu_);
         continue;  // re-resolve: the load may have failed
       }
       ++f.pins;
@@ -94,14 +101,17 @@ BufferPool::PageHandle BufferPool::Pin(size_t page) {
                    "buffer pool over-pinned: all %zu frames hold live pins "
                    "(raise the budget or drop handles before pinning more)",
                    frames_.size());
-      frame_cv_.wait(lock);
+      frame_cv_.Wait(mu_);
       continue;
     }
 
     ++stats_.misses;
-    lock.unlock();
-    const bool ok = file_.ReadPage(page, frames_[frame].buf.data());
-    lock.lock();
+    // Snapshot the destination while the latch proves the frame is ours
+    // (`loading` fences it from eviction), then read without the latch.
+    std::byte* dst = frames_[frame].buf.data();
+    lock.Unlock();
+    const bool ok = file_.ReadPage(page, dst);
+    lock.Lock();
     FinishLoadLocked(frame, ok);
     if (!ok) return PageHandle();  // invalid handle: read failure
     Frame& f = frames_[frame];
@@ -113,7 +123,7 @@ BufferPool::PageHandle BufferPool::Pin(size_t page) {
 
 void BufferPool::Prefetch(size_t page) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_ || page >= file_.num_pages() ||
         page_to_frame_.count(page) != 0 ||
         std::find(prefetch_queue_.begin(), prefetch_queue_.end(), page) !=
@@ -123,13 +133,13 @@ void BufferPool::Prefetch(size_t page) {
     }
     prefetch_queue_.push_back(page);
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void BufferPool::PrefetchLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !prefetch_queue_.empty(); });
+    while (!stop_ && prefetch_queue_.empty()) work_cv_.Wait(mu_);
     if (stop_) return;
     const size_t page = prefetch_queue_.front();
     prefetch_queue_.pop_front();
@@ -142,22 +152,23 @@ void BufferPool::PrefetchLoop() {
       ++stats_.prefetch_dropped;  // pool saturated with pins: hint dropped
       continue;
     }
-    lock.unlock();
-    const bool ok = file_.ReadPage(page, frames_[frame].buf.data());
-    lock.lock();
+    std::byte* dst = frames_[frame].buf.data();
+    lock.Unlock();
+    const bool ok = file_.ReadPage(page, dst);
+    lock.Lock();
     FinishLoadLocked(frame, ok);
     if (ok) ++stats_.prefetch_loads;
   }
 }
 
 void BufferPool::Unpin(size_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Frame& f = frames_[frame];
   SEPRIV_CHECK(f.pins > 0, "unpin of an unpinned frame");
   --f.pins;
   // No notify needed for eviction (scans find the frame), but a Pin may be
   // waiting for *any* frame to become evictable.
-  if (f.pins == 0) frame_cv_.notify_all();
+  if (f.pins == 0) frame_cv_.NotifyAll();
 }
 
 void BufferPool::PageHandle::Release() {
@@ -167,7 +178,7 @@ void BufferPool::PageHandle::Release() {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

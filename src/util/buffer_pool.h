@@ -17,20 +17,26 @@
 //
 // Thread-safety: all public methods may be called concurrently; handles may
 // be dropped from any thread. One Pin of a page blocks other Pins of the
-// same page only for the duration of the disk read.
+// same page only for the duration of the disk read. The latch discipline is
+// machine-checked: mu_ is an annotated Mutex, every guarded field is
+// declared SEPRIV_GUARDED_BY(mu_), and clang's -Wthread-safety (a CI error)
+// rejects any access outside the latch. Page *contents* are intentionally
+// read outside the latch through pinned handles — safe because a frame with
+// live pins is never evicted or reloaded, and the pin/unpin transitions
+// themselves happen under mu_ (establishing the happens-before between a
+// frame's last reader and its next loader).
 
 #ifndef SEPRIVGEMB_UTIL_BUFFER_POOL_H_
 #define SEPRIVGEMB_UTIL_BUFFER_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/page_file.h"
 
 namespace sepriv {
@@ -102,14 +108,14 @@ class BufferPool {
   /// Pins `page`, reading it from disk if not resident. Aborts
   /// (SEPRIV_CHECK) when every frame is pinned — the pool is over-pinned,
   /// a caller bug — and returns an invalid handle if the disk read fails.
-  PageHandle Pin(size_t page);
+  PageHandle Pin(size_t page) SEPRIV_EXCLUDES(mu_);
 
   /// Asynchronous load hint; never blocks beyond a mutex.
-  void Prefetch(size_t page);
+  void Prefetch(size_t page) SEPRIV_EXCLUDES(mu_);
 
-  size_t budget_pages() const { return frames_.size(); }
+  size_t budget_pages() const { return budget_pages_; }
   size_t page_size() const { return file_.page_size(); }
-  BufferPoolStats stats() const;
+  BufferPoolStats stats() const SEPRIV_EXCLUDES(mu_);
 
   /// The SEPRIV_POOL_PAGES environment variable, `fallback` when unset or
   /// invalid; 0 also resolves to the fallback (the documented auto value).
@@ -131,28 +137,37 @@ class BufferPool {
 
   /// Claims a frame for `page` (evicting an unpinned resident page if
   /// needed) and marks it loading. Returns kNoFrame when every frame is
-  /// pinned or loading. Caller holds mu_.
-  size_t ClaimFrameLocked(size_t page);
+  /// pinned or loading.
+  size_t ClaimFrameLocked(size_t page) SEPRIV_REQUIRES(mu_);
 
-  /// Completes a claimed frame after the (unlocked) disk read. Caller holds
-  /// mu_.
-  void FinishLoadLocked(size_t frame, bool ok);
+  /// Completes a claimed frame after the (unlocked) disk read.
+  void FinishLoadLocked(size_t frame, bool ok) SEPRIV_REQUIRES(mu_);
 
-  void PrefetchLoop();
-  void Unpin(size_t frame);
+  void PrefetchLoop() SEPRIV_EXCLUDES(mu_);
+  void Unpin(size_t frame) SEPRIV_EXCLUDES(mu_);
 
   const PageFile& file_;
+  size_t budget_pages_ = 0;  // == frames_.size(); immutable after the ctor
 
-  mutable std::mutex mu_;
-  std::condition_variable frame_cv_;    // a loading frame became ready
-  std::condition_variable work_cv_;     // prefetch queue or shutdown
-  std::vector<Frame> frames_;
-  std::unordered_map<size_t, size_t> page_to_frame_;
-  std::deque<size_t> prefetch_queue_;
-  uint64_t tick_ = 0;
-  uint64_t load_counter_ = 0;
-  bool stop_ = false;
-  BufferPoolStats stats_;
+  mutable Mutex mu_;
+  CondVar frame_cv_;    // a loading frame became ready
+  CondVar work_cv_;     // prefetch queue or shutdown
+  // Frame *metadata* (page, pins, loading, ...) is guarded; frame *bytes*
+  // (Frame::buf contents) are filled outside the latch by the claiming
+  // loader (the frame is fenced off via `loading`) and read outside it via
+  // pinned handles — see the header comment for the happens-before argument.
+  // Loaders snapshot buf.data() under mu_ before releasing it.
+  std::vector<Frame> frames_ SEPRIV_GUARDED_BY(mu_);
+  // Iteration-order note: page_to_frame_ is lookup/insert/erase only —
+  // nothing ever iterates it, so its unordered order can't leak into
+  // results (eviction order is decided by the frames_ LRU scan, which is
+  // index-ordered and deterministic).
+  std::unordered_map<size_t, size_t> page_to_frame_ SEPRIV_GUARDED_BY(mu_);
+  std::deque<size_t> prefetch_queue_ SEPRIV_GUARDED_BY(mu_);
+  uint64_t tick_ SEPRIV_GUARDED_BY(mu_) = 0;
+  uint64_t load_counter_ SEPRIV_GUARDED_BY(mu_) = 0;
+  bool stop_ SEPRIV_GUARDED_BY(mu_) = false;
+  BufferPoolStats stats_ SEPRIV_GUARDED_BY(mu_);
 
   std::thread prefetcher_;
 };

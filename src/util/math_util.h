@@ -27,10 +27,25 @@ inline double Log1pExp(double x) {
 /// log(sigmoid(x)) = -log(1 + exp(-x)), stable for large |x|.
 inline double LogSigmoid(double x) { return -Log1pExp(-x); }
 
+/// lgamma(x) for x > 0. glibc's lgamma() stores the result's sign in the
+/// GLOBAL `signgam`, so concurrent calls from pool workers race on it
+/// (caught by TSan in the RunCells accounting path). lgamma_r writes the
+/// sign to a caller-owned slot instead; fall back to plain lgamma where
+/// the POSIX extension is unavailable.
+inline double LGammaPositive(double x) {
+#if defined(__GLIBC__) || defined(_GNU_SOURCE) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);  // x > 0 here, so sign is always +1
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// log(C(n, k)) via lgamma; exact enough for privacy accounting.
 inline double LogBinomial(int n, int k) {
   if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+  return LGammaPositive(n + 1.0) - LGammaPositive(k + 1.0) -
+         LGammaPositive(n - k + 1.0);
 }
 
 /// Stable log(sum_i exp(v_i)).

@@ -8,19 +8,27 @@
 // to computation stays fixed — callers that write results to per-index slots
 // (and reduce in index order afterwards) get bit-identical output for every
 // thread count.
+//
+// Locking discipline (machine-checked by -Wthread-safety under clang): mu_
+// guards the job-control state; the job descriptor (body_/n_/grain_) is
+// published under mu_ before workers are notified and read lock-free inside
+// RunChunks — safe because a worker only enters RunChunks after observing
+// the new job_id_ under mu_ (acquire), which happens-after the descriptor
+// write (release), and the descriptor is immutable until every worker has
+// checked back in under mu_.
 
 #ifndef SEPRIVGEMB_UTIL_THREAD_POOL_H_
 #define SEPRIVGEMB_UTIL_THREAD_POOL_H_
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace sepriv {
 
@@ -47,10 +55,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (auto& w : workers_) w.join();
   }
 
@@ -63,7 +71,8 @@ class ThreadPool {
   /// blocks until every index has been processed. `body` must be safe to
   /// call concurrently on disjoint ranges. Only one ParallelFor may be in
   /// flight at a time (nested calls would deadlock).
-  void ParallelFor(size_t n, size_t grain, const ChunkFn& body) {
+  void ParallelFor(size_t n, size_t grain, const ChunkFn& body)
+      SEPRIV_EXCLUDES(mu_) {
     if (n == 0) return;
     grain = std::max<size_t>(1, grain);
     if (workers_.empty() || n <= grain) {
@@ -71,7 +80,7 @@ class ThreadPool {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       body_ = &body;
       n_ = n;
       grain_ = grain;
@@ -79,54 +88,61 @@ class ThreadPool {
       pending_workers_ = workers_.size();
       ++job_id_;
     }
-    work_cv_.notify_all();
-    RunChunks();
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+    work_cv_.NotifyAll();
+    RunChunks(&body, n, grain);
+    MutexLock lock(mu_);
+    while (pending_workers_ != 0) done_cv_.Wait(mu_);
     body_ = nullptr;
   }
 
  private:
-  void RunChunks() {
-    const ChunkFn* body = body_;
+  /// Drains the shared cursor for one job. The descriptor is passed by value
+  /// so the hot loop never touches mu_-guarded state: the caller snapshots
+  /// (body, n, grain) while it provably holds mu_.
+  void RunChunks(const ChunkFn* body, size_t n, size_t grain) {
     size_t begin;
-    while ((begin = cursor_.fetch_add(grain_, std::memory_order_relaxed)) <
-           n_) {
-      (*body)(begin, std::min(n_, begin + grain_));
+    while ((begin = cursor_.fetch_add(grain, std::memory_order_relaxed)) < n) {
+      (*body)(begin, std::min(n, begin + grain));
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() SEPRIV_EXCLUDES(mu_) {
     uint64_t seen_job = 0;
     for (;;) {
+      const ChunkFn* body;
+      size_t n, grain;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen_job; });
+        MutexLock lock(mu_);
+        while (!stop_ && job_id_ == seen_job) work_cv_.Wait(mu_);
         if (stop_) return;
         seen_job = job_id_;
+        body = body_;  // snapshot the descriptor under the lock
+        n = n_;
+        grain = grain_;
       }
-      RunChunks();
+      RunChunks(body, n, grain);
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_workers_ == 0) done_cv_.notify_all();
+        MutexLock lock(mu_);
+        if (--pending_workers_ == 0) done_cv_.NotifyAll();
       }
     }
   }
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  bool stop_ = false;
-  uint64_t job_id_ = 0;        // bumped per ParallelFor; workers join once each
-  size_t pending_workers_ = 0;
+  Mutex mu_;
+  CondVar work_cv_;  // new job or shutdown
+  CondVar done_cv_;  // all workers checked in for the current job
+  bool stop_ SEPRIV_GUARDED_BY(mu_) = false;
+  // Bumped once per ParallelFor; each worker joins a given job exactly once.
+  uint64_t job_id_ SEPRIV_GUARDED_BY(mu_) = 0;
+  size_t pending_workers_ SEPRIV_GUARDED_BY(mu_) = 0;
 
-  // Current job (valid while a ParallelFor is in flight).
-  const ChunkFn* body_ = nullptr;
-  size_t n_ = 0;
-  size_t grain_ = 1;
-  std::atomic<size_t> cursor_{0};
+  // Current job descriptor (valid while a ParallelFor is in flight).
+  const ChunkFn* body_ SEPRIV_GUARDED_BY(mu_) = nullptr;
+  size_t n_ SEPRIV_GUARDED_BY(mu_) = 0;
+  size_t grain_ SEPRIV_GUARDED_BY(mu_) = 1;
+  std::atomic<size_t> cursor_{0};  // atomic: shared by design, not guarded
 };
 
 }  // namespace sepriv

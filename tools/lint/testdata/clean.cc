@@ -1,0 +1,48 @@
+// Fixture: a representative clean file — repo-idiomatic randomness and
+// container use that must produce ZERO diagnostics (no expect-lint markers).
+
+#include <chrono>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Rng {
+  unsigned long long s = 0x5eed;
+  double Uniform() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(s >> 11) * 0x1.0p-53;
+  }
+};
+
+// Durations via steady_clock are fine: they steer reports, never results.
+double ElapsedSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Membership queries on unordered containers are order-free and allowed.
+int CountMembers(const std::unordered_set<int>& members,
+                 const std::vector<int>& queries) {
+  int hits = 0;
+  for (int q : queries) hits += static_cast<int>(members.count(q));
+  return hits;
+}
+
+// Iterating an *ordered* map is deterministic and allowed.
+int SumOrdered(const std::map<int, int>& histogram) {
+  int sum = 0;
+  for (const auto& [key, value] : histogram) sum += value;
+  return sum;
+}
+
+// A variable merely *named* like trouble must not trip the token rules.
+double DegreeDistribution(Rng& rng, int random_walks) {
+  double degree_distribution = 0.0;
+  for (int i = 0; i < random_walks; ++i) degree_distribution += rng.Uniform();
+  return degree_distribution;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: the suppression mechanism. A justified allow() silences the rule
+// on its own line or the next; an unjustified allow() and a stale allow()
+// are violations themselves.
+
+#include <unordered_map>
+
+int JustifiedSameLine() {
+  std::unordered_map<int, int> histogram;
+  int sum = 0;
+  for (const auto& [k, v] : histogram) sum += v;  // sepriv-lint: allow(unordered-iteration): sum is commutative-safe here because this fixture says so
+  return sum;
+}
+
+int JustifiedLineAbove() {
+  std::unordered_map<int, int> histogram;
+  int sum = 0;
+  // sepriv-lint: allow(unordered-iteration): fixture-sanctioned order-insensitive fold
+  for (const auto& [k, v] : histogram) sum += v;
+  return sum;
+}
+
+int MissingJustification() {
+  std::unordered_map<int, int> histogram;
+  int sum = 0;
+  // sepriv-lint: allow(unordered-iteration)            expect-lint: bad-suppression
+  for (const auto& [k, v] : histogram) sum += v;  // expect-lint: unordered-iteration
+  return sum;
+}
+
+// sepriv-lint: allow(raw-rand): stale allow kept to prove detection — expect-lint: unused-suppression
+int NothingToSuppress() { return 0; }

@@ -1,0 +1,50 @@
+// Fixture: every sepriv_lint rule must fire exactly where marked. A marker
+// comment (expect-lint followed by a colon and rule names) declares the
+// diagnostics expected on its line; the self-test fails on any missing or
+// extra diagnostic. NOT compiled — only scanned (the testdata directory is
+// excluded from the build and from the tree-wide lint run).
+
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+void NondeterministicSeeds() {
+  std::random_device rd;                       // expect-lint: random-device
+  std::mt19937 gen(rd());                      // expect-lint: raw-engine
+  std::mt19937_64 gen64(7);                    // expect-lint: raw-engine
+  std::default_random_engine eng;              // expect-lint: raw-engine
+  std::uniform_int_distribution<int> d(0, 9);  // expect-lint: raw-distribution
+  std::normal_distribution<double> nd;         // expect-lint: raw-distribution
+  std::bernoulli_distribution bd(0.5);         // expect-lint: raw-distribution
+  (void)gen;
+  (void)gen64;
+  (void)eng;
+}
+
+int GlobalStreams() {
+  srand(42);          // expect-lint: raw-rand
+  int a = rand();     // expect-lint: raw-rand
+  long b = random();  // expect-lint: raw-rand
+  return a + static_cast<int>(b);
+}
+
+long WallClockInResults() {
+  long t = time(nullptr);  // expect-lint: wall-clock
+  auto now = std::chrono::system_clock::now();  // expect-lint: wall-clock
+  (void)now;
+  return t + clock();  // expect-lint: wall-clock
+}
+
+int UnorderedIteration() {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<long> seen;
+  int sum = 0;
+  for (const auto& [k, v] : counts) sum += v;  // expect-lint: unordered-iteration
+  for (long s : seen) sum += static_cast<int>(s);  // expect-lint: unordered-iteration
+  auto it = counts.begin();  // expect-lint: unordered-iteration
+  (void)it;
+  // Membership-style access is fine: order never escapes.
+  sum += static_cast<int>(counts.count(3));
+  sum += static_cast<int>(seen.count(4));
+  return sum;
+}
