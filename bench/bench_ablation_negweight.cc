@@ -46,6 +46,7 @@ int main() {
   const Graph graph = MakeBenchGraph(DatasetId::kChameleon, profile);
   const EdgeProximity dw =
       BuildEdgeProximity(graph, ProximityKind::kDeepWalk, profile);
+  // sepriv-privflow: allow(leak): public-by-policy: prints aggregate timing/utility metrics of synthetic benchmark graphs
   std::printf("dataset: %s\n\n", graph.Summary().c_str());
 
   const Variant variants[] = {

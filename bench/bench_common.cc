@@ -7,13 +7,14 @@
 #include "eval/strucequ.h"
 #include "proximity/proximity_engine.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace sepriv::bench {
 
 Profile GetProfile() {
   Profile p;
-  const char* env = std::getenv("SEPRIV_FULL");
-  p.full = env != nullptr && env[0] == '1';
+  const std::string env = GetStringEnv("SEPRIV_FULL");
+  p.full = !env.empty() && env[0] == '1';
   if (p.full) {
     p.repeats = 10;
     p.dim = 128;

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   const size_t grid_cells = EnvSize("SEPRIV_BENCH_EVAL_CELLS", 16);
   const size_t reps = EnvSize("SEPRIV_BENCH_EVAL_REPS", 3);
 
+  // sepriv-privflow: allow(leak): public-by-policy: prints aggregate timing/utility metrics of synthetic benchmark graphs
   std::printf("# bench_eval_scaling\n");
   std::printf("# hardware threads: %zu\n", ThreadPool::ResolveThreads(0));
   std::printf("# graph: BA n=%zu m=5, dim=%zu; sampled pairs=%zu; grid=%zu "
@@ -134,6 +135,7 @@ int main(int argc, char** argv) {
       digests_match = digests_match && digest == want_digest;
       std::printf("%-10zu %14.3f %14.0f %9.2fx %18" PRIx64 "\n", threads,
                   secs, rate, rate / base_rate, digest);
+      // sepriv-privflow: allow(leak): public-by-policy: record carries config echoes and aggregate metrics of a synthetic graph
       json.AddRecord(std::string(sec.name) + "/t" + std::to_string(threads),
                      {{"threads", static_cast<double>(threads)},
                       {"time_s", secs},
@@ -221,6 +223,7 @@ int main(int argc, char** argv) {
   json.AddRecord("eval/digests_identical",
                  {{"value", all_digests_match ? 1.0 : 0.0}});
   if (const char* path = bench::JsonPathFromArgs(argc, argv)) {
+    // sepriv-privflow: allow(leak): public-by-policy: publishes the aggregate-metric records collected above
     if (json.Write(path)) std::printf("# wrote %s\n", path);
   }
   return all_digests_match ? 0 : 1;

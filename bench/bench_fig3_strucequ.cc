@@ -32,6 +32,7 @@ int main() {
 
   for (const DatasetSpec& spec : AllDatasets()) {
     const Graph graph = MakeBenchGraph(spec.id, profile);
+    // sepriv-privflow: allow(leak): public-by-policy: prints aggregate timing/utility metrics of synthetic benchmark graphs
     std::printf("\n--- %s stand-in: %s ---\n", spec.name,
                 graph.Summary().c_str());
     const EdgeProximity dw =

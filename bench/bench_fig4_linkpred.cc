@@ -30,6 +30,7 @@ int main() {
 
   for (DatasetId id : datasets) {
     const Graph graph = MakeBenchGraph(id, profile);
+    // sepriv-privflow: allow(leak): public-by-policy: prints aggregate timing/utility metrics of synthetic benchmark graphs
     std::printf("\n--- %s stand-in: %s ---\n", DatasetName(id).c_str(),
                 graph.Summary().c_str());
 

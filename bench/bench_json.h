@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "util/mem.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv::bench {
 
@@ -40,7 +41,9 @@ class BenchJson {
     meta_.emplace_back(key, value);
   }
 
-  /// One result row: a name plus numeric metrics.
+  /// One result row: a name plus numeric metrics. Public sink: everything
+  /// recorded here lands in the committed/uploaded bench JSON.
+  SEPRIV_PUBLIC_SINK
   void AddRecord(
       const std::string& name,
       std::vector<std::pair<std::string, double>> metrics) {
@@ -48,10 +51,12 @@ class BenchJson {
   }
 
   /// Writes the document; returns false (with a stderr note) on IO failure.
+  /// Public sink (the emitted file is the published benchmark artifact).
   /// A "mem/rss" record (peak_mb / current_mb at write time, 0 = unknown)
   /// is appended automatically so every baseline tracks memory alongside
   /// time. Memory numbers are machine-dependent: diff them for order-of-
   /// magnitude regressions, not bit-exactly.
+  SEPRIV_PUBLIC_SINK
   bool Write(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   const double stddev = clip * 5.0;  // C·σ, the non-zero noise scale
   const double lr = 0.1;
 
+  // sepriv-privflow: allow(leak): public-by-policy: prints aggregate timing/utility metrics of synthetic benchmark graphs
   std::printf("# bench_parallel_scaling\n");
   std::printf("# hardware threads: %zu\n", ThreadPool::ResolveThreads(0));
   std::printf("# graph: BA n=%zu, dim=%zu, k=%d, B=%zu, steps=%zu\n", nodes,
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
     // Warm-up step: touches the scratch allocations and page-faults the
     // accumulators so the timed region measures steady-state throughput.
     engine.AccumulateBatch(model, sampler.All(), batches[0]);
+    // sepriv-privflow: allow(unaccounted-sanitizer): microbenchmark of the primitive; only timings are published, the perturbed buffers are discarded
     engine.PerturbNonZero(stddev, noise_rng);
     engine.ApplyUpdate(model, lr);
 
@@ -121,6 +123,7 @@ int main(int argc, char** argv) {
     const uint64_t digest = MatrixDigest(model.w_in);
     std::printf("%-8zu %14.3f %14.0f %9.2fx %18" PRIx64 "\n", threads, secs,
                 rate, rate / base_rate, digest);
+    // sepriv-privflow: allow(leak): public-by-policy: record carries config echoes and aggregate metrics of a synthetic graph
     json.AddRecord("batch_step/t" + std::to_string(threads),
                    {{"threads", static_cast<double>(threads)},
                     {"time_s", secs},
@@ -135,6 +138,7 @@ int main(int argc, char** argv) {
       "# digests must be identical: the engine is bit-identical across "
       "thread counts\n");
   if (const char* path = bench::JsonPathFromArgs(argc, argv)) {
+    // sepriv-privflow: allow(leak): public-by-policy: publishes the aggregate-metric records collected above
     if (json.Write(path)) std::printf("# wrote %s\n", path);
   }
   return 0;

@@ -90,6 +90,7 @@ int main() {
 
   for (int v = 0; v < 2; ++v) {
     const bool use_dw = v == 0;
+    // sepriv-privflow: allow(leak): public-by-policy: prints aggregate timing/utility metrics of synthetic benchmark graphs
     std::printf("\nSE-PrivGEmb%s (StrucEqu mean±sd over %d runs)\n",
                 use_dw ? "DW" : "Deg", profile.repeats);
     std::printf("%-22s %-18s %-18s\n", "Dataset(eps)", "Naive", "Non-zero");

@@ -26,6 +26,7 @@ void RunParameterSweep(const SweepSpec& spec) {
         BuildEdgeProximity(graphs.back(), ProximityKind::kDeepWalk, profile));
     deg.push_back(BuildEdgeProximity(
         graphs.back(), ProximityKind::kPreferentialAttachment, profile));
+    // sepriv-privflow: allow(leak): public-by-policy: prints aggregate timing/utility metrics of synthetic benchmark graphs
     std::printf("  %-12s %s\n", DatasetName(id).c_str(),
                 graphs.back().Summary().c_str());
   }

@@ -48,6 +48,7 @@ void Explore(const Graph& graph, ProximityKind kind) {
   }
   std::sort(ranked.rbegin(), ranked.rend());
 
+  // sepriv-privflow: allow(leak): demo on a bundled synthetic graph; the printed summary is illustrative, not a data release
   std::printf("preference=%-18s corr(x_ij, log p_ij)=%.3f  top edges:",
               ProximityKindName(kind).c_str(),
               PearsonCorrelation(learned, theory));
@@ -63,6 +64,7 @@ void Explore(const Graph& graph, ProximityKind kind) {
 
 int main() {
   Graph graph = KarateClub();
+  // sepriv-privflow: allow(leak): demo on a bundled synthetic graph; the printed summary is illustrative, not a data release
   std::printf("Graph: %s (Zachary's karate club)\n\n", graph.Summary().c_str());
   std::printf("Each row trains the SAME model with a different structure "
               "preference (Theorem 3):\n\n");

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     graph = std::move(*loaded);
+    // sepriv-privflow: allow(leak): demo on a bundled synthetic graph; the printed summary is illustrative, not a data release
     std::printf("Loaded %s: %s\n", argv[1], graph.Summary().c_str());
   } else {
     graph = PowerLawCluster(/*n=*/1000, /*m=*/6, /*triangle_p=*/0.5,

@@ -20,6 +20,7 @@ using namespace sepriv;
 
 int main() {
   Graph graph = MakeDataset(DatasetId::kPower, /*scale=*/0.25);
+  // sepriv-privflow: allow(leak): demo on a bundled synthetic graph; the printed summary is illustrative, not a data release
   std::printf("Graph: %s (Power-grid stand-in)\n\n", graph.Summary().c_str());
 
   SePrivGEmbConfig config;

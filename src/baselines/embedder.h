@@ -14,6 +14,7 @@
 
 #include "graph/graph.h"
 #include "linalg/matrix.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv {
 
@@ -41,7 +42,8 @@ struct EmbedderOptions {
   bool non_private = false;
 };
 
-struct EmbedderResult {
+// Public sink: the baseline's published embedding.
+struct SEPRIV_PUBLIC_SINK EmbedderResult {
   Matrix embedding;          // |V| x dim
   size_t epochs_run = 0;
   double spent_epsilon = 0.0;
@@ -52,6 +54,10 @@ class GraphEmbedder {
  public:
   virtual ~GraphEmbedder() = default;
   virtual std::string Name() const = 0;
+  /// Sanitizer: every baseline's Embed is its accountant-gated DP pipeline
+  /// (the non_private diagnostic mode is statically sanctioned, like the
+  /// trainer's kNone strategy).
+  SEPRIV_DP_SANITIZER
   virtual EmbedderResult Embed(const Graph& graph) = 0;
 };
 

@@ -36,6 +36,9 @@ Matrix CappedSumAggregate(const Graph& g, const Matrix& h, size_t cap) {
 /// One noisy aggregation hop: H' = rownorm( cappedsum(H) + N(0, (√K·σ)²) ).
 /// Rows are unit-normalised BEFORE aggregation (bounding each node's
 /// contribution to 1) and the noise std carries the √K sensitivity.
+/// Sanitizer: the GAP noise-injection step; its caller (Embed) calibrates σ
+/// through the accountant and charges one RDP step per hop.
+SEPRIV_DP_SANITIZER
 Matrix NoisyHop(const Graph& g, Matrix h, size_t cap, double sigma, Rng& rng) {
   RowNormalizeInPlace(h);
   Matrix next = CappedSumAggregate(g, h, cap);

@@ -141,6 +141,7 @@ double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
         if (opts_.clip_per_sample) {
           // Per-sample clipping, separately per parameter matrix: e∇_{v_i}
           // (center, Win) and the joint e∇_{v_j} block (contexts, Wout).
+          // sepriv-privflow: allow(unaccounted-sanitizer): charged by the epoch driver — RunEpochs owns the RdpAccountant; the engine is mechanism plumbing below the accounting layer
           ClipL2InPlace(center, opts_.clip_threshold);
           ClipL2InPlace(rows, opts_.clip_threshold);
         }
@@ -192,6 +193,10 @@ double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
 void BatchGradientEngine::PerturbNonZero(double stddev, Rng& rng) {
   const Rng base = rng.Fork();  // one master draw per perturbation
   if (stddev == 0.0) return;
+  // Runtime half of the privacy-flow contract: the accumulators now carry
+  // DP noise, and ApplyUpdate forwards the sanitized bit into the model.
+  grad_in_.matrix().MarkDpSanitized();
+  grad_out_.matrix().MarkDpSanitized();
   const std::vector<uint32_t>& in_rows = grad_in_.touched();
   const std::vector<uint32_t>& out_rows = grad_out_.touched();
   const size_t in_blocks = NumBlocks(in_rows.size());
@@ -226,6 +231,8 @@ void BatchGradientEngine::PerturbNaiveIntoModel(SkipGramModel& model,
                                                 double stddev, Rng& rng) {
   const Rng base = rng.Fork();
   if (stddev == 0.0) return;
+  model.w_in.MarkDpSanitized();
+  model.w_out.MarkDpSanitized();
   const size_t n = opts_.num_nodes;
   const size_t dim = opts_.dim;
   pool_.ParallelFor(NumBlocks(n), 1, [&](size_t begin, size_t end) {
@@ -257,6 +264,10 @@ void BatchGradientEngine::ApplyUpdate(SkipGramModel& model,
   };
   apply(grad_in_.touched(), model.w_in, grad_in_.matrix());
   apply(grad_out_.touched(), model.w_out, grad_out_.matrix());
+  // Forward the runtime taint bit: once PerturbNonZero has noised the
+  // accumulators, the model rows they update are DP-sanitized output.
+  if (grad_in_.matrix().dp_sanitized()) model.w_in.MarkDpSanitized();
+  if (grad_out_.matrix().dp_sanitized()) model.w_out.MarkDpSanitized();
   grad_in_.Clear();
   grad_out_.Clear();
 }

@@ -49,6 +49,7 @@
 #include "core/sparse_row_grad.h"
 #include "embedding/skipgram.h"
 #include "embedding/subgraph_sampler.h"
+#include "util/privacy_annotations.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -74,8 +75,9 @@ struct BatchGradientEngineOptions {
 /// One training sample as the gradient phase consumes it: the (center,
 /// context, negatives) triple plus its resolved positive weight p_ij. The
 /// negatives span points into source-owned storage and is only valid until
-/// the source's next PinShard call (or destruction).
-struct SampleView {
+/// the source's next PinShard call (or destruction). Sensitive: a sample IS
+/// a raw edge plus adjacency-derived negatives.
+struct SEPRIV_SENSITIVE_SOURCE SampleView {
   NodeId center = 0;
   NodeId context = 0;
   double weight = 0.0;  // p_ij of the sample's edge
@@ -163,12 +165,16 @@ class BatchGradientEngine {
 
   /// Ñ(·) of Eq. (9): adds N(0, stddev²) to every touched accumulator row,
   /// generated in row blocks on the pool. Consumes one draw from `rng` to
-  /// key the epoch's noise substreams.
+  /// key the epoch's noise substreams. Marks the accumulators dp-sanitized
+  /// (stddev > 0); ApplyUpdate forwards the bit to the model.
+  SEPRIV_DP_SANITIZER
   void PerturbNonZero(double stddev, Rng& rng);
 
   /// Eq. (6): dense noise on every row of both model matrices, applied
   /// directly as  w -= lr · N(0, stddev²)  so the accumulators' touched-row
   /// invariant stays intact. Row-block parallel, same substream scheme.
+  /// Marks the model matrices dp-sanitized (stddev > 0).
+  SEPRIV_DP_SANITIZER
   void PerturbNaiveIntoModel(SkipGramModel& model, double learning_rate,
                              double stddev, Rng& rng);
 

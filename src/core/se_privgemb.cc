@@ -23,6 +23,8 @@ namespace {
 /// in-memory and out-of-core trainers: both hand it a SampleSource and the
 /// same Rng position, so every downstream draw — batch subsampling, noise
 /// substreams — and therefore the model is identical between them.
+/// Sanitizer: this is the accountant-gated perturbation loop itself.
+SEPRIV_DP_SANITIZER
 void RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
                double min_weight, SampleSource& source,
                const AliasTable* positive_alias, SkipGramModel& model,
@@ -121,6 +123,17 @@ void RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
     result.spent_epsilon = bound.epsilon;
     result.best_rdp_order = bound.best_order;
     result.spent_delta = accountant->GetDelta(cfg.epsilon);
+    // Debug-build end-to-end validation of the static privacy-flow model:
+    // when epochs actually ran privately, the mechanism layer must have
+    // marked the published matrices (PerturbNonZero → ApplyUpdate forward,
+    // or PerturbNaiveIntoModel directly). A σ=0 config legitimately leaves
+    // them unmarked — there is no noise to certify — so only assert when
+    // noise was configured.
+    if (result.epochs_run > 0 && cfg.noise_multiplier > 0.0 &&
+        cfg.clip_threshold > 0.0) {
+      SEPRIV_DCHECK_SANITIZED(result.model.w_in);
+      SEPRIV_DCHECK_SANITIZED(result.model.w_out);
+    }
   }
 }
 

@@ -28,11 +28,16 @@
 #include "graph/graph.h"
 #include "graph/shard.h"
 #include "proximity/proximity.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv {
 
-/// Everything a caller needs to publish and audit the embedding.
-struct TrainResult {
+/// Everything a caller needs to publish and audit the embedding. A public
+/// sink: producing a TrainResult from raw graph data without a sanitizer is
+/// a privacy-flow violation (the embedding is the published artifact), and
+/// in debug builds the private trainer asserts the model matrices carry the
+/// mechanism layer's sanitized bit.
+struct SEPRIV_PUBLIC_SINK TrainResult {
   SkipGramModel model;           // Win (published) and Wout
 
   size_t epochs_run = 0;         // actual optimisation steps taken
@@ -77,6 +82,11 @@ class SePrivGEmb {
   SePrivGEmb& operator=(const SePrivGEmb&) = delete;
 
   /// Runs Algorithm 2 and returns the private embedding matrices.
+  /// Sanitizer: the accountant-gated path from raw samples to the published
+  /// model (with PerturbationStrategy::kNone the output is NOT private —
+  /// statically sanctioned, but flagged at runtime by the unset
+  /// dp_sanitized bit).
+  SEPRIV_DP_SANITIZER
   TrainResult Train();
 
   /// The per-edge preference weights the trainer will use (post
@@ -124,6 +134,7 @@ struct OutOfCoreTrainOptions {
 /// bits, loss curve, accounting — is identical to SePrivGEmb::Train() on
 /// the equivalent in-memory graph, for every shard count, thread count,
 /// and pool budget.
+SEPRIV_DP_SANITIZER
 TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
                            const SePrivGEmbConfig& config,
                            const OutOfCoreTrainOptions& ooc,

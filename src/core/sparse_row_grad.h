@@ -15,10 +15,11 @@
 
 #include "linalg/kernels.h"
 #include "linalg/matrix.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv {
 
-class SparseRowGrad {
+class SEPRIV_SENSITIVE_SOURCE SparseRowGrad {
  public:
   SparseRowGrad(size_t rows, size_t cols)
       : grad_(rows, cols), is_touched_(rows, 0) {}

@@ -20,7 +20,15 @@ double CalibrateNoiseMultiplier(double epsilon, double delta,
                                 int max_order, double sigma_lo,
                                 double sigma_hi) {
   SEPRIV_CHECK(epsilon > 0.0, "epsilon must be positive");
+  SEPRIV_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0, 1), got %g",
+               delta);
   SEPRIV_CHECK(num_queries > 0, "need at least one query");
+  SEPRIV_CHECK(sampling_rate > 0.0 && sampling_rate <= 1.0,
+               "sampling rate must be in (0, 1], got %g", sampling_rate);
+  SEPRIV_CHECK(sigma_lo > 0.0 && sigma_hi >= sigma_lo,
+               "need 0 < sigma_lo <= sigma_hi (got [%g, %g]): a non-positive "
+               "noise multiplier would silently disable the mechanism",
+               sigma_lo, sigma_hi);
   if (EpsilonFor(sigma_hi, delta, num_queries, sampling_rate, max_order) >
       epsilon) {
     return sigma_hi;  // cannot meet the budget within the search range

@@ -6,10 +6,17 @@
 
 #include <span>
 
+#include "util/privacy_annotations.h"
+
 namespace sepriv {
 
 /// Scales `grad` in place so its L2 norm is at most `threshold`. Returns the
-/// applied scale factor (1.0 when no clipping occurred).
+/// applied scale factor (1.0 when no clipping occurred). Sanitizer-annotated
+/// as the sensitivity-bounding half of the Gaussian mechanism: clipping
+/// without a downstream accountant-charged noise step is NOT DP, which is
+/// exactly what privflow's accountant-pairing rule checks at every call
+/// site.
+SEPRIV_DP_SANITIZER
 double ClipL2InPlace(std::span<double> grad, double threshold);
 
 /// Returns the scale factor that ClipL2InPlace would apply for a gradient of

@@ -18,10 +18,12 @@ void AddGaussianNoiseToRows(Matrix& m, std::span<const uint32_t> rows,
     SEPRIV_CHECK(r < m.rows(), "row %u out of range (%zu rows)", r, m.rows());
     AddGaussianNoise(m.Row(r), stddev, rng);
   }
+  if (stddev > 0.0) m.MarkDpSanitized();
 }
 
 void AddGaussianNoiseToAllRows(Matrix& m, double stddev, Rng& rng) {
   AddGaussianNoise({m.data(), m.size()}, stddev, rng);
+  if (stddev > 0.0) m.MarkDpSanitized();
 }
 
 }  // namespace sepriv

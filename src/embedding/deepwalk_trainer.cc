@@ -10,6 +10,10 @@
 
 namespace sepriv {
 
+// DeepWalk is the deliberately non-private utility baseline; its result is
+// labelled as such and never released under a DP claim (the DP counterparts
+// go through the SePrivGEmb/Embedder sanitizers).
+// sepriv-privflow: allow(leak): non-private baseline by design, see above
 DeepWalkResult TrainDeepWalk(const Graph& graph,
                              const DeepWalkConfig& config) {
   SEPRIV_CHECK(graph.num_nodes() >= 2, "graph too small for DeepWalk");

@@ -14,6 +14,7 @@
 
 #include "embedding/skipgram.h"
 #include "graph/graph.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv {
 
@@ -29,7 +30,9 @@ struct DeepWalkConfig {
   uint64_t seed = 1;
 };
 
-struct DeepWalkResult {
+// Public sink: a NON-private published embedding — the paper's non-private
+// reference point. Its producer carries a justified privflow suppression.
+struct SEPRIV_PUBLIC_SINK DeepWalkResult {
   SkipGramModel model;
   size_t pairs_trained = 0;
 };

@@ -55,7 +55,11 @@ class SampleStoreWriter {
       const std::string& path, size_t negatives_per_sample,
       size_t page_size = kSampleStorePageBytes);
 
-  /// Appends one sample. Returns false on I/O failure (sticky).
+  /// Appends one sample. Returns false on I/O failure (sticky). Public
+  /// sink: the record is a raw (edge, negatives) sample serialized to disk;
+  /// only the sanitizer-gated out-of-core trainer (which unlinks the file)
+  /// and policy-suppressed test fixtures may write one.
+  SEPRIV_PUBLIC_SINK
   bool Append(const Subgraph& s, double weight);
 
   /// Flushes the tail page, publishes the header, and syncs. The store is

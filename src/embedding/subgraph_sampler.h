@@ -19,12 +19,13 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/privacy_annotations.h"
 #include "util/rng.h"
 
 namespace sepriv {
 
 /// One training example: an observed edge plus its negative samples.
-struct Subgraph {
+struct SEPRIV_SENSITIVE_SOURCE Subgraph {
   NodeId center = 0;               // v_i of Eq. (5)
   NodeId context = 0;              // v_j
   std::vector<NodeId> negatives;   // v_n, (center, v_n) ∉ E

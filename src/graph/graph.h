@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/privacy_annotations.h"
+
 namespace sepriv {
 
 /// Node identifier; graphs in the paper's evaluation reach 2.24M nodes.
@@ -39,16 +41,20 @@ class Graph {
   static Graph FromEdges(size_t num_nodes, std::vector<Edge> edges);
 
   size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  SEPRIV_SENSITIVE_SOURCE
   size_t num_edges() const { return edges_.size(); }
 
   /// Sorted neighbour list of v.
+  SEPRIV_SENSITIVE_SOURCE
   std::span<const NodeId> Neighbors(NodeId v) const {
     return {adjacency_.data() + offsets_[v],
             offsets_[v + 1] - offsets_[v]};
   }
 
+  SEPRIV_SENSITIVE_SOURCE
   size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
 
+  SEPRIV_SENSITIVE_SOURCE
   size_t MaxDegree() const;
 
   /// Adjacency test: O(1) when either endpoint is a high-degree node (its
@@ -56,6 +62,7 @@ class Graph {
   /// binary search otherwise. Sits in every negative-sampling rejection
   /// loop and in the link-prediction non-edge draw, where the hot queries
   /// are exactly the high-degree rows the bitsets cover.
+  SEPRIV_SENSITIVE_SOURCE
   bool HasEdge(NodeId u, NodeId v) const;
 
   /// True when node v owns a membership bitset (exposed for tests and the
@@ -65,22 +72,28 @@ class Graph {
   }
 
   /// Canonical edge list, each edge once with u < v, sorted lexicographically.
+  SEPRIV_SENSITIVE_SOURCE
   const std::vector<Edge>& Edges() const { return edges_; }
 
   /// Raw CSR arrays (offsets size |V|+1, adjacency size 2|E|). The sharding
   /// layer slices these directly; other callers should prefer Neighbors().
+  SEPRIV_SENSITIVE_SOURCE
   std::span<const size_t> OffsetArray() const { return offsets_; }
+  SEPRIV_SENSITIVE_SOURCE
   std::span<const NodeId> AdjacencyArray() const { return adjacency_; }
 
   /// Number of common neighbours of u and v (sorted-list intersection).
+  SEPRIV_SENSITIVE_SOURCE
   size_t CommonNeighborCount(NodeId u, NodeId v) const;
 
   /// Squared Euclidean distance between adjacency rows u and v:
   /// ||A_u - A_v||^2 = deg(u) + deg(v) - 2|N(u) ∩ N(v)|, adjusted so that a
   /// (u,v) edge contributes symmetrically. Used by the StrucEqu metric.
+  SEPRIV_SENSITIVE_SOURCE
   double AdjacencyRowSquaredDistance(NodeId u, NodeId v) const;
 
   /// Mean degree 2|E| / |V|.
+  SEPRIV_SENSITIVE_SOURCE
   double AverageDegree() const {
     return num_nodes() == 0
                ? 0.0
@@ -89,15 +102,18 @@ class Graph {
   }
 
   /// Per-node degree vector (double, for samplers and proximities).
+  SEPRIV_SENSITIVE_SOURCE
   std::vector<double> DegreeVector() const;
 
   /// 64-bit structural hash over the CSR arrays (offsets + adjacency +
   /// counts). Two graphs share a fingerprint iff they have identical node
   /// count and canonical edge lists; stable across processes and platforms
   /// of equal endianness. Keys the persistent proximity cache.
+  SEPRIV_SENSITIVE_SOURCE
   uint64_t Fingerprint() const;
 
   /// Human-readable one-line summary ("|V|=..., |E|=..., avg deg=...").
+  SEPRIV_SENSITIVE_SOURCE
   std::string Summary() const;
 
  private:

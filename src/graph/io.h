@@ -14,6 +14,7 @@
 
 #include "graph/graph.h"
 #include "graph/shard.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv {
 
@@ -44,6 +45,9 @@ std::optional<ShardManifest> ReadEdgeListToShards(
     bool remap_ids = false, size_t bytes_budget = size_t{64} << 20);
 
 /// Writes the canonical edge list ("u v" per line). Returns false on failure.
+/// Public sink: the written file is the raw graph — only policy-suppressed
+/// callers (dataset tooling, test fixtures in temp dirs) may reach it.
+SEPRIV_PUBLIC_SINK
 bool WriteEdgeList(const Graph& graph, const std::string& path);
 
 }  // namespace sepriv

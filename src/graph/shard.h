@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/privacy_annotations.h"
 #include "util/buffer_pool.h"
 #include "util/page_file.h"
 
@@ -66,7 +67,10 @@ struct ShardManifest {
 
 /// Read-only facade over one resident shard. `offsets` holds the GLOBAL
 /// offset values offsets[node_begin..node_end] (node_end-node_begin+1
-/// entries); `adjacency` is the slice rebased at adj_begin.
+/// entries); `adjacency` is the slice rebased at adj_begin. Its accessors
+/// share names (Degree/Neighbors/HasEdge) with Graph's source-annotated
+/// ones — privflow's name-keyed call graph covers both — and ForEachEdge is
+/// annotated here.
 struct ShardView {
   NodeId node_begin = 0;
   NodeId node_end = 0;
@@ -93,7 +97,7 @@ struct ShardView {
   /// Visits the shard's canonical edges in global order:
   /// fn(global_edge_index, u, v) with u < v and u in the shard's range.
   template <typename Fn>
-  void ForEachEdge(Fn&& fn) const {
+  SEPRIV_SENSITIVE_SOURCE void ForEachEdge(Fn&& fn) const {
     size_t e = edge_begin;
     for (NodeId u = node_begin; u < node_end; ++u) {
       for (NodeId v : Neighbors(u)) {

@@ -81,9 +81,19 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  /// Runtime half of the privacy-flow contract (util/privacy_annotations.h):
+  /// the DP mechanism layer marks a matrix sanitized when it injects noise,
+  /// and SEPRIV_DCHECK_SANITIZED asserts the bit at publication boundaries.
+  /// The bit survives copies/moves (post-processing preserves DP) but is
+  /// deliberately NOT cleared by further writes — it certifies that noise
+  /// was applied somewhere in the matrix's history, not freshness.
+  void MarkDpSanitized() { dp_sanitized_ = true; }
+  bool dp_sanitized() const { return dp_sanitized_; }
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
+  bool dp_sanitized_ = false;
   std::vector<double> data_;
 };
 

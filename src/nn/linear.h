@@ -9,6 +9,7 @@
 
 #include "linalg/matrix.h"
 #include "util/rng.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv {
 
@@ -42,6 +43,7 @@ class Linear {
   void ScaleGrads(double factor);
 
   /// Adds i.i.d. N(0, stddev²) to all parameter gradients (DPSGD noise).
+  SEPRIV_DP_SANITIZER
   void AddGradNoise(double stddev, Rng& rng);
 
  private:

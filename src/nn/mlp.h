@@ -9,6 +9,7 @@
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/optimizer.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv {
 
@@ -30,6 +31,7 @@ class Mlp {
   void ClipGrads(double threshold);
 
   /// Adds N(0, stddev²) noise to every parameter gradient.
+  SEPRIV_DP_SANITIZER
   void AddGradNoise(double stddev, Rng& rng);
 
   /// One Adam step on all layers with the accumulated gradients.

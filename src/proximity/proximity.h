@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/privacy_annotations.h"
 
 namespace sepriv {
 
@@ -62,6 +63,7 @@ class ProximityProvider {
   /// At() must be a pure function of (i, j) and construction parameters —
   /// independent of query order and of any mutable caching — so that clones
   /// sharded across threads reproduce the serial output bit for bit.
+  SEPRIV_SENSITIVE_SOURCE
   virtual double At(NodeId i, NodeId j) const = 0;
 
   /// Fresh provider over the same graph with identical parameters and an
@@ -76,8 +78,9 @@ class ProximityProvider {
 };
 
 /// Per-edge proximity table, aligned with Graph::Edges(); the trainer's view
-/// of a structure preference.
-struct EdgeProximity {
+/// of a structure preference. Sensitive: per-edge proximities are a direct
+/// function of the adjacency structure.
+struct SEPRIV_SENSITIVE_SOURCE EdgeProximity {
   std::vector<double> values;  // symmetric p_ij per canonical edge
   double min_positive = 0.0;   // min(P) over positive edge proximities
   double max_value = 0.0;

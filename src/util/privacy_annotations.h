@@ -1,0 +1,62 @@
+// Privacy-flow annotation vocabulary — the machine-checked half of the
+// repo's central contract: no raw graph data (adjacency, degrees, edge
+// proximities, per-sample gradients) may reach a public output (published
+// embeddings, bench JSON, serialized files, stdout) except through an
+// accountant-charged DP mechanism.
+//
+// The macros below expand to nothing; they exist so `tools/lint/privflow`
+// (run as ctest `lint.privflow_tree` and in CI) can build an
+// over-approximated call graph and verify that every sensitive→sink path
+// crosses a sanitizer:
+//
+//   SEPRIV_SENSITIVE_SOURCE  on a function: its return value derives from
+//                            raw graph data. On a struct/class: any function
+//                            referencing the type handles raw graph data.
+//   SEPRIV_DP_SANITIZER      on a function: it applies (or is gated by) a
+//                            DP mechanism; taint does not propagate through
+//                            it, and every call to it must be paired with
+//                            accountant evidence (an RdpAccountant /
+//                            SubsampledGaussianRdp / CalibrateNoiseMultiplier
+//                            reference in the caller or in the sanitizer
+//                            itself), or privflow flags the call as noise
+//                            without budget accounting.
+//   SEPRIV_PUBLIC_SINK       on a function: it publishes its arguments
+//                            (JSON emitters, file writers, stdout paths).
+//                            On a struct/class: returning the type from a
+//                            tainted function is a publication.
+//
+// Violations are suppressed only with a justification:
+//   // sepriv-privflow: allow(rule): why this path is sound
+// (unjustified or stale suppressions are themselves violations — see
+// README "Privacy dataflow contract").
+//
+// The static model is path-INsensitive: a sanitizer call anywhere in a
+// function blesses all of its source→sink flows. The runtime taint bit
+// (Matrix::dp_sanitized, set by the mechanism layer) plus
+// SEPRIV_DCHECK_SANITIZED close that gap in debug builds: the non-private
+// trainer path produces an unsanitized matrix and trips the check at the
+// publication boundary.
+
+#ifndef SEPRIVGEMB_UTIL_PRIVACY_ANNOTATIONS_H_
+#define SEPRIVGEMB_UTIL_PRIVACY_ANNOTATIONS_H_
+
+#include "util/check.h"
+
+#define SEPRIV_SENSITIVE_SOURCE
+#define SEPRIV_DP_SANITIZER
+#define SEPRIV_PUBLIC_SINK
+
+/// Debug-build runtime taint assertion: aborts when `matrix` (a
+/// linalg/matrix.h Matrix) has not been marked sanitized by the DP
+/// mechanism layer. Place at publication boundaries of matrices that are
+/// only safe to release under DP (e.g. the private trainer's TrainResult).
+#ifndef NDEBUG
+#define SEPRIV_DCHECK_SANITIZED(matrix)                                   \
+  SEPRIV_CHECK((matrix).dp_sanitized(),                                   \
+               "matrix reaches a DP publication boundary without the "    \
+               "mechanism layer's sanitized bit (no noise was applied)")
+#else
+#define SEPRIV_DCHECK_SANITIZED(matrix) ((void)0)
+#endif
+
+#endif  // SEPRIVGEMB_UTIL_PRIVACY_ANNOTATIONS_H_

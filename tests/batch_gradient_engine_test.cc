@@ -59,6 +59,7 @@ void SerialReference(const Fixture& f, bool clip, double clip_threshold,
     SgnsGradient g = ComputeSgnsGradient(f.model, s, pij, pij);
     loss_out += g.loss;
     if (clip) {
+      // sepriv-privflow: allow(unaccounted-sanitizer): unit test exercises the mechanism primitive directly; no privacy claim on its output
       ClipL2InPlace(g.center_grad, clip_threshold);
       double sq = 0.0;
       for (const auto& [_, grad] : g.context_grads) {
@@ -106,6 +107,7 @@ TEST(BatchGradientEngineTest, NonZeroPerturbationThreadCountInvariant) {
     BatchGradientEngine engine(f.Options(threads, true), f.weights);
     engine.AccumulateBatch(f.model, f.sampler.All(), f.batch);
     Rng noise_rng(777);
+    // sepriv-privflow: allow(unaccounted-sanitizer): unit test exercises the mechanism primitive directly; no privacy claim on its output
     engine.PerturbNonZero(2.5, noise_rng);
     if (threads == 1) {
       base_in = engine.grad_in().matrix();
@@ -126,6 +128,7 @@ TEST(BatchGradientEngineTest, NonZeroPerturbationOnlyTouchesTouchedRows) {
   std::vector<bool> touched(f.graph.num_nodes(), false);
   for (uint32_t r : engine.grad_out().touched()) touched[r] = true;
   Rng noise_rng(5);
+  // sepriv-privflow: allow(unaccounted-sanitizer): unit test exercises the mechanism primitive directly; no privacy claim on its output
   engine.PerturbNonZero(1.0, noise_rng);
   for (size_t v = 0; v < f.graph.num_nodes(); ++v) {
     if (touched[v]) continue;
@@ -142,6 +145,7 @@ TEST(BatchGradientEngineTest, NaivePerturbationThreadCountInvariant) {
     BatchGradientEngine engine(f.Options(threads, true), f.weights);
     SkipGramModel model = f.model;  // perturbed in place
     Rng noise_rng(888);
+    // sepriv-privflow: allow(unaccounted-sanitizer): unit test exercises the mechanism primitive directly; no privacy claim on its output
     engine.PerturbNaiveIntoModel(model, 0.1, 3.0, noise_rng);
     EXPECT_GT(MaxAbsDiff(model.w_in, f.model.w_in), 0.0);  // noise landed
     if (threads == 1) {
@@ -190,6 +194,7 @@ TEST(BatchGradientEngineTest, ScratchReuseAcrossBatchesStaysCorrect) {
     const double la = a.AccumulateBatch(model_a, f.sampler.All(), batch);
     const double lb = b.AccumulateBatch(model_b, f.sampler.All(), batch);
     EXPECT_EQ(la, lb);
+    // sepriv-privflow: allow(unaccounted-sanitizer): unit test exercises the mechanism primitive directly; no privacy claim on its output
     a.PerturbNonZero(0.8, rng_a);
     b.PerturbNonZero(0.8, rng_b);
     a.ApplyUpdate(model_a, 0.1);

@@ -315,6 +315,7 @@ TEST(TrainerTest, AutoThreadsMatchesExplicitThreadCount) {
 TEST(TrainerTest, ProximityCacheKnobResolution) {
   // Save/restore the real variable: the CI integration job exports it for
   // the whole binary and later tests must keep seeing it.
+  // sepriv-lint: allow(raw-getenv): save/restore must distinguish unset from empty, which the GetStringEnv fallback cannot
   const char* saved = std::getenv("SEPRIV_PROXIMITY_CACHE");
   const std::string saved_value = saved == nullptr ? "" : saved;
 
@@ -381,6 +382,55 @@ TEST(TrainerTest, ConfigDebugStringMentionsKeyParams) {
   EXPECT_NE(s.find("sigma=5"), std::string::npos);
   EXPECT_NE(s.find("non-zero"), std::string::npos);
 }
+
+// Runtime half of the privacy-flow contract (the static half is
+// tools/lint/privflow): the mechanism layer stamps Matrix::dp_sanitized when
+// it actually injects noise, so a published TrainResult can be audited for
+// whether the DP path really ran — path sensitivity the static taint pass
+// gives up on.
+TEST(TrainerTest, PrivateTrainMarksModelSanitized) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 5;
+  SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult r = trainer.Train();  // kNonZero: accumulator noise
+  ASSERT_GT(r.epochs_run, 0u);
+  EXPECT_TRUE(r.model.w_in.dp_sanitized());
+  EXPECT_TRUE(r.model.w_out.dp_sanitized());
+}
+
+TEST(TrainerTest, NaivePerturbationAlsoMarksModelSanitized) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 5;
+  cfg.perturbation = PerturbationStrategy::kNaive;
+  SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult r = trainer.Train();
+  ASSERT_GT(r.epochs_run, 0u);
+  EXPECT_TRUE(r.model.w_in.dp_sanitized());
+  EXPECT_TRUE(r.model.w_out.dp_sanitized());
+}
+
+TEST(TrainerTest, NonPrivateTrainLeavesModelUnsanitized) {
+  Graph g = KarateClub();
+  auto cfg = SmallConfig();
+  cfg.max_epochs = 5;
+  cfg.perturbation = PerturbationStrategy::kNone;
+  SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult r = trainer.Train();
+  ASSERT_GT(r.epochs_run, 0u);
+  EXPECT_FALSE(r.model.w_in.dp_sanitized());
+  EXPECT_FALSE(r.model.w_out.dp_sanitized());
+}
+
+#ifndef NDEBUG
+TEST(TrainerDeathTest, UnsanitizedMatrixFailsPublicationCheck) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(SEPRIV_DCHECK_SANITIZED(m), "sanitized bit");
+  m.MarkDpSanitized();
+  SEPRIV_DCHECK_SANITIZED(m);  // passes once the mechanism layer stamps it
+}
+#endif
 
 }  // namespace
 }  // namespace sepriv

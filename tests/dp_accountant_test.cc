@@ -189,5 +189,26 @@ TEST(CalibrationTest, NearTightCalibration) {
   EXPECT_LE(acct.GetEpsilon(1e-5).epsilon, 2.0 * 1.001);
 }
 
+// Degenerate calibration inputs must abort rather than return a σ that
+// silently disables the mechanism or certifies an impossible budget.
+TEST(CalibrationDeathTest, BadDeltaAborts) {
+  EXPECT_DEATH(CalibrateNoiseMultiplier(1.0, 0.0, 10), "delta");
+  EXPECT_DEATH(CalibrateNoiseMultiplier(1.0, -1e-5, 10), "delta");
+  EXPECT_DEATH(CalibrateNoiseMultiplier(1.0, 1.0, 10), "delta");
+}
+
+TEST(CalibrationDeathTest, BadSamplingRateAborts) {
+  EXPECT_DEATH(CalibrateNoiseMultiplier(1.0, 1e-5, 10, 0.0), "sampling rate");
+  EXPECT_DEATH(CalibrateNoiseMultiplier(1.0, 1e-5, 10, -0.1), "sampling rate");
+  EXPECT_DEATH(CalibrateNoiseMultiplier(1.0, 1e-5, 10, 1.5), "sampling rate");
+}
+
+TEST(CalibrationDeathTest, BadSigmaRangeAborts) {
+  EXPECT_DEATH(CalibrateNoiseMultiplier(1.0, 1e-5, 10, 0.01, 64, 0.0, 10.0),
+               "sigma_lo");
+  EXPECT_DEATH(CalibrateNoiseMultiplier(1.0, 1e-5, 10, 0.01, 64, 5.0, 1.0),
+               "sigma_lo");
+}
+
 }  // namespace
 }  // namespace sepriv

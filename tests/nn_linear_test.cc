@@ -137,6 +137,7 @@ TEST(LinearTest, GradNormScaleAndNoise) {
   layer.ScaleGrads(0.5);
   EXPECT_NEAR(layer.GradSquaredNorm(), norm_sq * 0.25, 1e-9);
   const double before = layer.grad_w()(0, 0);
+  // sepriv-privflow: allow(unaccounted-sanitizer): unit test exercises the mechanism primitive directly; no privacy claim on its output
   layer.AddGradNoise(1.0, rng);
   EXPECT_NE(layer.grad_w()(0, 0), before);
 }

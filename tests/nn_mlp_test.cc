@@ -122,6 +122,7 @@ TEST(MlpTest, GradNoisePerturbsAllLayers) {
   Mlp mlp({3, 3, 3}, rng);
   mlp.ZeroGrad();
   EXPECT_DOUBLE_EQ(mlp.GradNorm(), 0.0);
+  // sepriv-privflow: allow(unaccounted-sanitizer): unit test exercises the mechanism primitive directly; no privacy claim on its output
   mlp.AddGradNoise(1.0, rng);
   EXPECT_GT(mlp.GradNorm(), 0.0);
   for (Linear& l : mlp.layers()) EXPECT_GT(l.GradSquaredNorm(), 0.0);

@@ -73,6 +73,7 @@ class SampleStoreTest : public ::testing::Test {
     auto writer = SampleStoreWriter::Create(path, k, page_size);
     ASSERT_NE(writer, nullptr);
     for (size_t i = 0; i < subgraphs.size(); ++i) {
+      // sepriv-privflow: allow(leak): synthetic samples serialized into a test temp dir
       ASSERT_TRUE(writer->Append(subgraphs[i], weights[i]));
     }
     ASSERT_TRUE(writer->Finish());
@@ -157,6 +158,7 @@ TEST_F(SampleStoreTest, UnfinishedFileIsRejected) {
     auto writer = SampleStoreWriter::Create(path, 3, kTinyPage);
     ASSERT_NE(writer, nullptr);
     for (size_t i = 0; i < subgraphs.size(); ++i) {
+      // sepriv-privflow: allow(leak): synthetic samples serialized into a test temp dir
       ASSERT_TRUE(writer->Append(subgraphs[i], weights[i]));
     }
     // Writer destroyed without Finish(): the header page stays zeroed.

@@ -1,0 +1,1033 @@
+// privflow — the repo-specific privacy-flow (taint/dataflow) checker.
+//
+// The repo's central invariant — the one the paper is about — is that no raw
+// graph data (adjacency, degrees, edge proximities, per-sample gradients)
+// reaches a public output (published embeddings, bench JSON, serialized
+// files, stdout) except through an accountant-charged DP mechanism. This
+// tool makes that invariant a compile-gated contract: it extracts every
+// function definition from the tree, builds an over-approximated (name-
+// keyed) call graph, propagates taint from SEPRIV_SENSITIVE_SOURCE
+// annotations (src/util/privacy_annotations.h), and fails unless every
+// tainted function that touches a SEPRIV_PUBLIC_SINK does so under a
+// SEPRIV_DP_SANITIZER. It runs as the CTest tests lint.privflow_tree /
+// lint.privflow_self_test, so a privacy leak is a tier-1 failure, not a
+// review comment.
+//
+// Model (deliberately simple and over-approximating):
+//   * A function DEFINITION is a node. Calls are resolved by bare name, so
+//     every definition sharing a callee's name receives the edge — method
+//     receivers are not type-resolved, with one refinement: a call from a
+//     member of class C to a name that C itself defines resolves within C
+//     only (so Rng::Uniform's `Next()` is Rng::Next, not every Next in the
+//     tree). Over-approximation direction: more taint, never less.
+//   * taint(F): F is (named as) an annotated source, references an
+//     annotated source TYPE, or calls a tainted non-sanitizer. Sanitizers
+//     never propagate taint (their output is the DP-protected release;
+//     downstream use is post-processing).
+//   * leak: a tainted non-sanitizer calls a sink function (annotated, or a
+//     builtin stdout path: printf/puts/std::cout, fprintf/fputs to a
+//     non-stderr stream) or returns a sink-annotated type. One diagnostic
+//     per (definition, sink name), at the first offending line.
+//   * unaccounted-sanitizer: a call to a sanitizer where neither the caller
+//     nor the sanitizer's own implementation (transitively) references the
+//     accountant (RdpAccountant / SubsampledGaussianRdp /
+//     CalibrateNoiseMultiplier) — noise without budget accounting.
+//
+// The model is path-INsensitive inside a function: one sanitizer call
+// blesses all of that function's flows. The debug-build runtime taint bit
+// (Matrix::dp_sanitized + SEPRIV_DCHECK_SANITIZED) closes exactly that gap.
+//
+// Suppression syntax (justification mandatory, own line or line above):
+//   // sepriv-privflow: allow(rule): why this path is sound
+// Rules: leak, unaccounted-sanitizer. Unjustified or stale suppressions are
+// themselves violations (bad-suppression / unused-suppression).
+//
+// Modes:
+//   privflow [--dot <path>] <dir-or-file>...   whole-tree scan (one global
+//                                              annotation namespace)
+//   privflow --self-test <fixture-dir>         per-file analysis, compared
+//                                              against `// expect-privflow:
+//                                              rule` markers
+// --explain <bare-name> (tree mode) prints every definition with that name
+// together with its taint verdict and witness — the way to audit why a
+// function is (or is not) considered tainted.
+// --dot writes a Graphviz digraph of the privacy-relevant call-graph slice
+// (sources red, sanitizers green, sinks blue, tainted nodes filled) for
+// auditing.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- Shared plumbing (diagnostics, tokens) -----------------------------------
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+  bool operator==(const Diagnostic& o) const {
+    return file == o.file && line == o.line && rule == o.rule;
+  }
+};
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tokenizes C++ source into identifiers and single-char punctuation,
+/// dropping comments, string/char literals, and — unlike sepriv_lint —
+/// whole preprocessor lines (so `#define SEPRIV_SENSITIVE_SOURCE` does not
+/// read as an annotation use; continuation lines are skipped too).
+std::vector<Token> Tokenize(const std::string& src) {
+  std::vector<Token> toks;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+    } else if (c == '#' && at_line_start) {
+      // Preprocessor directive: skip to end of line, honouring backslash
+      // continuations (multi-line macro definitions).
+      while (i < n) {
+        if (src[i] == '\n') {
+          bool continued = false;
+          size_t j = i;
+          while (j > 0 && (src[j - 1] == ' ' || src[j - 1] == '\t')) --j;
+          if (j > 0 && src[j - 1] == '\\') continued = true;
+          ++line;
+          ++i;
+          if (!continued) break;
+        } else {
+          ++i;
+        }
+      }
+      at_line_start = true;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;
+      at_line_start = false;
+    } else if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      toks.push_back({src.substr(i, j - i), line});
+      i = j;
+      at_line_start = false;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else {
+      toks.push_back({std::string(1, c), line});
+      ++i;
+      at_line_start = false;
+    }
+  }
+  return toks;
+}
+
+// --- Suppressions ------------------------------------------------------------
+
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  bool justified = false;
+  bool used = false;
+};
+
+/// `sepriv-privflow: allow(rule[, rule...]): justification` comments. Same
+/// discipline as sepriv_lint: the marker must open the `//` comment, the
+/// suppression covers its own line and the next, and the justification is
+/// mandatory.
+std::vector<Suppression> FindSuppressions(
+    const std::vector<std::string>& lines) {
+  std::vector<Suppression> out;
+  const std::string kMarker = std::string("sepriv-privflow") + ":";
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& text = lines[ln];
+    const size_t slashes = text.find("//");
+    if (slashes == std::string::npos) continue;
+    size_t at = slashes + 2;
+    while (at < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[at]))) {
+      ++at;
+    }
+    if (text.compare(at, kMarker.size(), kMarker) != 0) continue;
+    size_t p = text.find("allow", at);
+    if (p == std::string::npos) continue;
+    p = text.find('(', p);
+    const size_t close =
+        (p == std::string::npos) ? std::string::npos : text.find(')', p);
+    if (p == std::string::npos || close == std::string::npos) continue;
+    bool justified = false;
+    size_t j = close + 1;
+    if (j < text.size() && text[j] == ':') {
+      ++j;
+      while (j < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      justified = j < text.size();
+    }
+    std::string list = text.substr(p + 1, close - p - 1);
+    std::stringstream ss(list);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](unsigned char ch) {
+                                  return std::isspace(ch) != 0;
+                                }),
+                 rule.end());
+      if (!rule.empty()) {
+        out.push_back({static_cast<int>(ln + 1), rule, justified, false});
+      }
+    }
+  }
+  return out;
+}
+
+// --- Annotations and function extraction -------------------------------------
+
+struct Annotations {
+  std::set<std::string> source_fns;
+  std::set<std::string> source_types;
+  std::set<std::string> sanitizer_fns;
+  std::set<std::string> sink_fns;
+  std::set<std::string> sink_types;
+};
+
+struct CallSite {
+  std::string name;
+  int line = 0;
+};
+
+struct FuncDef {
+  std::string file;        // diagnostic label
+  std::string name;        // bare name ("Train"), TEST macros expanded
+  std::string display;     // qualified where known ("SePrivGEmb::Train")
+  std::string cls;         // enclosing class ("" for free functions)
+  int line = 0;            // definition line
+  std::string ret_type;    // identifier token immediately before the name
+  std::set<std::string> idents;   // identifiers in signature + body
+  std::vector<CallSite> calls;    // first call site per callee name
+  std::vector<CallSite> builtin_sinks;  // printf/cout-style stdout paths
+
+  // Analysis results.
+  bool taint = false;
+  bool has_acct = false;
+  std::string witness;  // what made it tainted (for messages / DOT)
+};
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kSet = {
+      "if",      "for",     "while",  "switch",   "catch",   "return",
+      "sizeof",  "new",     "delete", "else",     "do",      "case",
+      "default", "alignof", "typeid", "decltype", "static_assert",
+      "operator",
+  };
+  return kSet;
+}
+
+const std::set<std::string>& AnnotationMacros() {
+  static const std::set<std::string> kSet = {
+      "SEPRIV_SENSITIVE_SOURCE", "SEPRIV_DP_SANITIZER", "SEPRIV_PUBLIC_SINK"};
+  return kSet;
+}
+
+/// Accountant evidence: any of these identifiers in a function (or,
+/// transitively, in a callee) certifies that the noise it injects is charged
+/// to a privacy budget.
+const std::set<std::string>& AccountantIdents() {
+  static const std::set<std::string> kSet = {
+      "RdpAccountant", "SubsampledGaussianRdp", "CalibrateNoiseMultiplier"};
+  return kSet;
+}
+
+struct ParsedFile {
+  std::vector<FuncDef> defs;
+  std::vector<Suppression> sups;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, std::string label, Annotations* ann)
+      : toks_(std::move(toks)), label_(std::move(label)), ann_(ann) {}
+
+  std::vector<FuncDef> Run() {
+    HarvestAnnotations();
+    size_t i = 0;
+    int depth = 0;  // brace depth as seen by this loop (bodies are skipped)
+    while (i < toks_.size()) {
+      size_t next = i + 1;
+      const std::string& t = Text(i);
+      if (t == "{") ++depth;
+      if (t == "}") {
+        --depth;
+        while (!class_stack_.empty() && class_stack_.back().second > depth) {
+          class_stack_.pop_back();
+        }
+      }
+      if ((t == "class" || t == "struct") &&
+          (i == 0 || (Text(i - 1) != "<" && Text(i - 1) != "," &&
+                      Text(i - 1) != "enum"))) {
+        TryClassOpen(i, depth);
+      }
+      if (IsIdent(i) && Text(i + 1) == "(") TryDefinition(i, &next);
+      i = next;
+    }
+    return std::move(defs_);
+  }
+
+ private:
+  const std::string& Text(size_t i) const {
+    static const std::string kEmpty;
+    return i < toks_.size() ? toks_[i].text : kEmpty;
+  }
+  int Line(size_t i) const {
+    return i < toks_.size() ? toks_[i].line
+                            : (toks_.empty() ? 0 : toks_.back().line);
+  }
+  bool IsIdent(size_t i) const {
+    const std::string& t = Text(i);
+    return !t.empty() && IsIdentStart(t[0]) && Keywords().count(t) == 0;
+  }
+
+  /// Skips a balanced (...) or {...} group starting at an open token at
+  /// `i`; returns the index one past the matching close (or toks_.size()).
+  size_t SkipBalanced(size_t i, char open, char close) const {
+    int depth = 0;
+    while (i < toks_.size()) {
+      if (Text(i).size() == 1 && Text(i)[0] == open) ++depth;
+      if (Text(i).size() == 1 && Text(i)[0] == close) {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  /// If `class X ... {` defines a type (rather than declaring or naming
+  /// one), pushes X so member definitions learn their enclosing class.
+  void TryClassOpen(size_t i, int depth) {
+    size_t j = i + 1;
+    while (j < toks_.size() &&
+           (AnnotationMacros().count(Text(j)) != 0 || Text(j) == "final")) {
+      ++j;
+    }
+    if (!IsIdent(j)) return;
+    const std::string name = Text(j);
+    for (size_t k = j + 1; k < toks_.size() && k < j + 30; ++k) {
+      const std::string& t = Text(k);
+      if (t == ";" || t == "(" || t == ")" || t == "}" || t == "=") return;
+      if (t == "{") {
+        // Body opens at depth+1 relative to the loop, which counts this '{'
+        // itself when it reaches it.
+        class_stack_.push_back({name, depth + 1});
+        return;
+      }
+    }
+  }
+
+  /// Records every `SEPRIV_*` annotation: `struct/class MACRO Name` marks a
+  /// type; otherwise the next identifier followed by '(' (within the same
+  /// declaration) names the function.
+  void HarvestAnnotations() {
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& t = Text(i);
+      if (AnnotationMacros().count(t) == 0) continue;
+      std::set<std::string>* fn_set = nullptr;
+      std::set<std::string>* ty_set = nullptr;
+      if (t == "SEPRIV_SENSITIVE_SOURCE") {
+        fn_set = &ann_->source_fns;
+        ty_set = &ann_->source_types;
+      } else if (t == "SEPRIV_DP_SANITIZER") {
+        fn_set = &ann_->sanitizer_fns;
+        ty_set = nullptr;  // sanitizers are functions
+      } else {
+        fn_set = &ann_->sink_fns;
+        ty_set = &ann_->sink_types;
+      }
+      const std::string& prev = i > 0 ? Text(i - 1) : t;
+      if ((prev == "struct" || prev == "class") && ty_set != nullptr) {
+        if (IsIdent(i + 1)) ty_set->insert(Text(i + 1));
+        continue;
+      }
+      // Function annotation: scan forward for `ident (` before the
+      // declaration ends.
+      for (size_t j = i + 1; j < toks_.size() && j < i + 40; ++j) {
+        if (Text(j) == ";" || Text(j) == "}") break;
+        if (IsIdent(j) && Text(j + 1) == "(") {
+          if (fn_set != nullptr) fn_set->insert(Text(j));
+          break;
+        }
+      }
+    }
+  }
+
+  /// Attempts to parse a function definition whose name is at `i` (already
+  /// known to be followed by '('). On success appends to defs_ and sets
+  /// *resume past the body. Handles ctor initializer lists, `const` /
+  /// `noexcept` / trailing-return tails, and gtest TEST-macro naming.
+  void TryDefinition(size_t i, size_t* resume) {
+    const std::string& name = Text(i);
+    const size_t close = SkipBalanced(i + 1, '(', ')');
+    if (close == 0 || close > toks_.size()) return;
+    size_t j = close;  // first token after ')'
+
+    // Skim the tail between parameter list and body.
+    int guard = 0;
+    while (j < toks_.size() && guard++ < 24) {
+      const std::string& t = Text(j);
+      if (t == "{") break;
+      if (t == ";" || t == "=" || t == "," || t == ")" || t == "(") return;
+      if (t == ":" && Text(j + 1) != ":") {
+        // Constructor initializer list: `: member(expr), member{expr}, ... {`
+        ++j;
+        while (j < toks_.size()) {
+          while (IsIdent(j) || Text(j) == ":" || Text(j) == "<" ||
+                 Text(j) == ">" || Text(j) == ",") {
+            ++j;
+          }
+          if (Text(j) == "(") {
+            j = SkipBalanced(j, '(', ')');
+          } else if (Text(j) == "{") {
+            // Ambiguous: `member{...}` vs the body itself. A body is the
+            // last '{' — disambiguate by what follows the balanced group:
+            // an initializer is followed by ',' or '{'.
+            const size_t after = SkipBalanced(j, '{', '}');
+            if (Text(after) == "," || Text(after) == "{" || IsIdent(after)) {
+              j = after;
+            } else {
+              break;  // this '{' opens the body
+            }
+          } else {
+            break;
+          }
+          if (Text(j) == ",") {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (Text(j) != "{") return;
+        break;
+      }
+      if (t == "noexcept" && Text(j + 1) == "(") {
+        j = SkipBalanced(j + 1, '(', ')');
+        continue;
+      }
+      ++j;
+    }
+    if (Text(j) != "{") return;
+
+    FuncDef def;
+    def.file = label_;
+    def.line = Line(i);
+    def.name = name;
+    def.display = name;
+
+    // Qualified name (Class::name) and return-type token.
+    size_t chain_start = i;
+    while (chain_start >= 2 && Text(chain_start - 1) == ":" &&
+           Text(chain_start - 2) == ":") {
+      // tokens: Qual : : name — walk back over `Qual::`
+      if (chain_start >= 3 && IsIdent(chain_start - 3)) {
+        def.display = Text(chain_start - 3) + "::" + def.display;
+        def.cls = Text(chain_start - 3);
+        chain_start -= 3;
+      } else {
+        break;
+      }
+    }
+    if (def.cls.empty() && !class_stack_.empty()) {
+      def.cls = class_stack_.back().first;
+      def.display = def.cls + "::" + def.display;
+    }
+    if (chain_start >= 1 && IsIdent(chain_start - 1)) {
+      def.ret_type = Text(chain_start - 1);
+    }
+
+    // gtest macros: name the definition after the (suite, test) pair so
+    // distinct tests stay distinct nodes.
+    if (name == "TEST" || name == "TEST_F" || name == "TEST_P" ||
+        name == "TYPED_TEST") {
+      std::vector<std::string> args;
+      for (size_t k = i + 2; k < close - 1; ++k) {
+        if (IsIdent(k)) args.push_back(Text(k));
+      }
+      if (args.size() >= 2) {
+        def.name = args[0] + "_" + args[1];
+        def.display = name + "(" + args[0] + ", " + args[1] + ")";
+        def.ret_type.clear();
+      }
+    }
+
+    // Signature identifiers (parameter types carry sensitive types too).
+    for (size_t k = i + 1; k < close; ++k) {
+      if (IsIdent(k)) def.idents.insert(Text(k));
+    }
+
+    // Body: collect identifiers, call sites, builtin stdout sinks.
+    std::set<std::string> seen_calls;
+    std::set<std::string> seen_builtin;
+    int depth = 0;
+    size_t k = j;
+    for (; k < toks_.size(); ++k) {
+      const std::string& t = Text(k);
+      if (t == "{") ++depth;
+      if (t == "}") {
+        --depth;
+        if (depth == 0) {
+          ++k;
+          break;
+        }
+      }
+      if (!IsIdent(k)) continue;
+      def.idents.insert(t);
+      if (t == "cout") {
+        if (seen_builtin.insert(t).second) {
+          def.builtin_sinks.push_back({"std::cout", Line(k)});
+        }
+        continue;
+      }
+      if (Text(k + 1) != "(") continue;
+      if (t == "printf" || t == "puts" || t == "vprintf") {
+        if (seen_builtin.insert(t).second) {
+          def.builtin_sinks.push_back({t, Line(k)});
+        }
+        continue;
+      }
+      if (t == "fprintf" || t == "fputs" || t == "vfprintf") {
+        // Diagnostics to stderr are not a publication; anything else is.
+        bool to_stderr = false;
+        const size_t end = SkipBalanced(k + 1, '(', ')');
+        for (size_t a = k + 2; a + 1 < end; ++a) {
+          if (Text(a) == "stderr") {
+            to_stderr = true;
+            break;
+          }
+        }
+        if (!to_stderr && seen_builtin.insert(t).second) {
+          def.builtin_sinks.push_back({t, Line(k)});
+        }
+        continue;
+      }
+      if (seen_calls.insert(t).second) def.calls.push_back({t, Line(k)});
+    }
+    defs_.push_back(std::move(def));
+    *resume = k;
+  }
+
+  std::vector<Token> toks_;
+  std::string label_;
+  Annotations* ann_;
+  std::vector<FuncDef> defs_;
+  std::vector<std::pair<std::string, int>> class_stack_;  // (name, depth)
+};
+
+// --- File handling -----------------------------------------------------------
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool SkippedDir(const std::string& name) {
+  return name == "testdata" || name == ".git" || name == "third_party" ||
+         name.rfind("build", 0) == 0;
+}
+
+void CollectFiles(const fs::path& root, std::vector<fs::path>* out) {
+  if (fs::is_regular_file(root)) {
+    if (IsSourceFile(root)) out->push_back(root);
+    return;
+  }
+  fs::recursive_directory_iterator it(root), end;
+  while (it != end) {
+    if (it->is_directory() && SkippedDir(it->path().filename().string())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file() && IsSourceFile(it->path())) {
+      out->push_back(it->path());
+    }
+    ++it;
+  }
+}
+
+std::string Label(const fs::path& p) {
+  const std::string s = p.generic_string();
+  for (const char* top :
+       {"/src/", "/bench/", "/tests/", "/examples/", "/tools/"}) {
+    const size_t at = s.rfind(top);
+    if (at != std::string::npos) return s.substr(at + 1);
+  }
+  return s;
+}
+
+/// Reads + parses one file into defs/suppressions, sharing `ann`.
+bool ParseFile(const fs::path& path, const std::string& label,
+               Annotations* ann, ParsedFile* out,
+               std::vector<Diagnostic>* diags) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    diags->push_back({label, 0, "io-error", "cannot read file"});
+    return false;
+  }
+  std::string src((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  std::vector<std::string> lines;
+  {
+    std::stringstream ss(src);
+    std::string l;
+    while (std::getline(ss, l)) lines.push_back(l);
+  }
+  out->sups = FindSuppressions(lines);
+  Parser parser(Tokenize(src), label, ann);
+  out->defs = parser.Run();
+  return true;
+}
+
+// --- Analysis ----------------------------------------------------------------
+
+/// Fixpoint propagation of `taint` and `has_acct` over the name-keyed call
+/// graph, then the leak + accountant rules. Appends raw (pre-suppression)
+/// diagnostics.
+void Analyze(std::vector<FuncDef>* defs, const Annotations& ann,
+             std::vector<Diagnostic>* diags) {
+  // Name indexes: bare name -> definitions, and (class, name) -> members.
+  std::map<std::string, std::vector<FuncDef*>> by_name;
+  std::map<std::pair<std::string, std::string>, std::vector<FuncDef*>>
+      by_member;
+  for (FuncDef& d : *defs) {
+    by_name[d.name].push_back(&d);
+    if (!d.cls.empty()) by_member[{d.cls, d.name}].push_back(&d);
+  }
+
+  auto is_sanitizer = [&](const std::string& name) {
+    return ann.sanitizer_fns.count(name) != 0;
+  };
+
+  // Calls from a member of class C to a name C defines stay inside C;
+  // everything else fans out to every definition of the name.
+  auto resolve =
+      [&](const FuncDef& d,
+          const std::string& callee) -> const std::vector<FuncDef*>* {
+    if (!d.cls.empty()) {
+      auto it = by_member.find({d.cls, callee});
+      if (it != by_member.end()) return &it->second;
+    }
+    auto it = by_name.find(callee);
+    return it == by_name.end() ? nullptr : &it->second;
+  };
+
+  // Seed facts.
+  for (FuncDef& d : *defs) {
+    for (const std::string& id : d.idents) {
+      if (AccountantIdents().count(id) != 0) {
+        d.has_acct = true;
+        break;
+      }
+    }
+    if (is_sanitizer(d.name)) continue;  // sanitizers never carry taint out
+    if (ann.source_fns.count(d.name) != 0) {
+      d.taint = true;
+      d.witness = "is a sensitive source";
+      continue;
+    }
+    for (const std::string& id : d.idents) {
+      if (ann.source_types.count(id) != 0) {
+        d.taint = true;
+        d.witness = "references sensitive type '" + id + "'";
+        break;
+      }
+    }
+    if (d.taint) continue;
+    for (const CallSite& c : d.calls) {
+      if (ann.source_fns.count(c.name) != 0) {
+        d.taint = true;
+        d.witness = "calls sensitive source '" + c.name + "'";
+        break;
+      }
+    }
+  }
+
+  // Fixpoint: taint flows caller-ward through non-sanitizer callees;
+  // accountant evidence flows caller-ward through every callee.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FuncDef& d : *defs) {
+      for (const CallSite& c : d.calls) {
+        const std::vector<FuncDef*>* targets = resolve(d, c.name);
+        if (targets == nullptr) continue;
+        for (const FuncDef* callee : *targets) {
+          if (callee == &d) continue;
+          if (!d.has_acct && callee->has_acct) {
+            d.has_acct = true;
+            changed = true;
+          }
+          if (!d.taint && callee->taint && !is_sanitizer(callee->name) &&
+              !is_sanitizer(d.name)) {
+            d.taint = true;
+            d.witness = "calls tainted '" + callee->display + "'";
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Rule 1: leak — tainted non-sanitizer touches a sink.
+  for (const FuncDef& d : *defs) {
+    if (!d.taint) continue;
+    if (is_sanitizer(d.name) || ann.source_fns.count(d.name) != 0 ||
+        ann.sink_fns.count(d.name) != 0) {
+      continue;
+    }
+    for (const CallSite& c : d.calls) {
+      if (ann.sink_fns.count(c.name) == 0) continue;
+      diags->push_back(
+          {d.file, c.line, "leak",
+           "'" + d.display + "' (" + d.witness + ") reaches public sink '" +
+               c.name +
+               "' without a DP sanitizer on the path; route through the "
+               "mechanism layer or justify: // " + "sepriv-privflow" +
+               ": allow(leak): <why>"});
+    }
+    for (const CallSite& c : d.builtin_sinks) {
+      diags->push_back(
+          {d.file, c.line, "leak",
+           "'" + d.display + "' (" + d.witness + ") writes to stdout via " +
+               c.name +
+               " — a public result path; print only sanitized/public-by-"
+               "policy values (suppress with justification if so)"});
+    }
+    if (!d.ret_type.empty() && ann.sink_types.count(d.ret_type) != 0) {
+      diags->push_back(
+          {d.file, d.line, "leak",
+           "'" + d.display + "' (" + d.witness + ") returns public type '" +
+               d.ret_type + "' without being a DP sanitizer"});
+    }
+  }
+
+  // Rule 2: unaccounted-sanitizer — noise without a budget charge.
+  for (const FuncDef& d : *defs) {
+    if (is_sanitizer(d.name)) continue;
+    for (const CallSite& c : d.calls) {
+      if (ann.sanitizer_fns.count(c.name) == 0) continue;
+      bool accounted = d.has_acct;
+      const std::vector<FuncDef*>* targets = resolve(d, c.name);
+      if (!accounted && targets != nullptr) {
+        for (const FuncDef* callee : *targets) {
+          if (callee->has_acct) {
+            accounted = true;
+            break;
+          }
+        }
+      }
+      if (!accounted) {
+        diags->push_back(
+            {d.file, c.line, "unaccounted-sanitizer",
+             "'" + d.display + "' invokes sanitizer '" + c.name +
+                 "' with no accountant in sight (RdpAccountant / "
+                 "SubsampledGaussianRdp / CalibrateNoiseMultiplier): noise "
+                 "without budget accounting is not a privacy guarantee"});
+      }
+    }
+  }
+}
+
+/// Applies per-file suppressions; emits bad/unused-suppression diagnostics.
+std::vector<Diagnostic> ApplySuppressions(
+    std::vector<Diagnostic> raw,
+    std::map<std::string, std::vector<Suppression>>* sups_by_file) {
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : raw) {
+    bool suppressed = false;
+    auto it = sups_by_file->find(d.file);
+    if (it != sups_by_file->end()) {
+      for (Suppression& s : it->second) {
+        if (s.rule == d.rule && s.justified &&
+            (s.line == d.line || s.line + 1 == d.line)) {
+          s.used = true;
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  for (auto& [file, sups] : *sups_by_file) {
+    for (const Suppression& s : sups) {
+      if (!s.justified) {
+        kept.push_back({file, s.line, "bad-suppression",
+                        "allow(" + s.rule + ") needs a justification: `// " +
+                            "sepriv-privflow" + ": allow(" + s.rule +
+                            "): <why>`"});
+      } else if (!s.used) {
+        kept.push_back({file, s.line, "unused-suppression",
+                        "allow(" + s.rule +
+                            ") silenced nothing; delete it (stale allows "
+                            "hide future leaks)"});
+      }
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+// --- DOT dump ----------------------------------------------------------------
+
+void WriteDot(const std::string& path, const std::vector<FuncDef>& defs,
+              const Annotations& ann) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "privflow: cannot write DOT file %s\n", path.c_str());
+    return;
+  }
+  auto role = [&](const FuncDef& d) -> std::string {
+    if (ann.sanitizer_fns.count(d.name) != 0) return "sanitizer";
+    if (ann.source_fns.count(d.name) != 0) return "source";
+    if (ann.sink_fns.count(d.name) != 0) return "sink";
+    return "";
+  };
+  // Include only privacy-relevant nodes: annotated roles plus tainted defs.
+  std::set<std::string> keep;
+  for (const FuncDef& d : defs) {
+    if (d.taint || !role(d).empty()) keep.insert(d.name);
+  }
+  out << "digraph privflow {\n  rankdir=LR;\n  node [shape=box, "
+         "fontsize=10];\n";
+  std::set<std::string> emitted;
+  for (const FuncDef& d : defs) {
+    if (keep.count(d.name) == 0 || !emitted.insert(d.name).second) continue;
+    std::string attrs;
+    const std::string r = role(d);
+    if (r == "source") attrs = "color=red";
+    if (r == "sanitizer") attrs = "color=green";
+    if (r == "sink") attrs = "color=blue";
+    if (d.taint) attrs += (attrs.empty() ? "" : ", ") +
+                          std::string("style=filled, fillcolor=mistyrose");
+    out << "  \"" << d.name << "\"";
+    if (!attrs.empty()) out << " [" << attrs << "]";
+    out << ";\n";
+  }
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const FuncDef& d : defs) {
+    if (keep.count(d.name) == 0) continue;
+    for (const CallSite& c : d.calls) {
+      if (keep.count(c.name) == 0) continue;
+      if (edges.insert({d.name, c.name}).second) {
+        out << "  \"" << d.name << "\" -> \"" << c.name << "\";\n";
+      }
+    }
+  }
+  out << "}\n";
+  std::printf("privflow: call-graph DOT written to %s\n", path.c_str());
+}
+
+// --- Self-test ---------------------------------------------------------------
+
+std::vector<Diagnostic> FindExpectations(const fs::path& path,
+                                         const std::string& label) {
+  std::vector<Diagnostic> out;
+  std::ifstream in(path);
+  std::string line;
+  int ln = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    const std::string kMarker = "expect-privflow:";
+    const size_t at = line.find(kMarker);
+    if (at == std::string::npos) continue;
+    std::stringstream ss(line.substr(at + kMarker.size()));
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](unsigned char ch) {
+                                  return std::isspace(ch) != 0;
+                                }),
+                 rule.end());
+      if (!rule.empty()) out.push_back({label, ln, rule, "expected"});
+    }
+  }
+  return out;
+}
+
+int SelfTest(const fs::path& dir) {
+  std::vector<fs::path> files;
+  CollectFiles(dir, &files);
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "privflow: no fixtures under %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const fs::path& f : files) {
+    const std::string label = f.filename().string();
+    // Each fixture is its own annotation universe.
+    Annotations ann;
+    ParsedFile pf;
+    std::vector<Diagnostic> got;
+    if (ParseFile(f, label, &ann, &pf, &got)) {
+      std::vector<FuncDef> defs = std::move(pf.defs);
+      Analyze(&defs, ann, &got);
+      std::map<std::string, std::vector<Suppression>> sups;
+      sups[label] = std::move(pf.sups);
+      got = ApplySuppressions(std::move(got), &sups);
+    }
+    std::vector<Diagnostic> want = FindExpectations(f, label);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    std::vector<Diagnostic> missing, unexpected;
+    std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                        std::back_inserter(missing));
+    std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                        std::back_inserter(unexpected));
+    for (const Diagnostic& d : missing) {
+      std::fprintf(stderr, "%s:%d: expected %s, not emitted\n",
+                   d.file.c_str(), d.line, d.rule.c_str());
+      ++failures;
+    }
+    for (const Diagnostic& d : unexpected) {
+      std::fprintf(stderr, "%s:%d: unexpected %s: %s\n", d.file.c_str(),
+                   d.line, d.rule.c_str(), d.message.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("privflow self-test: %zu fixtures OK\n", files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "privflow self-test: %d mismatches\n", failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: privflow [--dot <out.dot>] <dir-or-file>...\n"
+                 "       privflow --self-test <fixture-dir>\n");
+    return 2;
+  }
+  if (args[0] == "--self-test") {
+    if (args.size() != 2) {
+      std::fprintf(stderr, "--self-test takes exactly one directory\n");
+      return 2;
+    }
+    return SelfTest(args[1]);
+  }
+
+  std::string dot_path;
+  std::string explain;
+  std::vector<fs::path> files;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--dot" && i + 1 < args.size()) {
+      dot_path = args[++i];
+      continue;
+    }
+    if (args[i] == "--explain" && i + 1 < args.size()) {
+      explain = args[++i];
+      continue;
+    }
+    if (!fs::exists(args[i])) {
+      std::fprintf(stderr, "privflow: no such path: %s\n", args[i].c_str());
+      return 2;
+    }
+    CollectFiles(args[i], &files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  Annotations ann;
+  std::vector<FuncDef> defs;
+  std::map<std::string, std::vector<Suppression>> sups_by_file;
+  std::vector<Diagnostic> diags;
+  for (const fs::path& f : files) {
+    ParsedFile pf;
+    if (!ParseFile(f, Label(f), &ann, &pf, &diags)) continue;
+    for (FuncDef& d : pf.defs) defs.push_back(std::move(d));
+    sups_by_file[Label(f)] = std::move(pf.sups);
+  }
+
+  Analyze(&defs, ann, &diags);
+  diags = ApplySuppressions(std::move(diags), &sups_by_file);
+
+  if (!dot_path.empty()) WriteDot(dot_path, defs, ann);
+
+  if (!explain.empty()) {
+    for (const FuncDef& d : defs) {
+      if (d.name != explain) continue;
+      std::printf("%s:%d: '%s'%s%s%s\n", d.file.c_str(), d.line,
+                  d.display.c_str(),
+                  ann.sanitizer_fns.count(d.name) != 0 ? " [sanitizer]" : "",
+                  d.has_acct ? " [accounted]" : "",
+                  d.taint ? (" TAINTED: " + d.witness).c_str()
+                          : " clean");
+    }
+    return 0;
+  }
+
+  for (const Diagnostic& d : diags) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", d.file.c_str(), d.line,
+                 d.rule.c_str(), d.message.c_str());
+  }
+  if (diags.empty()) {
+    std::printf(
+        "privflow: %zu files, %zu functions, %zu sources / %zu sanitizers / "
+        "%zu sinks — clean\n",
+        files.size(), defs.size(),
+        ann.source_fns.size() + ann.source_types.size(),
+        ann.sanitizer_fns.size(), ann.sink_fns.size() + ann.sink_types.size());
+    return 0;
+  }
+  std::fprintf(stderr, "privflow: %zu violations in %zu files\n", diags.size(),
+               files.size());
+  return 1;
+}

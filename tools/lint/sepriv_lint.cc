@@ -27,6 +27,16 @@
 //   unordered-iteration  range-for / .begin() iteration over a variable
 //                        declared std::unordered_map/std::unordered_set —
 //                        hash-order-dependent results
+//   raw-getenv           getenv()/secure_getenv() outside util/env.h — every
+//                        knob goes through GetStringEnv/ParseSizeEnv so
+//                        parsing, validation, and defaulting stay in one
+//                        place (and a grep of env.h call sites finds every
+//                        knob the repo honours)
+//   sleep-wait           sleep_for/sleep_until/usleep/nanosleep/sleep() —
+//                        sleeping in result-producing code papers over
+//                        missing synchronisation and makes run time (and
+//                        under load, results) machine-dependent; use the
+//                        pool's barriers or condition variables
 //   bad-suppression      a sepriv-lint: allow(...) comment without a
 //                        justification after the closing parenthesis
 //   unused-suppression   a suppression that silenced nothing (stale allows
@@ -242,6 +252,13 @@ const std::set<std::string>& WallClockCalls() {
   return kSet;
 }
 
+const std::set<std::string>& SleepCalls() {
+  static const std::set<std::string> kSet = {
+      "sleep_for", "sleep_until", "usleep", "nanosleep", "sleep",
+  };
+  return kSet;
+}
+
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -269,7 +286,9 @@ void ScanFile(const fs::path& path, const std::string& path_label,
 
   // util/rng.h is the sanctioned home of raw engine/distribution code: it
   // wraps them into the seeded, forkable stream the rest of the repo uses.
+  // util/env.h is likewise the one legal caller of getenv().
   const bool is_rng_home = EndsWith(path_label, "util/rng.h");
+  const bool is_env_home = EndsWith(path_label, "util/env.h");
 
   const std::vector<Token> toks = Tokenize(src);
   std::vector<Diagnostic> local;
@@ -318,6 +337,18 @@ void ScanFile(const fs::path& path, const std::string& path_label,
       local.push_back({path_label, line, "wall-clock",
                        t + "() reads the wall clock; results must be a pure "
                        "function of the seed"});
+    } else if (!is_env_home && !member_access &&
+               (t == "getenv" || t == "secure_getenv") &&
+               tok(i + 1) == "(") {
+      local.push_back({path_label, line, "raw-getenv",
+                       t + "() scattered through the tree hides knobs; use "
+                       "GetStringEnv/ParseSizeEnv from util/env.h"});
+    } else if (!member_access && SleepCalls().count(t) != 0 &&
+               tok(i + 1) == "(") {
+      local.push_back({path_label, line, "sleep-wait",
+                       t + "() in result-producing code papers over missing "
+                       "synchronisation; wait on the pool's barriers or a "
+                       "condition variable instead"});
     } else if (t == "unordered_map" || t == "unordered_set" ||
                t == "unordered_multimap" || t == "unordered_multiset") {
       // Declaration heuristic: `unordered_map < ...balanced... > [*&]* name`.

@@ -1,0 +1,15 @@
+// privflow fixture: the suppression policy is itself checked. An allow with
+// no justification is a violation, and a justified allow that silences
+// nothing is stale and must be deleted.
+
+void Clean() {
+  // sepriv-privflow: allow(leak)  <- expect-privflow: bad-suppression
+  int x = 1;
+  (void)x;
+}
+
+void AlsoClean() {
+  // sepriv-privflow: allow(leak): stale — nothing tainted here, so expect-privflow: unused-suppression
+  int y = 2;
+  (void)y;
+}

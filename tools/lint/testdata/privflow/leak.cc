@@ -1,0 +1,46 @@
+// privflow fixture: unsanitized source → sink paths. Not compiled — scanned
+// by lint.privflow_self_test. Each expectation marker names the diagnostics
+// privflow must emit on exactly that line; annotation macros are
+// deliberately used without being defined (the analyzer keys on the tokens,
+// and the build never sees this file).
+
+SEPRIV_SENSITIVE_SOURCE
+int SecretDegree(int v) { return v * 2; }
+
+SEPRIV_PUBLIC_SINK
+void PublishMetric(double m);
+
+struct SEPRIV_PUBLIC_SINK Report {
+  double value = 0.0;
+};
+
+void LeakDirect() {
+  const int d = SecretDegree(3);
+  PublishMetric(d);  // expect-privflow: leak
+}
+
+void LeakStdout() {
+  const int d = SecretDegree(4);
+  printf("%d\n", d);  // expect-privflow: leak
+}
+
+void DiagnosticsAreFine() {
+  const int d = SecretDegree(5);
+  fprintf(stderr, "debug: %d\n", d);  // stderr is not a publication: clean
+}
+
+Report LeakViaReturn() {  // expect-privflow: leak
+  Report r;
+  r.value = SecretDegree(6);
+  return r;
+}
+
+void TransitiveLeak() {
+  // Taint arrives through a helper, not a direct source call.
+  const double d = LeakViaReturn().value;
+  PublishMetric(d);  // expect-privflow: leak
+}
+
+void CleanPath() {
+  PublishMetric(1.0);  // untainted caller: publishing constants is fine
+}

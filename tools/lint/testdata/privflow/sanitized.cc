@@ -1,0 +1,28 @@
+// privflow fixture: the contract done right — the sensitive read happens
+// inside an accountant-charged sanitizer, and everything downstream is
+// post-processing. Must scan completely clean (no expect-privflow markers).
+
+SEPRIV_SENSITIVE_SOURCE
+double SecretSum();
+
+SEPRIV_PUBLIC_SINK
+void PublishMetric(double m);
+
+struct RdpAccountant {
+  void Charge() {}
+};
+
+SEPRIV_DP_SANITIZER
+double PrivateRelease() {
+  RdpAccountant acct;
+  acct.Charge();
+  return SecretSum() + 0.5;  // stand-in for the Gaussian mechanism
+}
+
+// Post-processing of sanitized output needs no annotation (Theorem 2).
+double Normalize(double x) { return x / 2.0; }
+
+void ReleasePipeline() {
+  const double noisy = Normalize(PrivateRelease());
+  PublishMetric(noisy);
+}

@@ -1,0 +1,14 @@
+// privflow fixture: a justified suppression silences exactly the leak it
+// covers (own line or the line below) and counts as used. Must scan clean.
+
+SEPRIV_SENSITIVE_SOURCE
+int SecretDegree(int v);
+
+SEPRIV_PUBLIC_SINK
+void PublishMetric(double m);
+
+void PolicyRelease() {
+  const int d = SecretDegree(7);
+  // sepriv-privflow: allow(leak): synthetic fixture data released by policy
+  PublishMetric(d);
+}

@@ -1,0 +1,34 @@
+// privflow fixture: the secondary rule — noise injection must be paired with
+// an accountant charge, in the caller or inside the sanitizer itself.
+
+SEPRIV_DP_SANITIZER
+double AddNoise(double x);
+
+struct RdpAccountant {
+  void Step();
+};
+
+void UnaccountedRelease() {
+  double v = AddNoise(1.0);  // expect-privflow: unaccounted-sanitizer
+  (void)v;
+}
+
+void AccountedRelease() {
+  RdpAccountant acct;
+  acct.Step();
+  double v = AddNoise(2.0);  // accountant in scope: clean
+  (void)v;
+}
+
+// A sanitizer that charges the accountant itself frees its callers.
+SEPRIV_DP_SANITIZER
+double SelfGatedRelease(double x) {
+  RdpAccountant acct;
+  acct.Step();
+  return x;
+}
+
+void CallerOfSelfGated() {
+  double v = SelfGatedRelease(3.0);
+  (void)v;
+}

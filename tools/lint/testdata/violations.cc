@@ -35,6 +35,19 @@ long WallClockInResults() {
   return t + clock();  // expect-lint: wall-clock
 }
 
+const char* ScatteredKnobs() {
+  const char* a = getenv("SEPRIV_FIXTURE_KNOB");       // expect-lint: raw-getenv
+  const char* b = std::getenv("SEPRIV_OTHER_KNOB");    // expect-lint: raw-getenv
+  const char* c = secure_getenv("SEPRIV_THIRD_KNOB");  // expect-lint: raw-getenv
+  return a != nullptr ? a : (b != nullptr ? b : c);
+}
+
+void SleepyWaits() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // expect-lint: sleep-wait
+  usleep(1000);                                                // expect-lint: sleep-wait
+  sleep(1);                                                    // expect-lint: sleep-wait
+}
+
 int UnorderedIteration() {
   std::unordered_map<int, int> counts;
   std::unordered_set<long> seen;
