@@ -66,8 +66,22 @@ double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
 double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
                                             SampleSource& source,
                                             std::span<const uint32_t> batch) {
+  double loss = 0.0;
+  const Status status = TryAccumulateBatch(model, source, batch, &loss);
+  SEPRIV_CHECK(status.ok(), "batch accumulation failed: %s",
+               status.ToString().c_str());
+  return loss;
+}
+
+Status BatchGradientEngine::TryAccumulateBatch(const SkipGramModel& model,
+                                               SampleSource& source,
+                                               std::span<const uint32_t> batch,
+                                               double* loss) {
   const size_t m = batch.size();
-  if (m == 0) return 0.0;
+  if (m == 0) {
+    *loss = 0.0;
+    return OkStatus();
+  }
   const size_t dim = opts_.dim;
 
   // Slot width: every sample gets room for the widest (k+1) in this batch.
@@ -115,7 +129,11 @@ double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
            source.ShardOf(batch[order_[group_end]]) == shard) {
       ++group_end;
     }
-    source.PinShard(shard);
+    // A pin failure (after the source's own bounded retries) aborts the
+    // batch cleanly: only per-sample scratch has been written so far — the
+    // shared accumulators are first touched in phase 2 — so the caller can
+    // retry the whole batch or surface the error.
+    SEPRIV_RETURN_IF_ERROR(source.TryPinShard(shard));
     if (group_end < m) {
       source.PrefetchShard(source.ShardOf(batch[order_[group_end]]));
     }
@@ -187,7 +205,8 @@ double BatchGradientEngine::AccumulateBatch(const SkipGramModel& model,
     }
   });
 
-  return batch_loss;
+  *loss = batch_loss;
+  return OkStatus();
 }
 
 void BatchGradientEngine::PerturbNonZero(double stddev, Rng& rng) {

@@ -51,6 +51,7 @@
 #include "embedding/subgraph_sampler.h"
 #include "util/privacy_annotations.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace sepriv {
@@ -106,6 +107,15 @@ class SampleSource {
   /// Makes shard `s` resident; Get() for its samples is valid (and must be
   /// safe to call concurrently from pool workers) until the next PinShard.
   virtual void PinShard(size_t /*s*/) {}
+
+  /// Recoverable variant: disk-backed sources surface IO/corruption as a
+  /// structured error (after their own bounded re-read recovery) instead of
+  /// aborting. The default wraps PinShard, which never fails in memory.
+  virtual Status TryPinShard(size_t s) {
+    PinShard(s);
+    return OkStatus();
+  }
+
   virtual void PrefetchShard(size_t /*s*/) {}
 
   /// Sample `idx`, which must belong to the currently pinned shard.
@@ -159,9 +169,16 @@ class BatchGradientEngine {
   /// but writes each sample's gradient to its original batch slot, so the
   /// accumulated result — and the returned sample-order loss — is
   /// bit-identical to the in-memory overload for every shard geometry,
-  /// thread count, and pool budget.
+  /// thread count, and pool budget. Aborts if the source's storage fails.
   double AccumulateBatch(const SkipGramModel& model, SampleSource& source,
                          std::span<const uint32_t> batch);
+
+  /// Recoverable form of the source-driven overload: a shard pin failure
+  /// (after the source's own bounded retries) surfaces as a structured error
+  /// with `*loss` untouched and the accumulators left as they were before
+  /// the call, so the epoch driver can re-run or abandon the batch.
+  Status TryAccumulateBatch(const SkipGramModel& model, SampleSource& source,
+                            std::span<const uint32_t> batch, double* loss);
 
   /// Ñ(·) of Eq. (9): adds N(0, stddev²) to every touched accumulator row,
   /// generated in row blocks on the pool. Consumes one draw from `rng` to

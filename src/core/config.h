@@ -93,6 +93,14 @@ struct SePrivGEmbConfig {
   /// caching off).
   std::string ResolvedProximityCachePath() const;
 
+  /// Digest over every RESULT-AFFECTING field. Two configs with equal
+  /// digests produce bit-identical TrainResults on the same graph; execution
+  /// knobs that are proven result-neutral (num_threads, proximity_shards,
+  /// proximity_cache_path) are deliberately excluded. Checkpoints store this
+  /// digest so a resume under a different hyper-parameter set is rejected
+  /// instead of silently blending two training runs.
+  uint64_t Digest() const;
+
   std::string DebugString() const;
 };
 

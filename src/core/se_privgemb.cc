@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <utility>
 
 #include "core/batch_gradient_engine.h"
 #include "embedding/sample_store.h"
@@ -19,16 +20,64 @@
 namespace sepriv {
 namespace {
 
+/// Checkpoint wiring for one RunEpochs call. `options` null disables
+/// checkpointing entirely; `resume` non-null restores the snapshot before
+/// the first epoch (model, RNG stream, epoch cursor, loss curve, accountant
+/// spend), making the continued run bit-identical to an uninterrupted one.
+struct CheckpointPlan {
+  const TrainCheckpointOptions* options = nullptr;
+  uint64_t graph_fingerprint = 0;
+  uint64_t config_digest = 0;
+  const TrainCheckpoint* resume = nullptr;
+};
+
+/// Fills `plan` for a run with checkpointing enabled: loads a snapshot from
+/// `options.path` if one exists and verifies it matches this (graph, config)
+/// before arming the resume. A missing file is a fresh start (or an error
+/// under `require_checkpoint`); an unreadable or mismatched one is always an
+/// error — the file records privacy budget already spent, so discarding it
+/// must be the caller's explicit decision (delete the file), never a silent
+/// retrain.
+Status ResolveCheckpointPlan(const TrainCheckpointOptions& options,
+                             uint64_t graph_fingerprint,
+                             uint64_t config_digest, bool require_checkpoint,
+                             TrainCheckpoint* resume_ck,
+                             CheckpointPlan* plan) {
+  plan->options = &options;
+  plan->graph_fingerprint = graph_fingerprint;
+  plan->config_digest = config_digest;
+  const Status load = LoadCheckpoint(options.path, resume_ck);
+  if (load.ok()) {
+    if (resume_ck->graph_fingerprint != graph_fingerprint) {
+      return FailedPreconditionError(
+          options.path + " was checkpointed from a different graph");
+    }
+    if (resume_ck->config_digest != config_digest) {
+      return FailedPreconditionError(
+          options.path + " was checkpointed under a different config");
+    }
+    plan->resume = resume_ck;
+    return OkStatus();
+  }
+  if (load.code() == StatusCode::kNotFound && !require_checkpoint) {
+    return OkStatus();  // no restart point: fresh run, checkpointing as we go
+  }
+  return load;
+}
+
 /// The epoch loop of Algorithm 2 (lines 4–10), shared verbatim by the
 /// in-memory and out-of-core trainers: both hand it a SampleSource and the
 /// same Rng position, so every downstream draw — batch subsampling, noise
 /// substreams — and therefore the model is identical between them.
 /// Sanitizer: this is the accountant-gated perturbation loop itself.
+/// Returns a structured error if a batch fails its bounded IO recovery or a
+/// checkpoint cannot be durably published; the partially-trained model in
+/// `result` is then stale and must not be released.
 SEPRIV_DP_SANITIZER
-void RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
-               double min_weight, SampleSource& source,
-               const AliasTable* positive_alias, SkipGramModel& model,
-               Rng& rng, TrainResult& result) {
+Status RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
+                 double min_weight, SampleSource& source,
+                 const AliasTable* positive_alias, SkipGramModel& model,
+                 Rng& rng, const CheckpointPlan& plan, TrainResult& result) {
   const bool is_private = cfg.perturbation != PerturbationStrategy::kNone;
   const size_t population = source.size();
 
@@ -78,7 +127,25 @@ void RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
   const double naive_stddev =
       static_cast<double>(cfg.batch_size) * c * sigma;
 
-  for (size_t epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+  // Resume: the caller re-ran the deterministic prelude (so `model` and
+  // `rng` sit exactly where a fresh run's epoch 0 would find them), and the
+  // snapshot now overwrites them with the state at the checkpointed epoch
+  // boundary. Every remaining epoch is a pure function of (model, rng,
+  // epoch index), so the continuation is bit-identical to the run that
+  // wrote the checkpoint — including the restored accountant spend.
+  size_t start_epoch = 0;
+  if (plan.resume != nullptr) {
+    const TrainCheckpoint& ck = *plan.resume;
+    model.w_in = ck.w_in;
+    model.w_out = ck.w_out;
+    rng.RestoreState(ck.rng);
+    start_epoch = ck.epochs_run;
+    result.epochs_run = ck.epochs_run;
+    result.loss_curve = ck.loss_curve;
+    if (accountant) accountant->Step(ck.accountant_steps);
+  }
+
+  for (size_t epoch = start_epoch; epoch < cfg.max_epochs; ++epoch) {
     if (is_private && epoch >= result.epochs_allowed) {
       result.stopped_by_budget = true;
       break;
@@ -94,8 +161,12 @@ void RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
     }
 
     // Per-sample gradients + clipping (Eq. 7/8, Eq. 3), fanned out over the
-    // pool, reduced in sample order.
-    const double batch_loss = engine.AccumulateBatch(model, source, batch);
+    // pool, reduced in sample order. A shard-pin failure that survives the
+    // storage layer's own bounded retries surfaces here with the
+    // accumulators untouched.
+    double batch_loss = 0.0;
+    SEPRIV_RETURN_IF_ERROR(
+        engine.TryAccumulateBatch(model, source, batch, &batch_loss));
 
     // Perturb (lines 6-7) and apply the update.
     switch (cfg.perturbation) {
@@ -116,6 +187,28 @@ void RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
       result.loss_curve.push_back(batch_loss /
                                   static_cast<double>(batch.size()));
     }
+
+    // Checkpoint at the epoch boundary: the saved RNG state is the position
+    // the NEXT epoch will read from, so a resumed run replays the stream
+    // without a gap. SaveCheckpoint publishes atomically (temp + fsync +
+    // rename), so a crash mid-save leaves the previous checkpoint intact.
+    if (plan.options != nullptr && !plan.options->path.empty() &&
+        result.epochs_run %
+                std::max<size_t>(size_t{1}, plan.options->every_epochs) ==
+            0) {
+      TrainCheckpoint ck;
+      ck.graph_fingerprint = plan.graph_fingerprint;
+      ck.config_digest = plan.config_digest;
+      ck.epochs_run = result.epochs_run;
+      ck.accountant_steps = accountant ? accountant->steps() : 0;
+      ck.noise_multiplier = cfg.noise_multiplier;
+      ck.sampling_rate = sampling_rate;
+      ck.rng = rng.SaveState();
+      ck.loss_curve = result.loss_curve;
+      ck.w_in = model.w_in;
+      ck.w_out = model.w_out;
+      SEPRIV_RETURN_IF_ERROR(SaveCheckpoint(ck, plan.options->path));
+    }
   }
 
   if (is_private && accountant->steps() > 0) {
@@ -135,6 +228,15 @@ void RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
       SEPRIV_DCHECK_SANITIZED(result.model.w_out);
     }
   }
+
+  // A completed run no longer needs its restart point. Best effort: the
+  // file is fingerprint-guarded, so a stale leftover can at worst refuse a
+  // later mismatched run, never corrupt one.
+  if (plan.options != nullptr && plan.options->remove_on_success &&
+      !plan.options->path.empty()) {
+    std::remove(plan.options->path.c_str());
+  }
+  return OkStatus();
 }
 
 /// AdjacencyOracle over a GraphStore: pins the center's shard on demand.
@@ -233,6 +335,26 @@ SePrivGEmb::SePrivGEmb(const Graph& graph, const EdgeProximity& preference,
 }
 
 TrainResult SePrivGEmb::Train() {
+  TrainResult result;
+  const Status status =
+      TrainInternal(nullptr, /*require_checkpoint=*/false, &result);
+  SEPRIV_CHECK(status.ok(), "training failed: %s",
+               status.ToString().c_str());
+  return result;
+}
+
+Status SePrivGEmb::TrainResumable(const TrainCheckpointOptions& ckpt,
+                                  TrainResult* out) {
+  return TrainInternal(&ckpt, /*require_checkpoint=*/false, out);
+}
+
+Status SePrivGEmb::ResumeFromCheckpoint(const TrainCheckpointOptions& ckpt,
+                                        TrainResult* out) {
+  return TrainInternal(&ckpt, /*require_checkpoint=*/true, out);
+}
+
+Status SePrivGEmb::TrainInternal(const TrainCheckpointOptions* ckpt,
+                                 bool require_checkpoint, TrainResult* out) {
   const SePrivGEmbConfig& cfg = config_;
   SEPRIV_CHECK(graph_.num_edges() > 0, "cannot train on an empty graph");
   SEPRIV_CHECK(cfg.dim >= 1 && cfg.batch_size >= 1, "bad dim/batch config");
@@ -249,6 +371,14 @@ TrainResult SePrivGEmb::Train() {
       "proximity-weighted positive sampling is incompatible with private "
       "training: the RDP accountant's sampling_rate assumes uniform "
       "without-replacement batches (use PerturbationStrategy::kNone)");
+
+  CheckpointPlan plan;
+  TrainCheckpoint resume_ck;
+  if (ckpt != nullptr) {
+    SEPRIV_RETURN_IF_ERROR(ResolveCheckpointPlan(
+        *ckpt, graph_.Fingerprint(), cfg.Digest(), require_checkpoint,
+        &resume_ck, &plan));
+  }
 
   Rng rng(cfg.seed);
   TrainResult result;
@@ -269,15 +399,30 @@ TrainResult SePrivGEmb::Train() {
   if (weighted) positive_alias.Build(*weights_);
 
   InMemorySampleSource source(sampler.All(), *weights_);
-  RunEpochs(cfg, graph_.num_nodes(), min_weight_, source,
-            weighted ? &positive_alias : nullptr, result.model, rng, result);
-  return result;
+  SEPRIV_RETURN_IF_ERROR(RunEpochs(cfg, graph_.num_nodes(), min_weight_,
+                                   source,
+                                   weighted ? &positive_alias : nullptr,
+                                   result.model, rng, plan, result));
+  *out = std::move(result);
+  return OkStatus();
 }
 
 TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
                            const SePrivGEmbConfig& config,
                            const OutOfCoreTrainOptions& ooc,
                            const ProximityOptions& prox_opts) {
+  TrainResult result;
+  const Status status =
+      TryTrainOutOfCore(store, preference, config, ooc, &result, prox_opts);
+  SEPRIV_CHECK(status.ok(), "out-of-core training failed: %s",
+               status.ToString().c_str());
+  return result;
+}
+
+Status TryTrainOutOfCore(GraphStore& store, ProximityKind preference,
+                         const SePrivGEmbConfig& config,
+                         const OutOfCoreTrainOptions& ooc, TrainResult* out,
+                         const ProximityOptions& prox_opts) {
   const SePrivGEmbConfig& cfg = config;
   SEPRIV_CHECK(preference == ProximityKind::kPreferentialAttachment,
                "out-of-core training supports the degree preference only "
@@ -297,12 +442,22 @@ TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
   const std::string cache_root = ooc.work_dir + "/proxcache";
   const uint64_t graph_fp = store.fingerprint();
 
+  CheckpointPlan plan;
+  TrainCheckpoint resume_ck;
+  if (!ooc.checkpoint.path.empty()) {
+    SEPRIV_RETURN_IF_ERROR(ResolveCheckpointPlan(
+        ooc.checkpoint, graph_fp, cfg.Digest(),
+        /*require_checkpoint=*/false, &resume_ck, &plan));
+  }
+
   // Degree vector: the node-level oracle state of the degree preference.
-  // O(|V|) resident, one sequential shard scan.
+  // O(|V|) resident, one sequential shard scan. Shard reads that fail their
+  // bounded recovery surface as structured errors from here on.
   std::vector<double> degrees(n, 0.0);
   for (size_t s = 0; s < num_shards; ++s) {
     if (s + 1 < num_shards) store.Prefetch(s + 1);
-    PinnedShard pin = store.Pin(s);
+    PinnedShard pin;
+    SEPRIV_RETURN_IF_ERROR(store.TryPin(s, &pin));
     for (NodeId u = pin->node_begin; u < pin->node_end; ++u) {
       degrees[u] = static_cast<double>(pin->Degree(u));
     }
@@ -315,7 +470,8 @@ TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
   ProximityFinalizer fin;
   for (size_t s = 0; s < num_shards; ++s) {
     if (s + 1 < num_shards) store.Prefetch(s + 1);
-    PinnedShard pin = store.Pin(s);
+    PinnedShard pin;
+    SEPRIV_RETURN_IF_ERROR(store.TryPin(s, &pin));
     const ShardProximity sp = CachedShardProximities(
         pin.view(), s, graph_fp, provider, prox_opts, pool, cache_root);
     for (size_t k = 0; k < sp.forward.size(); ++k) {
@@ -349,13 +505,15 @@ TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
         samples_path, static_cast<size_t>(cfg.negatives),
         ooc.sample_page_bytes > 0 ? ooc.sample_page_bytes
                                   : kSampleStorePageBytes);
-    SEPRIV_CHECK(writer != nullptr, "cannot create sample store %s",
-                 samples_path.c_str());
+    if (writer == nullptr) {
+      return IoError("cannot create sample store " + samples_path);
+    }
     Subgraph scratch;
     bool ok = true;
     for (size_t s = 0; s < num_shards; ++s) {
       if (s + 1 < num_shards) store.Prefetch(s + 1);
-      PinnedShard pin = store.Pin(s);
+      PinnedShard pin;
+      SEPRIV_RETURN_IF_ERROR(store.TryPin(s, &pin));
       const ShardView& view = pin.view();
       // Warm reload of this shard's raw proximities (pass A cached them);
       // the sealed finalizer turns them into the stored p_ij weights.
@@ -371,20 +529,29 @@ TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
       });
     }
     ok = writer->Finish() && ok;
-    SEPRIV_CHECK(ok, "sample store write failed (%s)", samples_path.c_str());
+    if (!ok) {
+      // Prefer the writer's structured first-failure (an ENOSPC spill keeps
+      // its kNoSpace code so callers know retrying is pointless).
+      return writer->status().ok()
+                 ? IoError("sample store write failed (" + samples_path + ")")
+                 : writer->status();
+    }
   }
 
   auto samples = SampleStore::Open(samples_path, ooc.sample_pool_pages);
-  SEPRIV_CHECK(samples != nullptr, "cannot open sample store %s",
-               samples_path.c_str());
+  if (samples == nullptr) {
+    return CorruptionError("cannot open sample store " + samples_path);
+  }
   SEPRIV_CHECK(samples->size() == num_edges, "sample store size mismatch");
 
-  RunEpochs(cfg, n, min_weight, *samples, /*positive_alias=*/nullptr,
-            result.model, rng, result);
+  SEPRIV_RETURN_IF_ERROR(RunEpochs(cfg, n, min_weight, *samples,
+                                   /*positive_alias=*/nullptr, result.model,
+                                   rng, plan, result));
 
   samples.reset();  // close before unlinking
   if (!ooc.keep_sample_store) std::remove(samples_path.c_str());
-  return result;
+  *out = std::move(result);
+  return OkStatus();
 }
 
 }  // namespace sepriv

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/config.h"
 #include "dp/accountant.h"
 #include "embedding/skipgram.h"
@@ -29,6 +30,7 @@
 #include "graph/shard.h"
 #include "proximity/proximity.h"
 #include "util/privacy_annotations.h"
+#include "util/status.h"
 
 namespace sepriv {
 
@@ -89,12 +91,39 @@ class SePrivGEmb {
   SEPRIV_DP_SANITIZER
   TrainResult Train();
 
+  /// Crash-safe variant of Train(): atomically checkpoints the full training
+  /// state (model, RNG stream, epoch cursor, loss curve, accountant spend)
+  /// to `ckpt.path` every `ckpt.every_epochs` epochs. If a checkpoint for
+  /// THIS graph and config already exists at the path — the crash-restart
+  /// case — training resumes from it and the final result is bit-identical
+  /// to an uninterrupted run, including the reported epsilon spend. A
+  /// checkpoint written for a different graph or config, or one that is
+  /// unreadable/corrupt, is a structured error: retraining over a file that
+  /// records already-spent privacy budget must be an explicit caller choice
+  /// (delete the file), never a silent default.
+  SEPRIV_DP_SANITIZER
+  Status TrainResumable(const TrainCheckpointOptions& ckpt, TrainResult* out);
+
+  /// Like TrainResumable but the checkpoint must exist: a missing file is
+  /// kNotFound instead of a fresh start. For drivers that know a run was
+  /// interrupted and want resumption or an error, never a restart.
+  SEPRIV_DP_SANITIZER
+  Status ResumeFromCheckpoint(const TrainCheckpointOptions& ckpt,
+                              TrainResult* out);
+
   /// The per-edge preference weights the trainer will use (post
   /// normalisation); exposed for tests and diagnostics.
   const std::vector<double>& edge_weights() const { return *weights_; }
   double min_weight() const { return min_weight_; }
 
  private:
+  /// Shared body of Train/TrainResumable/ResumeFromCheckpoint. `ckpt` null
+  /// disables checkpointing; `require_checkpoint` turns a missing file into
+  /// an error instead of a fresh start.
+  SEPRIV_DP_SANITIZER
+  Status TrainInternal(const TrainCheckpointOptions* ckpt,
+                       bool require_checkpoint, TrainResult* out);
+
   const Graph& graph_;
   SePrivGEmbConfig config_;
   // p_ij per canonical edge: weights_ points at owned_weights_ when the
@@ -122,6 +151,11 @@ struct OutOfCoreTrainOptions {
   /// Leave <work_dir>/samples.bin behind for inspection instead of deleting
   /// it when training completes.
   bool keep_sample_store = false;
+
+  /// Crash-safe checkpointing (empty path = off). Same semantics as
+  /// SePrivGEmb::TrainResumable: a matching checkpoint at the path resumes
+  /// bit-identically; a mismatched or corrupt one is a structured error.
+  TrainCheckpointOptions checkpoint;
 };
 
 /// Algorithm 2 against a (possibly disk-resident) GraphStore: proximities
@@ -139,6 +173,17 @@ TrainResult TrainOutOfCore(GraphStore& store, ProximityKind preference,
                            const SePrivGEmbConfig& config,
                            const OutOfCoreTrainOptions& ooc,
                            const ProximityOptions& prox_opts = {});
+
+/// Recoverable form of TrainOutOfCore: storage failures that survive the
+/// stack's bounded retries (shard/sample-page IO, sample-store writes,
+/// checkpoint publishes) surface as a structured error instead of aborting,
+/// and `ooc.checkpoint` enables crash-safe resume. On error `*out` holds no
+/// usable model. The aborting wrapper above is the historical contract.
+SEPRIV_DP_SANITIZER
+Status TryTrainOutOfCore(GraphStore& store, ProximityKind preference,
+                         const SePrivGEmbConfig& config,
+                         const OutOfCoreTrainOptions& ooc, TrainResult* out,
+                         const ProximityOptions& prox_opts = {});
 
 }  // namespace sepriv
 

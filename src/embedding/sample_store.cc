@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/digest.h"
+#include "util/failpoint.h"
 
 namespace sepriv {
 namespace {
@@ -82,6 +83,22 @@ bool SampleStoreWriter::Append(const Subgraph& s, double weight) {
                "sample store records carry a fixed negative count");
   if (failed_) return false;
 
+  switch (failpoint::Evaluate("sample_store.append")) {
+    case failpoint::Action::kError:
+    case failpoint::Action::kTorn:
+      failed_ = true;
+      status_ = IoError("injected append failure on " + file_->path());
+      return false;
+    case failpoint::Action::kEnospc:
+      failed_ = true;
+      status_ = NoSpaceError("injected ENOSPC on " + file_->path());
+      return false;
+    case failpoint::Action::kCrash:
+      failpoint::CrashNow();
+    case failpoint::Action::kNone:
+      break;
+  }
+
   std::byte* rec = page_.data() + kDataPageHeaderBytes +
                    page_fill_ * record_bytes_;
   std::memset(rec, 0, record_bytes_);
@@ -99,7 +116,12 @@ bool SampleStoreWriter::Append(const Subgraph& s, double weight) {
   ++num_samples_;
   if (page_fill_ == samples_per_page_) {
     StoreWord(page_.data(), PageChecksum(page_.data(), page_.size()));
-    if (file_->AppendPage(page_.data()) == SIZE_MAX) failed_ = true;
+    size_t page_index = 0;
+    const Status spill = file_->TryAppendPage(page_.data(), &page_index);
+    if (!spill.ok()) {
+      failed_ = true;
+      status_ = spill;
+    }
     std::memset(page_.data(), 0, page_.size());
     page_fill_ = 0;
   }
@@ -110,9 +132,18 @@ bool SampleStoreWriter::Finish() {
   SEPRIV_CHECK(!finished_, "double Finish");
   finished_ = true;
   if (failed_) return false;
+  if (failpoint::Evaluate("sample_store.finish") != failpoint::Action::kNone) {
+    status_ = IoError("injected finish failure on " + file_->path());
+    return false;
+  }
   if (page_fill_ > 0) {
     StoreWord(page_.data(), PageChecksum(page_.data(), page_.size()));
-    if (file_->AppendPage(page_.data()) == SIZE_MAX) return false;
+    size_t page_index = 0;
+    const Status spill = file_->TryAppendPage(page_.data(), &page_index);
+    if (!spill.ok()) {
+      status_ = spill;
+      return false;
+    }
   }
   std::vector<std::byte> header(file_->page_size());
   StoreWord(header.data() + 0 * sizeof(uint64_t), kMagic);
@@ -124,8 +155,13 @@ bool SampleStoreWriter::Finish() {
   StoreWord(header.data() + 6 * sizeof(uint64_t), file_->page_size());
   StoreWord(header.data() + 7 * sizeof(uint64_t),
             FnvDigest(header.data(), 7 * sizeof(uint64_t)));
-  if (!file_->WritePage(0, header.data())) return false;
-  return file_->Sync();
+  Status publish = file_->TryWritePage(0, header.data());
+  if (publish.ok()) publish = file_->TrySync();
+  if (!publish.ok()) {
+    status_ = publish;
+    return false;
+  }
+  return true;
 }
 
 SampleStore::SampleStore(std::unique_ptr<PageFile> file, size_t budget_pages,
@@ -183,20 +219,39 @@ std::unique_ptr<SampleStore> SampleStore::Open(const std::string& path,
 }
 
 void SampleStore::PinShard(size_t s) {
-  SEPRIV_CHECK(s < num_data_pages_, "sample shard out of range");
-  if (s == pinned_shard_ && pinned_.valid()) return;
+  const Status status = TryPinShard(s);
+  SEPRIV_CHECK(status.ok(), "sample store pin failed after retries: %s",
+               status.ToString().c_str());
+}
+
+Status SampleStore::TryPinShard(size_t s) {
+  if (s >= num_data_pages_) {
+    return FailedPreconditionError("sample shard out of range");
+  }
+  if (s == pinned_shard_ && pinned_.valid()) return OkStatus();
   pinned_ = BufferPool::PageHandle();  // release before pinning: frees a frame
   pinned_shard_ = SIZE_MAX;
-  BufferPool::PageHandle h = pool_->Pin(1 + s);
-  SEPRIV_CHECK(h.valid(), "sample store page read failed");
-  if (verified_load_[s] != h.load_id()) {
-    SEPRIV_CHECK(LoadWord(h.data()) ==
-                     PageChecksum(h.data(), file_->page_size()),
-                 "sample store page checksum mismatch (corrupt file?)");
-    verified_load_[s] = h.load_id();
+  // Same recovery discipline as SsdGraphStore::TryPin: a checksum mismatch
+  // on the pooled bytes gets a bounded number of drop-and-re-read attempts
+  // before it is reported as real on-disk corruption.
+  Status last_error;
+  for (size_t attempt = 1; attempt <= BufferPool::kMaxIoAttempts; ++attempt) {
+    BufferPool::PageHandle h;
+    SEPRIV_RETURN_IF_ERROR(pool_->TryPin(1 + s, &h));
+    if (verified_load_[s] == h.load_id() ||
+        LoadWord(h.data()) == PageChecksum(h.data(), file_->page_size())) {
+      verified_load_[s] = h.load_id();
+      pinned_ = std::move(h);
+      pinned_shard_ = s;
+      return OkStatus();
+    }
+    last_error = CorruptionError("sample store page " + std::to_string(1 + s) +
+                                 " in " + file_->path() +
+                                 " failed its checksum");
+    h = BufferPool::PageHandle();
+    pool_->Discard(1 + s);
   }
-  pinned_ = std::move(h);
-  pinned_shard_ = s;
+  return last_error;
 }
 
 void SampleStore::PrefetchShard(size_t s) {

@@ -55,7 +55,10 @@ class SampleStoreWriter {
       const std::string& path, size_t negatives_per_sample,
       size_t page_size = kSampleStorePageBytes);
 
-  /// Appends one sample. Returns false on I/O failure (sticky). Public
+  /// Appends one sample. Returns false on I/O failure (sticky; see
+  /// status() for the structured cause — ENOSPC during a spill surfaces as
+  /// kNoSpace, which retrying cannot fix). Fault-injection site:
+  /// "sample_store.append" (plus the underlying "page_file.write"). Public
   /// sink: the record is a raw (edge, negatives) sample serialized to disk;
   /// only the sanitizer-gated out-of-core trainer (which unlinks the file)
   /// and policy-suppressed test fixtures may write one.
@@ -64,9 +67,14 @@ class SampleStoreWriter {
 
   /// Flushes the tail page, publishes the header, and syncs. The store is
   /// readable only after Finish() returns true. No Appends may follow.
+  /// Fault-injection site: "sample_store.finish".
   bool Finish();
 
   size_t num_samples() const { return num_samples_; }
+
+  /// First failure the writer hit (Ok while healthy). Sticky, like the
+  /// boolean results: once a page spill fails the store file is unusable.
+  const Status& status() const { return status_; }
 
  private:
   SampleStoreWriter(std::unique_ptr<PageFile> file, size_t k);
@@ -80,6 +88,7 @@ class SampleStoreWriter {
   size_t num_samples_ = 0;
   bool failed_ = false;
   bool finished_ = false;
+  Status status_;                 // first failure, for structured reporting
 };
 
 /// Read side: a SampleSource over the finished file. One shard per data
@@ -101,7 +110,14 @@ class SampleStore final : public SampleSource {
   size_t ShardOf(uint32_t idx) const override {
     return idx / samples_per_page_;
   }
+  /// Aborting wrapper over TryPinShard (the engine's historical contract).
   void PinShard(size_t s) override;
+
+  /// Recoverable pin: a transient read fault or page-checksum mismatch is
+  /// retried with bounded drop-and-re-read (BufferPool::Discard) before the
+  /// error surfaces. Leaves no shard pinned on failure.
+  Status TryPinShard(size_t s) override;
+
   void PrefetchShard(size_t s) override;
   SampleView Get(uint32_t idx) const override;
 

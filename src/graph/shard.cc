@@ -6,6 +6,7 @@
 
 #include <sys/stat.h>
 
+#include "util/atomic_file.h"
 #include "util/check.h"
 #include "util/digest.h"
 #include "util/rng.h"
@@ -300,37 +301,29 @@ bool SaveShardManifest(const ShardManifest& manifest, const std::string& dir) {
   }
   words.push_back(FnvDigest(words.data(), words.size() * sizeof(uint64_t)));
 
-  // tmp + rename so a crash mid-write never leaves a torn manifest behind.
+  // Atomic + durable publish (write-temp, fsync file, rename, fsync dir):
+  // the bare tmp+rename this used to do could publish an empty manifest
+  // after a crash, because nothing forced the data out before the rename.
+  // Fault-injection sites: shard_manifest.{write,sync,rename}.
   const std::string path = dir + kManifestName;
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool ok =
-      std::fwrite(words.data(), sizeof(uint64_t), words.size(), f) ==
-      words.size();
-  if (std::fclose(f) != 0 || !ok) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return WriteFileAtomic(path, words.data(), words.size() * sizeof(uint64_t),
+                         "shard_manifest")
+      .ok();
 }
 
 }  // namespace internal
 
 std::optional<ShardManifest> LoadShardManifest(const std::string& dir) {
   const std::string path = dir + kManifestName;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return std::nullopt;
-  std::vector<uint64_t> words;
-  uint64_t w;
-  while (std::fread(&w, sizeof(w), 1, f) == 1) words.push_back(w);
-  const bool clean_eof = std::feof(f) != 0;
-  std::fclose(f);
-  if (!clean_eof || words.size() < 8) return std::nullopt;
+  std::string bytes;
+  // Fault-injection site: shard_manifest.read (torn ⇒ checksum rejects).
+  if (!ReadFileToString(path, &bytes, "shard_manifest").ok()) {
+    return std::nullopt;
+  }
+  if (bytes.size() % sizeof(uint64_t) != 0) return std::nullopt;
+  std::vector<uint64_t> words(bytes.size() / sizeof(uint64_t));
+  std::memcpy(words.data(), bytes.data(), bytes.size());
+  if (words.size() < 8) return std::nullopt;
 
   const uint64_t checksum = words.back();
   words.pop_back();
@@ -413,33 +406,60 @@ std::unique_ptr<SsdGraphStore> SsdGraphStore::Open(const std::string& dir,
 }
 
 PinnedShard SsdGraphStore::Pin(size_t s) {
-  SEPRIV_CHECK(s < manifest_.num_shards(), "shard %zu out of range", s);
-  BufferPool::PageHandle handle = pool_.Pin(s);
-  SEPRIV_CHECK(handle.valid(), "failed to read shard %zu from %s", s,
-               file_->path().c_str());
-  const std::span<const std::byte> page(handle.data(), pool_.page_size());
+  PinnedShard pin;
+  const Status status = TryPin(s, &pin);
+  SEPRIV_CHECK(status.ok(), "shard %zu in %s unreadable after retries: %s", s,
+               file_->path().c_str(), status.ToString().c_str());
+  return pin;
+}
 
-  const bool already_verified =
-      verified_load_[s].load(std::memory_order_acquire) == handle.load_id();
-  auto view = internal::ParseShardPage(page, !already_verified);
-  SEPRIV_CHECK(view.has_value(), "corrupt shard page %zu in %s", s,
-               file_->path().c_str());
-  if (!already_verified) {
-    // Graph data is not recomputable (unlike cache entries), so a shard
-    // whose bytes do not match the manifest is fatal, not recoverable.
-    const GraphShardInfo& info = manifest_.shards[s];
-    SEPRIV_CHECK(ShardFingerprint(*view) == info.fingerprint &&
-                     view->node_begin == info.node_begin &&
-                     view->node_end == info.node_end &&
-                     view->edge_begin == info.edge_begin &&
-                     view->edge_count == info.edge_count,
-                 "shard %zu in %s does not match its manifest entry", s,
-                 file_->path().c_str());
-    verified_load_[s].store(handle.load_id(), std::memory_order_release);
+Status SsdGraphStore::TryPin(size_t s, PinnedShard* out) {
+  *out = PinnedShard();
+  if (s >= manifest_.num_shards()) {
+    return FailedPreconditionError("shard index out of range");
   }
+  // A checksum/fingerprint mismatch on the pooled bytes may be a transient
+  // in-flight fault (a torn read the kernel happened to surface as success);
+  // dropping the cached page and re-reading from the shard file gives the
+  // store a bounded number of chances to observe the true on-disk bytes.
+  // Only a mismatch that survives every re-read is reported — at that point
+  // the file itself is damaged, and graph data (unlike cache entries) cannot
+  // be recomputed.
+  Status last_error;
+  for (size_t attempt = 1; attempt <= BufferPool::kMaxIoAttempts; ++attempt) {
+    BufferPool::PageHandle handle;
+    SEPRIV_RETURN_IF_ERROR(pool_.TryPin(s, &handle));
+    const std::span<const std::byte> page(handle.data(), pool_.page_size());
 
-  auto hold = std::make_shared<BufferPool::PageHandle>(std::move(handle));
-  return PinnedShard(*view, std::shared_ptr<const void>(hold, hold.get()));
+    const bool already_verified =
+        verified_load_[s].load(std::memory_order_acquire) == handle.load_id();
+    auto view = internal::ParseShardPage(page, !already_verified);
+    bool matches = view.has_value();
+    if (matches && !already_verified) {
+      const GraphShardInfo& info = manifest_.shards[s];
+      matches = ShardFingerprint(*view) == info.fingerprint &&
+                view->node_begin == info.node_begin &&
+                view->node_end == info.node_end &&
+                view->edge_begin == info.edge_begin &&
+                view->edge_count == info.edge_count;
+      if (matches) {
+        verified_load_[s].store(handle.load_id(), std::memory_order_release);
+      }
+    }
+    if (matches) {
+      auto hold = std::make_shared<BufferPool::PageHandle>(std::move(handle));
+      *out = PinnedShard(*view, std::shared_ptr<const void>(hold, hold.get()));
+      return OkStatus();
+    }
+    last_error = CorruptionError("shard " + std::to_string(s) + " in " +
+                                 file_->path() +
+                                 " failed checksum/manifest verification");
+    // Drop our pin, then drop the pool's cached copy so the next attempt
+    // re-reads from disk instead of re-hashing the same bad frame.
+    handle = BufferPool::PageHandle();
+    pool_.Discard(s);
+  }
+  return last_error;
 }
 
 void SsdGraphStore::Prefetch(size_t s) {

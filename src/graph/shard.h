@@ -136,6 +136,15 @@ class GraphStore {
   /// recomputed, unlike cache entries.
   virtual PinnedShard Pin(size_t s) = 0;
 
+  /// Recoverable variant: surfaces IO/corruption as a structured error
+  /// instead of aborting. Disk-backed stores retry transient faults and
+  /// checksum mismatches with bounded re-reads before giving up. The default
+  /// wraps Pin, which never fails for in-memory stores.
+  virtual Status TryPin(size_t s, PinnedShard* out) {
+    *out = Pin(s);
+    return OkStatus();
+  }
+
   /// Asynchronous residency hint; no-op for in-memory stores.
   virtual void Prefetch(size_t /*s*/) {}
 
@@ -197,7 +206,18 @@ class SsdGraphStore : public GraphStore {
                                              size_t budget_pages = 0);
 
   const ShardManifest& manifest() const override { return manifest_; }
+
+  /// Aborting wrapper over TryPin (the historical contract).
   PinnedShard Pin(size_t s) override;
+
+  /// Pin with graceful degradation: a transient read fault or a checksum /
+  /// fingerprint mismatch on the pooled page triggers a bounded
+  /// drop-and-re-read from the shard file (the pool's Discard primitive);
+  /// only a fault that survives every re-read surfaces, as kCorruption or
+  /// the underlying IO error. Fault-injection sites: "page_file.read" (the
+  /// pool's reads) — a `torn` schedule there exercises exactly this path.
+  Status TryPin(size_t s, PinnedShard* out) override;
+
   void Prefetch(size_t s) override;
 
   const BufferPool& pool() const { return pool_; }

@@ -6,15 +6,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <iterator>
 #include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
-#include <unistd.h>
-
+#include "util/atomic_file.h"
 #include "util/check.h"
 #include "util/env.h"
 #include "util/mutex.h"
@@ -300,28 +298,13 @@ bool SaveEdgeProximityCache(const std::string& dir, const Graph& graph,
 
   const std::string final_path =
       dir + "/" + ProximityCacheFileName(graph, provider_name, opts);
-  char tmp_suffix[32];
-  std::snprintf(tmp_suffix, sizeof(tmp_suffix), ".tmp.%ld",
-                static_cast<long>(::getpid()));
-  const std::string tmp_path = final_path + tmp_suffix;
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    if (!out) {
-      out.close();
-      std::filesystem::remove(tmp_path, ec);
-      return false;
-    }
-  }
-  // Atomic publish: concurrent loaders see either the old complete file or
-  // the new complete file, never a torn write.
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp_path, ec);
-    return false;
-  }
-  return true;
+  // Durable atomic publish (write-temp + fsync file and directory + rename):
+  // concurrent loaders see either the old complete file or the new complete
+  // file, never a torn write — and a crash right after Save returns cannot
+  // resurface an empty or garbage file at the final path.
+  return WriteFileAtomic(final_path, blob.data(), blob.size(),
+                         "proxcache.edge")
+      .ok();
 }
 
 std::optional<EdgeProximity> LoadEdgeProximityCache(
@@ -330,11 +313,9 @@ std::optional<EdgeProximity> LoadEdgeProximityCache(
   if (dir.empty()) return std::nullopt;
   const std::string path =
       dir + "/" + ProximityCacheFileName(graph, provider_name, opts);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::string blob((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) return std::nullopt;
+  std::string blob;
+  if (!ReadFileToString(path, &blob, "proxcache.edge").ok())
+    return std::nullopt;
 
   // Whole-file checksum first: truncated, appended-to, or bit-flipped files
   // all fail here before any field is trusted.
@@ -551,26 +532,9 @@ bool SaveShardProximityCache(const std::string& cache_root,
   AppendDoubles(blob, prox.backward);
   AppendPod(blob, DigestBytes(blob.data(), blob.size()));
 
-  char tmp_suffix[32];
-  std::snprintf(tmp_suffix, sizeof(tmp_suffix), ".tmp.%ld",
-                static_cast<long>(::getpid()));
-  const std::string tmp_path = path + tmp_suffix;
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    if (!out) {
-      out.close();
-      std::filesystem::remove(tmp_path, ec);
-      return false;
-    }
-  }
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp_path, ec);
-    return false;
-  }
-  return true;
+  // Same durable publish discipline as the whole-graph cache writer.
+  return WriteFileAtomic(path, blob.data(), blob.size(), "proxcache.shard")
+      .ok();
 }
 
 std::optional<ShardProximity> LoadShardProximityCache(
@@ -582,11 +546,9 @@ std::optional<ShardProximity> LoadShardProximityCache(
   const std::string path =
       ShardCacheFilePath(cache_root, graph_fingerprint, shard_index,
                          shard_fingerprint, provider_name, opts);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::string blob((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) return std::nullopt;
+  std::string blob;
+  if (!ReadFileToString(path, &blob, "proxcache.shard").ok())
+    return std::nullopt;
 
   if (blob.size() < sizeof(uint64_t)) return std::nullopt;
   const size_t payload_len = blob.size() - sizeof(uint64_t);

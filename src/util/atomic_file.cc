@@ -1,0 +1,206 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/failpoint.h"
+
+namespace sepriv {
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  const std::string msg = op + " " + path + ": " + std::strerror(err);
+  if (err == ENOSPC) return NoSpaceError(msg);
+  return IoError(msg);
+}
+
+/// write(2) loop over EINTR and short counts.
+bool FullWrite(int fd, const char* p, size_t len) {
+  while (len > 0) {
+    const ssize_t put = ::write(fd, p, len);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    len -= static_cast<size_t>(put);
+  }
+  return true;
+}
+
+/// Applies the `<base>.write` failpoint: may write a torn prefix, fake an
+/// errno, or crash mid-write. Returns true when the caller should proceed
+/// with the real full write.
+Status ApplyWriteFailpoint(const char* base, int fd, const char* data,
+                           size_t size, const std::string& tmp_path,
+                           bool* proceed) {
+  *proceed = true;
+  const std::string site = std::string(base) + ".write";
+  switch (failpoint::Evaluate(site.c_str())) {
+    case failpoint::Action::kNone:
+      return OkStatus();
+    case failpoint::Action::kError:
+      *proceed = false;
+      return IoError("injected write failure on " + tmp_path);
+    case failpoint::Action::kEnospc:
+      *proceed = false;
+      return NoSpaceError("injected ENOSPC on " + tmp_path);
+    case failpoint::Action::kTorn: {
+      *proceed = false;
+      FullWrite(fd, data, size / 2);  // leave a torn temp file behind
+      return IoError("injected torn write on " + tmp_path);
+    }
+    case failpoint::Action::kCrash: {
+      FullWrite(fd, data, size / 2);  // partial effect, then die
+      failpoint::CrashNow();
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, const void* data, size_t size,
+                       const char* failpoint_base) {
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp_path, errno);
+
+  if (failpoint_base != nullptr) {
+    bool proceed = true;
+    Status fp_status = ApplyWriteFailpoint(
+        failpoint_base, fd, static_cast<const char*>(data), size, tmp_path,
+        &proceed);
+    if (!proceed) {
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return fp_status;
+    }
+  }
+
+  if (!FullWrite(fd, static_cast<const char*>(data), size)) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("write", tmp_path, err);
+  }
+
+  // Durability point 1: the temp file's bytes must hit stable storage before
+  // the rename can publish them — otherwise a crash after the (journaled)
+  // rename but before writeback publishes garbage at the final path.
+  if (failpoint_base != nullptr) {
+    const std::string site = std::string(failpoint_base) + ".sync";
+    switch (failpoint::Evaluate(site.c_str())) {
+      case failpoint::Action::kCrash:
+        // Crash in the window where data is written but not synced and the
+        // rename has not happened: the destination must still be old/absent.
+        failpoint::CrashNow();
+      case failpoint::Action::kError:
+      case failpoint::Action::kEnospc:
+        ::close(fd);
+        ::unlink(tmp_path.c_str());
+        return IoError("injected fsync failure on " + tmp_path);
+      default:
+        break;
+    }
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("fsync", tmp_path, err);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("close", tmp_path, errno);
+  }
+
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("rename", tmp_path, err);
+  }
+
+  if (failpoint_base != nullptr) {
+    const std::string site = std::string(failpoint_base) + ".rename";
+    if (failpoint::Evaluate(site.c_str()) == failpoint::Action::kCrash) {
+      // Crash after rename, before the directory entry is durable: recovery
+      // must see either the old or the (fully written, fsynced) new file.
+      failpoint::CrashNow();
+    }
+  }
+
+  // Durability point 2: persist the directory entry for the rename.
+  const std::string dir = ParentDir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return ErrnoStatus("open", dir, errno);
+  if (::fsync(dfd) != 0) {
+    const int err = errno;
+    ::close(dfd);
+    return ErrnoStatus("fsync", dir, err);
+  }
+  ::close(dfd);
+  return OkStatus();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out,
+                        const char* failpoint_base) {
+  out->clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return NotFoundError(path + " does not exist");
+    return ErrnoStatus("open", path, errno);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return ErrnoStatus("fstat", path, errno);
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < out->size()) {
+    const ssize_t got = ::read(fd, out->data() + done, out->size() - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      out->clear();
+      return ErrnoStatus("read", path, err);
+    }
+    if (got == 0) break;  // concurrent truncation; surface as short file
+    done += static_cast<size_t>(got);
+  }
+  ::close(fd);
+  out->resize(done);
+
+  if (failpoint_base != nullptr) {
+    const std::string site = std::string(failpoint_base) + ".read";
+    switch (failpoint::Evaluate(site.c_str())) {
+      case failpoint::Action::kError:
+        out->clear();
+        return IoError("injected read failure on " + path);
+      case failpoint::Action::kTorn:
+        // Deterministic rot: flip a bit in the middle so the caller's
+        // checksum check must reject the load.
+        if (!out->empty()) (*out)[out->size() / 2] ^= 0x40;
+        break;
+      default:
+        break;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace sepriv

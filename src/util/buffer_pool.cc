@@ -71,7 +71,8 @@ void BufferPool::FinishLoadLocked(size_t frame, bool ok) {
   frame_cv_.NotifyAll();
 }
 
-BufferPool::PageHandle BufferPool::Pin(size_t page) {
+Status BufferPool::TryPin(size_t page, PageHandle* out) {
+  *out = PageHandle();
   MutexLock lock(mu_);
   for (;;) {
     auto it = page_to_frame_.find(page);
@@ -86,7 +87,8 @@ BufferPool::PageHandle BufferPool::Pin(size_t page) {
       ++f.pins;
       f.last_use = ++tick_;
       ++stats_.hits;
-      return PageHandle(this, it->second, f.buf.data(), page, f.load_id);
+      *out = PageHandle(this, it->second, f.buf.data(), page, f.load_id);
+      return OkStatus();
     }
 
     const size_t frame = ClaimFrameLocked(page);
@@ -108,17 +110,41 @@ BufferPool::PageHandle BufferPool::Pin(size_t page) {
     ++stats_.misses;
     // Snapshot the destination while the latch proves the frame is ours
     // (`loading` fences it from eviction), then read without the latch.
+    // Transient faults (plain IO errors) get a bounded number of immediate
+    // re-reads; corruption and precondition failures surface at once.
     std::byte* dst = frames_[frame].buf.data();
-    lock.Unlock();
-    const bool ok = file_.ReadPage(page, dst);
-    lock.Lock();
-    FinishLoadLocked(frame, ok);
-    if (!ok) return PageHandle();  // invalid handle: read failure
+    Status read_status;
+    for (size_t attempt = 1; attempt <= kMaxIoAttempts; ++attempt) {
+      lock.Unlock();
+      read_status = file_.TryReadPage(page, dst);
+      lock.Lock();
+      if (read_status.ok() || !read_status.transient() ||
+          attempt == kMaxIoAttempts) {
+        break;
+      }
+      ++stats_.read_retries;
+    }
+    FinishLoadLocked(frame, read_status.ok());
+    if (!read_status.ok()) return read_status;
     Frame& f = frames_[frame];
     ++f.pins;
     f.last_use = ++tick_;
-    return PageHandle(this, frame, f.buf.data(), page, f.load_id);
+    *out = PageHandle(this, frame, f.buf.data(), page, f.load_id);
+    return OkStatus();
   }
+}
+
+bool BufferPool::Discard(size_t page) {
+  MutexLock lock(mu_);
+  auto it = page_to_frame_.find(page);
+  if (it == page_to_frame_.end()) return false;
+  Frame& f = frames_[it->second];
+  if (f.pins > 0 || f.loading) return false;
+  page_to_frame_.erase(it);
+  f.page = kNoPage;
+  f.load_id = 0;
+  ++stats_.discards;
+  return true;
 }
 
 void BufferPool::Prefetch(size_t page) {

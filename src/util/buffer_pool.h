@@ -38,6 +38,7 @@
 
 #include "util/mutex.h"
 #include "util/page_file.h"
+#include "util/status.h"
 
 namespace sepriv {
 
@@ -48,6 +49,8 @@ struct BufferPoolStats {
   uint64_t evictions = 0;       // resident page displaced from its frame
   uint64_t prefetch_loads = 0;  // pages loaded by the background thread
   uint64_t prefetch_dropped = 0;  // hints skipped (resident/queued/no frame)
+  uint64_t read_retries = 0;    // transient read faults absorbed by TryPin
+  uint64_t discards = 0;        // pages dropped via Discard (re-read path)
 };
 
 class BufferPool {
@@ -105,10 +108,34 @@ class BufferPool {
     uint64_t load_id_ = 0;
   };
 
-  /// Pins `page`, reading it from disk if not resident. Aborts
+  /// Maximum disk-read attempts a single TryPin absorbs before surfacing
+  /// the error. Attempt-count bounded, never wall-clock (sleep-wait is
+  /// banned): a fault that persists for kMaxIoAttempts consecutive reads is
+  /// not transient.
+  static constexpr size_t kMaxIoAttempts = 3;
+
+  /// Pins `page`, reading it from disk if not resident; transient read
+  /// faults are retried up to kMaxIoAttempts times (stats().read_retries
+  /// counts the absorbed faults). On persistent failure returns the last
+  /// read's structured error and leaves `*out` invalid. Aborts
   /// (SEPRIV_CHECK) when every frame is pinned — the pool is over-pinned,
-  /// a caller bug — and returns an invalid handle if the disk read fails.
-  PageHandle Pin(size_t page) SEPRIV_EXCLUDES(mu_);
+  /// a caller bug.
+  Status TryPin(size_t page, PageHandle* out) SEPRIV_EXCLUDES(mu_);
+
+  /// Bool-era shim over TryPin: returns an invalid handle on read failure
+  /// (TryPin leaves `handle` invalid whenever it reports an error).
+  PageHandle Pin(size_t page) SEPRIV_EXCLUDES(mu_) {
+    PageHandle handle;
+    if (!TryPin(page, &handle).ok()) return PageHandle();
+    return handle;
+  }
+
+  /// Drops an unpinned resident copy of `page` so the next Pin re-reads it
+  /// from disk. This is the recovery primitive for checksum mismatches
+  /// detected ABOVE the pool (the pool cannot know a page's checksum): the
+  /// caller drops its handle, Discards the page, and pins again. Returns
+  /// false when the page is not resident or still pinned/loading.
+  bool Discard(size_t page) SEPRIV_EXCLUDES(mu_);
 
   /// Asynchronous load hint; never blocks beyond a mutex.
   void Prefetch(size_t page) SEPRIV_EXCLUDES(mu_);

@@ -14,6 +14,8 @@
 #include <memory>
 #include <string>
 
+#include "util/status.h"
+
 namespace sepriv {
 
 class PageFile {
@@ -38,17 +40,41 @@ class PageFile {
   const std::string& path() const { return path_; }
 
   /// Reads page `index` into `out` (page_size bytes). Thread-safe (pread).
-  bool ReadPage(size_t index, void* out) const;
+  /// Distinguishes kFailedPrecondition (index out of range), kCorruption
+  /// (EOF mid-page: the file shrank under us) and kIoError (syscall failure).
+  /// Fault-injection site: "page_file.read" (torn ⇒ bytes deterministically
+  /// corrupted so the caller's checksum must catch it).
+  Status TryReadPage(size_t index, void* out) const;
 
   /// Writes page `index` from `data` (page_size bytes). Extends the file
   /// when index == num_pages(). Not thread-safe against other writers.
-  bool WritePage(size_t index, const void* data);
+  /// ENOSPC surfaces as kNoSpace. Fault-injection site: "page_file.write"
+  /// (torn ⇒ half the page is written before the error).
+  Status TryWritePage(size_t index, const void* data);
 
-  /// Appends one page; returns its index, or SIZE_MAX on failure.
-  size_t AppendPage(const void* data);
+  /// Appends one page, storing its index in `*index`.
+  Status TryAppendPage(const void* data, size_t* index);
 
   /// Flushes file contents to stable storage.
-  bool Sync();
+  /// Fault-injection site: "page_file.sync".
+  Status TrySync();
+
+  /// Bool-returning shims over the Try* primaries, for call sites whose
+  /// own signature is already boolean. They lose the error detail.
+  bool ReadPage(size_t index, void* out) const {
+    return TryReadPage(index, out).ok();
+  }
+  bool WritePage(size_t index, const void* data) {
+    return TryWritePage(index, data).ok();
+  }
+
+  /// Appends one page; returns its index, or SIZE_MAX on failure.
+  size_t AppendPage(const void* data) {
+    size_t index = 0;
+    return TryAppendPage(data, &index).ok() ? index : SIZE_MAX;
+  }
+
+  bool Sync() { return TrySync().ok(); }
 
  private:
   PageFile(int fd, std::string path, size_t page_size, size_t num_pages)

@@ -123,6 +123,30 @@ class Rng {
     return true;
   }
 
+  /// Full serializable engine state: the four xoshiro words plus the
+  /// Box–Muller cache. Restoring this is bit-exact — a checkpoint taken
+  /// between the two halves of a Box–Muller pair resumes mid-pair, so a
+  /// resumed training run replays the identical normal stream.
+  struct State {
+    uint64_t s[4] = {};
+    double cached = 0.0;
+    bool has_cached = false;
+  };
+
+  State SaveState() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached = cached_;
+    st.has_cached = has_cached_;
+    return st;
+  }
+
+  void RestoreState(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_ = st.cached;
+    has_cached_ = st.has_cached;
+  }
+
   /// Derives an independent child stream (for per-worker determinism).
   /// Advances this engine by one draw.
   Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }

@@ -37,6 +37,14 @@
 //                        missing synchronisation and makes run time (and
 //                        under load, results) machine-dependent; use the
 //                        pool's barriers or condition variables
+//   unchecked-io         a statement that calls one of the repo's
+//                        failure-reporting IO entry points (PageFile
+//                        read/write/sync, buffer-pool pins, sample-store
+//                        appends, shard/checkpoint/atomic-file writers) and
+//                        throws the bool/Status result away — the ONLY
+//                        failure channel these calls have. `(void)` casts
+//                        do not exempt: silencing the compiler is not
+//                        handling the error
 //   bad-suppression      a sepriv-lint: allow(...) comment without a
 //                        justification after the closing parenthesis
 //   unused-suppression   a suppression that silenced nothing (stale allows
@@ -259,6 +267,26 @@ const std::set<std::string>& SleepCalls() {
   return kSet;
 }
 
+/// The repo's IO entry points whose bool/Status return is the ONLY failure
+/// channel. A statement that calls one and discards the result swallows
+/// torn writes, ENOSPC, and corruption. Exact-name matching, like the
+/// distribution list: suffix heuristics would catch domain verbs.
+const std::set<std::string>& IoResultFunctions() {
+  static const std::set<std::string> kSet = {
+      // util/page_file.h
+      "ReadPage", "WritePage", "AppendPage", "Sync", "TryReadPage",
+      "TryWritePage", "TryAppendPage", "TrySync",
+      // util/buffer_pool.h
+      "TryPin",
+      // embedding/sample_store.h + core/batch_gradient_engine.h
+      "Append", "Finish", "TryPinShard", "TryAccumulateBatch",
+      // core/checkpoint.h + util/atomic_file.h + graph/shard.h
+      "SaveCheckpoint", "LoadCheckpoint", "WriteFileAtomic",
+      "ReadFileToString", "SaveShardManifest", "WriteGraphShards",
+  };
+  return kSet;
+}
+
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -408,6 +436,68 @@ void ScanFile(const fs::path& path, const std::string& path_label,
            "iteration over unordered container '" + toks[i].text +
                "' via begin(): hash order is not deterministic (membership "
                "queries should use find/count/contains)"});
+    }
+  }
+
+  // Pass 3: unchecked-io. Flags a full-expression statement that calls one
+  // of the IO entry points and discards its bool/Status result:
+  //
+  //   [boundary] receiver.chain->Name ( ...balanced... ) ;
+  //
+  // where boundary is ';', '{', '}', or file start — i.e. nothing consumes
+  // the value. A declaration (`bool Append(...);`) has its return TYPE
+  // where the boundary would be, so it never matches; a call whose result
+  // feeds anything (assignment, condition, return, wrapper macro) has a
+  // non-';' token after the ')' and is skipped. `(void)` casts are treated
+  // as discards — silencing the compiler is not handling the error.
+  auto is_ident_tok = [](const std::string& t) {
+    return !t.empty() && IsIdentStart(t[0]);
+  };
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (IoResultFunctions().count(toks[i].text) == 0 || tok(i + 1) != "(") {
+      continue;
+    }
+    size_t j = i + 2;  // find the call's matching ')'
+    int depth = 1;
+    while (j < toks.size() && depth > 0) {
+      if (tok(j) == "(") ++depth;
+      if (tok(j) == ")") --depth;
+      ++j;
+    }
+    if (depth != 0 || tok(j) != ";") continue;  // value consumed (or EOF)
+    // Walk the receiver chain backwards: x.y->Name, ns::Name, bare Name.
+    size_t b = i;
+    while (true) {
+      if (b >= 2 && tok(b - 1) == "." && is_ident_tok(tok(b - 2))) {
+        b -= 2;
+      } else if (b >= 3 && tok(b - 1) == ">" && tok(b - 2) == "-" &&
+                 is_ident_tok(tok(b - 3))) {
+        b -= 3;
+      } else if (b >= 3 && tok(b - 1) == ":" && tok(b - 2) == ":" &&
+                 is_ident_tok(tok(b - 3))) {
+        b -= 3;
+      } else {
+        break;
+      }
+    }
+    bool discarded = false;
+    if (b == 0) {
+      discarded = true;  // call at file start (fixtures only, but complete)
+    } else {
+      const std::string& boundary = tok(b - 1);
+      discarded = boundary == ";" || boundary == "{" || boundary == "}";
+      if (!discarded && boundary == ")" && b >= 3 && tok(b - 2) == "void" &&
+          tok(b - 3) == "(") {
+        discarded = true;  // (void) cast of an IO result
+      }
+    }
+    if (discarded) {
+      local.push_back(
+          {path_label, toks[i].line, "unchecked-io",
+           "result of " + toks[i].text +
+               "() discarded: the bool/Status return is this call's only "
+               "failure channel (torn write, ENOSPC, corruption); check it "
+               "or propagate the error"});
     }
   }
 
