@@ -7,18 +7,28 @@
 // pre-kernel-layer code, not a strawman; they live in naive_reference.h,
 // shared with the kernel property tests.
 //
+// The SIMD dispatch sweep re-times the hot kernels (dot, axpy, fused SGNS
+// update, serial GEMM) once per available dispatch level — scalar, avx2,
+// avx512 — emitting records like "dot/avx2" and "gemm/avx512" plus a
+// "simd/digests_identical" witness that every level produced bit-identical
+// results (the accumulation-order contract of linalg/simd/).
+//
 // Environment knobs:
 //   SEPRIV_BENCH_N        vector length for the level-1 kernels (default 65536)
 //   SEPRIV_BENCH_GEMM     square GEMM size                      (default 512)
 //   SEPRIV_BENCH_MIN_MS   min timed window per measurement      (default 150)
 //
 // Flags:
+//   --simd=<level>        pin dispatch to scalar|avx2|avx512 for the whole
+//                         run and restrict the sweep to that level (errors
+//                         if the CPU/build does not support it)
 //   --json <path>         also write the results as JSON (see bench_json.h);
 //                         BENCH_kernels.json at the repo root is the committed
 //                         baseline future PRs diff against.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -27,6 +37,7 @@
 #include "bench/naive_reference.h"
 #include "linalg/kernels.h"
 #include "linalg/matrix.h"
+#include "linalg/simd/cpu_features.h"
 #include "util/digest.h"
 #include "util/env.h"
 #include "util/rng.h"
@@ -71,14 +82,39 @@ int main(int argc, char** argv) {
       static_cast<double>(ParseSizeEnv("SEPRIV_BENCH_MIN_MS", 60000, 150)) /
       1e3;
 
+  // --simd=<level>: pin dispatch for the whole run and restrict the sweep.
+  bool pinned = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--simd=", 0) != 0) continue;
+    simd::Level level;
+    if (!simd::ParseLevel(arg.c_str() + 7, &level)) {
+      std::fprintf(stderr, "bad --simd value '%s' (want scalar|avx2|avx512)\n",
+                   arg.c_str() + 7);
+      return 1;
+    }
+    if (!simd::LevelSupported(level)) {
+      std::fprintf(stderr, "--simd=%s not supported on this CPU/build\n",
+                   simd::LevelName(level));
+      return 1;
+    }
+    simd::SetLevel(level);
+    pinned = true;
+  }
+
   bj::BenchJson json("bench_kernels");
   json.AddMeta("hardware_threads",
                std::to_string(ThreadPool::ResolveThreads(0)));
   json.AddMeta("vector_n", std::to_string(n));
   json.AddMeta("gemm_size", std::to_string(gemm));
+  json.AddMeta("cpu_features", simd::CpuFeatureString());
+  json.AddMeta("simd_active", simd::LevelName(simd::ActiveLevel()));
 
-  std::printf("# bench_kernels\n# hardware threads: %zu, n=%zu, gemm=%zu\n\n",
+  std::printf("# bench_kernels\n# hardware threads: %zu, n=%zu, gemm=%zu\n",
               ThreadPool::ResolveThreads(0), n, gemm);
+  std::printf("# cpu: %s, dispatch: %s%s\n\n", simd::CpuFeatureString().c_str(),
+              simd::LevelName(simd::ActiveLevel()),
+              pinned ? " (pinned by --simd)" : "");
 
   Rng rng(1);
   std::vector<double> a(n), b(n), y(n);
@@ -207,6 +243,130 @@ int main(int argc, char** argv) {
                 digests_match ? "identical" : "DIVERGED (BUG)");
     json.AddRecord("gemm/digests_identical",
                    {{"value", digests_match ? 1.0 : 0.0}});
+  }
+
+  // --- SIMD dispatch sweep: the hot kernels once per available level. ------
+  {
+    std::vector<simd::Level> levels;
+    for (simd::Level level :
+         {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512}) {
+      if (!simd::LevelSupported(level)) continue;
+      if (pinned && level != simd::ActiveLevel()) continue;
+      levels.push_back(level);
+    }
+
+    // Fused SGNS update workload: a pool of (center, context) row pairs at
+    // the paper's r=128, cycled so the timing covers the whole fused kernel
+    // (dot + sigmoid + two gradient rows), not one cache-hot pair. The
+    // naive baseline composes the same update from the seed tree's
+    // single-accumulator dot and plain mul+add loops.
+    const size_t dim = 128;
+    const size_t pairs = 256;
+    Rng srng(4);
+    std::vector<double> vi(pairs * dim), vn(pairs * dim);
+    for (double& x : vi) x = srng.Uniform(-1.0, 1.0);
+    for (double& x : vn) x = srng.Uniform(-1.0, 1.0);
+    std::vector<double> center_grad(dim, 0.0), ctx_row(dim, 0.0);
+    size_t cursor = 0;
+    const auto sgns_naive = [&] {
+      const double* a = vi.data() + (cursor % pairs) * dim;
+      const double* b = vn.data() + (cursor % pairs) * dim;
+      ++cursor;
+      const double x = naive::Dot(a, b, dim);
+      const double coeff = 0.9 * (kernels::Sigmoid(x) - 1.0);
+      for (size_t d = 0; d < dim; ++d) center_grad[d] += coeff * b[d];
+      for (size_t d = 0; d < dim; ++d) ctx_row[d] = coeff * a[d];
+      Sink(ctx_row[0]);
+    };
+    const auto sgns_fast = [&] {
+      const double* a = vi.data() + (cursor % pairs) * dim;
+      const double* b = vn.data() + (cursor % pairs) * dim;
+      ++cursor;
+      Sink(kernels::SgnsAccumulate(a, b, dim, 0.9, 1.0, center_grad.data(),
+                                   ctx_row.data()));
+    };
+    const double t_sgns_naive = TimePerCall(sgns_naive, min_s);
+    const double sgns_naive_rate =
+        1.0 / t_sgns_naive / 1e6;  // million fused updates per second
+    json.AddRecord("sgns/naive", {{"dim", static_cast<double>(dim)},
+                                  {"mupd_per_s", sgns_naive_rate}});
+
+    std::printf("\n%-18s %12s %12s %12s %9s\n", "simd sweep", "dot GB/s",
+                "sgns Mu/s", "gemm GF/s", "vs scalar");
+    std::printf("%-18s %12s %12.2f %12s %9s\n", "sgns_naive", "-",
+                sgns_naive_rate, "-", "-");
+
+    kernels::SetLinalgThreads(1);  // 1-core numbers: ISA speedup, not threads
+    const double flops = 2.0 * static_cast<double>(gemm) *
+                         static_cast<double>(gemm) *
+                         static_cast<double>(gemm);
+    Rng grng(5);
+    Matrix ga(gemm, gemm), gb(gemm, gemm);
+    ga.FillUniform(grng, -1.0, 1.0);
+    gb.FillUniform(grng, -1.0, 1.0);
+
+    double scalar_dot = 0.0, scalar_sgns = 0.0, scalar_gemm = 0.0;
+    uint64_t want_gemm_digest = 0, want_dot_bits = 0;
+    bool identical = true;
+    for (simd::Level level : levels) {
+      simd::SetLevel(level);
+      const char* lname = simd::LevelName(level);
+
+      const double t_dot = TimePerCall(
+          [&] { Sink(kernels::Dot(a.data(), b.data(), n)); }, min_s);
+      const double dot_rate = 16.0 * static_cast<double>(n) / 1e9 / t_dot;
+
+      const double t_sgns = TimePerCall(sgns_fast, min_s);
+      const double sgns_rate = 1.0 / t_sgns / 1e6;
+
+      const double t_gemm =
+          TimePerCall([&] { Sink(MatMul(ga, gb)(0, 0)); }, min_s);
+      const double gemm_rate = flops / t_gemm / 1e9;
+
+      const uint64_t gemm_digest = MatrixDigest(MatMul(ga, gb));
+      uint64_t dot_bits = 0;
+      const double dot_val = kernels::Dot(a.data(), b.data(), n);
+      std::memcpy(&dot_bits, &dot_val, sizeof(dot_bits));
+      if (level == levels.front()) {
+        want_gemm_digest = gemm_digest;
+        want_dot_bits = dot_bits;
+      }
+      identical = identical && gemm_digest == want_gemm_digest &&
+                  dot_bits == want_dot_bits;
+      if (level == simd::Level::kScalar) {
+        scalar_dot = dot_rate;
+        scalar_sgns = sgns_rate;
+        scalar_gemm = gemm_rate;
+      }
+      const double vs = scalar_gemm > 0 ? gemm_rate / scalar_gemm : 0.0;
+      std::printf("%-18s %12.2f %12.2f %12.2f %8.2fx\n", lname, dot_rate,
+                  sgns_rate, gemm_rate, vs);
+      json.AddRecord(std::string("dot/") + lname,
+                     {{"n", static_cast<double>(n)},
+                      {"gb_per_s", dot_rate},
+                      {"speedup_vs_scalar",
+                       scalar_dot > 0 ? dot_rate / scalar_dot : 0.0}});
+      json.AddRecord(std::string("sgns/") + lname,
+                     {{"dim", static_cast<double>(dim)},
+                      {"mupd_per_s", sgns_rate},
+                      {"speedup_vs_naive", sgns_rate / sgns_naive_rate},
+                      {"speedup_vs_scalar",
+                       scalar_sgns > 0 ? sgns_rate / scalar_sgns : 0.0}});
+      json.AddRecord(std::string("gemm/") + lname,
+                     {{"size", static_cast<double>(gemm)},
+                      {"gflops", gemm_rate},
+                      {"speedup_vs_scalar", vs}});
+    }
+    kernels::SetLinalgThreads(0);
+    if (pinned) {
+      simd::SetLevel(simd::ActiveLevel());  // keep the pin
+    } else {
+      simd::ResetLevel();
+    }
+    std::printf("# simd outputs %s across dispatch levels\n",
+                identical ? "bit-identical" : "DIVERGED (BUG)");
+    json.AddRecord("simd/digests_identical",
+                   {{"value", identical ? 1.0 : 0.0}});
   }
 
   if (const char* path = bj::JsonPathFromArgs(argc, argv)) {

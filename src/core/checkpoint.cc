@@ -11,7 +11,13 @@ namespace {
 // "SEPRIVCK" as a little-endian u64, followed by a format version. Bumping
 // the version invalidates old checkpoints instead of misreading them.
 constexpr uint64_t kCheckpointMagic = 0x4b43564952504553ULL;
-constexpr uint64_t kCheckpointVersion = 1;
+// v2: storage-mode word after config_digest, and a per-matrix precision tag
+// selecting a float64 or (lossless, see header) float32 payload.
+constexpr uint64_t kCheckpointVersion = 2;
+
+// Per-matrix precision tags.
+constexpr uint64_t kPrecisionF64 = 0;
+constexpr uint64_t kPrecisionF32 = 1;
 
 void AppendU64(std::string* buf, uint64_t v) {
   char bytes[sizeof(v)];
@@ -25,12 +31,25 @@ void AppendDouble(std::string* buf, double v) {
   AppendU64(buf, bits);
 }
 
-void AppendMatrix(std::string* buf, const Matrix& m) {
+void AppendMatrix(std::string* buf, const Matrix& m, uint64_t precision) {
   AppendU64(buf, m.rows());
   AppendU64(buf, m.cols());
   AppendU64(buf, m.dp_sanitized() ? 1 : 0);
-  buf->append(reinterpret_cast<const char*>(m.data()),
-              m.size() * sizeof(double));
+  AppendU64(buf, precision);
+  if (precision == kPrecisionF32) {
+    // Lossless by contract: the trainer rounded every entry to float32
+    // before saving, so the narrowing here drops no bits.
+    const double* src = m.data();
+    for (size_t i = 0; i < m.size(); ++i) {
+      const float f = static_cast<float>(src[i]);
+      char bytes[sizeof(f)];
+      std::memcpy(bytes, &f, sizeof(f));
+      buf->append(bytes, sizeof(f));
+    }
+  } else {
+    buf->append(reinterpret_cast<const char*>(m.data()),
+                m.size() * sizeof(double));
+  }
 }
 
 /// Sequential reader over the serialized blob; any out-of-bounds read trips
@@ -82,13 +101,24 @@ bool ReadMatrix(Reader* r, Matrix* m) {
   const uint64_t rows = r->U64();
   const uint64_t cols = r->U64();
   const uint64_t sanitized = r->U64();
+  const uint64_t precision = r->U64();
   if (!r->ok()) return false;
+  if (precision != kPrecisionF64 && precision != kPrecisionF32) return false;
   // Geometry sanity before the allocation: a corrupt header must not drive
   // a multi-gigabyte resize.
   constexpr uint64_t kMaxElems = uint64_t{1} << 34;
   if (cols == 0 || rows > kMaxElems / (cols == 0 ? 1 : cols)) return false;
   *m = Matrix(rows, cols);
-  if (!r->Bytes(m->data(), m->size() * sizeof(double))) return false;
+  if (precision == kPrecisionF32) {
+    double* dst = m->data();
+    for (size_t i = 0; i < m->size(); ++i) {
+      float f = 0.0f;
+      if (!r->Bytes(&f, sizeof(f))) return false;
+      dst[i] = static_cast<double>(f);  // exact widening
+    }
+  } else {
+    if (!r->Bytes(m->data(), m->size() * sizeof(double))) return false;
+  }
   if (sanitized != 0) m->MarkDpSanitized();
   return true;
 }
@@ -99,13 +129,19 @@ Status SaveCheckpoint(const TrainCheckpoint& ckpt, const std::string& path) {
   if (path.empty()) {
     return FailedPreconditionError("checkpoint path is empty");
   }
+  const uint64_t precision =
+      ckpt.storage == EmbeddingStorage::kFloat32 ? kPrecisionF32
+                                                 : kPrecisionF64;
+  const size_t elem_bytes =
+      precision == kPrecisionF32 ? sizeof(float) : sizeof(double);
   std::string buf;
-  buf.reserve(128 + (ckpt.w_in.size() + ckpt.w_out.size()) * sizeof(double) +
+  buf.reserve(160 + (ckpt.w_in.size() + ckpt.w_out.size()) * elem_bytes +
               ckpt.loss_curve.size() * sizeof(double));
   AppendU64(&buf, kCheckpointMagic);
   AppendU64(&buf, kCheckpointVersion);
   AppendU64(&buf, ckpt.graph_fingerprint);
   AppendU64(&buf, ckpt.config_digest);
+  AppendU64(&buf, precision);
   AppendU64(&buf, ckpt.epochs_run);
   AppendU64(&buf, ckpt.accountant_steps);
   AppendDouble(&buf, ckpt.noise_multiplier);
@@ -115,8 +151,8 @@ Status SaveCheckpoint(const TrainCheckpoint& ckpt, const std::string& path) {
   AppendU64(&buf, ckpt.rng.has_cached ? 1 : 0);
   AppendU64(&buf, ckpt.loss_curve.size());
   for (double loss : ckpt.loss_curve) AppendDouble(&buf, loss);
-  AppendMatrix(&buf, ckpt.w_in);
-  AppendMatrix(&buf, ckpt.w_out);
+  AppendMatrix(&buf, ckpt.w_in, precision);
+  AppendMatrix(&buf, ckpt.w_out, precision);
   // Whole-file checksum over everything above: a torn or rotted checkpoint
   // is rejected at load, never resumed from.
   AppendU64(&buf, FnvDigest(buf.data(), buf.size()));
@@ -146,6 +182,12 @@ Status LoadCheckpoint(const std::string& path, TrainCheckpoint* out) {
   }
   out->graph_fingerprint = r.U64();
   out->config_digest = r.U64();
+  const uint64_t storage_word = r.U64();
+  if (storage_word != kPrecisionF64 && storage_word != kPrecisionF32) {
+    return CorruptionError(path + ": unknown storage mode");
+  }
+  out->storage = storage_word == kPrecisionF32 ? EmbeddingStorage::kFloat32
+                                               : EmbeddingStorage::kFloat64;
   out->epochs_run = r.U64();
   out->accountant_steps = r.U64();
   out->noise_multiplier = r.Double();

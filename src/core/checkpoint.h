@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config.h"
 #include "linalg/matrix.h"
 #include "util/privacy_annotations.h"
 #include "util/rng.h"
@@ -50,6 +51,13 @@ namespace sepriv {
 struct SEPRIV_SENSITIVE_SOURCE TrainCheckpoint {
   uint64_t graph_fingerprint = 0;  // Graph::Fingerprint() of the training graph
   uint64_t config_digest = 0;      // SePrivGEmbConfig::Digest()
+
+  /// Numeric storage mode of the run (format v2). Under kFloat32 the model
+  /// matrices are serialized as float payloads — lossless, because the
+  /// trainer rounds the weights to float32 at every epoch boundary before
+  /// saving — which halves the checkpoint size. Loading widens back to
+  /// double exactly, so resume stays bit-identical.
+  EmbeddingStorage storage = EmbeddingStorage::kFloat64;
 
   uint64_t epochs_run = 0;         // epochs fully completed and persisted
 

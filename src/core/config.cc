@@ -65,6 +65,7 @@ uint64_t SePrivGEmbConfig::Digest() const {
   h = HashMix(h, negatives_exclude_neighbors ? 1 : 0);
   h = HashMix(h, seed);
   h = HashMix(h, track_loss ? 1 : 0);
+  h = HashMix(h, static_cast<uint64_t>(embedding_storage));
   return h;
 }
 

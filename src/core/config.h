@@ -29,6 +29,18 @@ enum class PositiveSampling {
   kProximityWeighted,   // ablation: edges ∝ p_ij (alias table), w/ replacement
 };
 
+/// Numeric storage of the embedding tables (Win/Wout).
+enum class EmbeddingStorage {
+  /// Full float64 rows (default; the paper's arithmetic exactly).
+  kFloat64,
+  /// Reduced precision: the update pipeline still runs in double, but the
+  /// weights are rounded to their nearest float32 value at every epoch
+  /// boundary. Halves the resident bytes of the checkpoint payload and of a
+  /// Float32Matrix serving copy; rounding noised weights is DP
+  /// post-processing. Result-affecting (digests differ from kFloat64).
+  kFloat32,
+};
+
 struct SePrivGEmbConfig {
   // Model hyper-parameters (paper §VI-A defaults in comments).
   size_t dim = 128;             // r = 128
@@ -47,6 +59,7 @@ struct SePrivGEmbConfig {
   PerturbationStrategy perturbation = PerturbationStrategy::kNonZero;
   NegativeWeighting negative_weighting = NegativeWeighting::kPaperPij;
   PositiveSampling positive_sampling = PositiveSampling::kUniformEdges;
+  EmbeddingStorage embedding_storage = EmbeddingStorage::kFloat64;
 
   /// Use proximities rescaled to max 1 (Theorem 3 is scale-invariant; this
   /// keeps gradient magnitudes comparable across preference choices).

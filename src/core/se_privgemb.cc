@@ -145,6 +145,18 @@ Status RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
     if (accountant) accountant->Step(ck.accountant_steps);
   }
 
+  // Reduced-precision storage: keep the weights exactly
+  // float32-representable at every epoch boundary. Rounding here covers both
+  // the fresh init and a resumed snapshot; the in-loop rounding below runs
+  // after each ApplyUpdate, BEFORE the checkpoint save, so a float payload
+  // (checkpoint v2) is lossless and resume stays bit-identical. Rounding is
+  // deterministic per element and, on noised weights, DP post-processing.
+  const bool round_f32 = cfg.embedding_storage == EmbeddingStorage::kFloat32;
+  if (round_f32) {
+    model.w_in.RoundToFloat32();
+    model.w_out.RoundToFloat32();
+  }
+
   for (size_t epoch = start_epoch; epoch < cfg.max_epochs; ++epoch) {
     if (is_private && epoch >= result.epochs_allowed) {
       result.stopped_by_budget = true;
@@ -180,6 +192,10 @@ Status RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
         break;
     }
     engine.ApplyUpdate(model, lr);
+    if (round_f32) {
+      model.w_in.RoundToFloat32();
+      model.w_out.RoundToFloat32();
+    }
 
     if (is_private) accountant->Step();
     ++result.epochs_run;
@@ -199,6 +215,7 @@ Status RunEpochs(const SePrivGEmbConfig& cfg, size_t num_nodes,
       TrainCheckpoint ck;
       ck.graph_fingerprint = plan.graph_fingerprint;
       ck.config_digest = plan.config_digest;
+      ck.storage = cfg.embedding_storage;
       ck.epochs_run = result.epochs_run;
       ck.accountant_steps = accountant ? accountant->steps() : 0;
       ck.noise_multiplier = cfg.noise_multiplier;

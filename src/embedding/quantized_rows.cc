@@ -1,0 +1,66 @@
+#include "embedding/quantized_rows.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sepriv {
+
+QuantizedRowMatrix::QuantizedRowMatrix(const Matrix& m)
+    : rows_(m.rows()),
+      cols_(m.cols()),
+      dp_sanitized_(m.dp_sanitized()),
+      scales_(m.rows(), 0.0f),
+      codes_(m.size(), 0) {
+  SEPRIV_CHECK(cols_ < (size_t{1} << 16),
+               "QuantizedRowMatrix dim too large for exact int32 RowDot: %zu",
+               cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = m.data() + i * cols_;
+    double maxabs = 0.0;
+    for (size_t j = 0; j < cols_; ++j) {
+      const double a = std::abs(row[j]);
+      if (a > maxabs) maxabs = a;
+    }
+    if (maxabs == 0.0) continue;  // scale 0, all codes 0
+    const double scale = maxabs / 127.0;
+    scales_[i] = static_cast<float>(scale);
+    int8_t* q = codes_.data() + i * cols_;
+    for (size_t j = 0; j < cols_; ++j) {
+      // round-half-away-from-zero; |row[j]| <= maxabs caps |code| at 127.
+      const double c = std::round(row[j] / scale);
+      q[j] = static_cast<int8_t>(c < -127.0 ? -127.0 : (c > 127.0 ? 127.0 : c));
+    }
+  }
+}
+
+void QuantizedRowMatrix::DecodeRow(size_t i, double* out) const {
+  const double scale = static_cast<double>(scales_[i]);
+  const int8_t* q = codes_.data() + i * cols_;
+  for (size_t j = 0; j < cols_; ++j)
+    out[j] = scale * static_cast<double>(q[j]);
+}
+
+Matrix QuantizedRowMatrix::ToMatrix() const {
+  Matrix m(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) DecodeRow(i, m.data() + i * cols_);
+  if (dp_sanitized_) m.MarkDpSanitized();
+  return m;
+}
+
+double QuantizedRowMatrix::RowDot(size_t i, const QuantizedRowMatrix& other,
+                                  size_t j) const {
+  SEPRIV_CHECK(cols_ == other.cols_, "RowDot col mismatch: %zu vs %zu", cols_,
+               other.cols_);
+  const int8_t* qa = codes_.data() + i * cols_;
+  const int8_t* qb = other.codes_.data() + j * other.cols_;
+  // |qa*qb| <= 127^2 = 16129 per term; with cols < 2^16 the sum fits in
+  // int32, but accumulate in int64 for headroom — exact either way.
+  int64_t sum = 0;
+  for (size_t d = 0; d < cols_; ++d)
+    sum += static_cast<int64_t>(qa[d]) * static_cast<int64_t>(qb[d]);
+  return static_cast<double>(scales_[i]) *
+         static_cast<double>(other.scales_[j]) * static_cast<double>(sum);
+}
+
+}  // namespace sepriv

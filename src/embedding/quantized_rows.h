@@ -1,0 +1,71 @@
+// Int8 row-quantized embedding storage with one float32 scale per row — the
+// read-side serving/eval codec for large embedding tables (8x smaller than
+// the double table, ~4 bytes/row of overhead).
+//
+// Encoding: per row, scale = max|x| / 127 and q[j] = round(x[j] / scale)
+// (round-half-away-from-zero, so the element realising the max encodes to
+// exactly +-127 and |q| never exceeds 127). Decoding is x_hat[j] =
+// scale * q[j]; the worst-case per-element error is scale/2 = max|x|/254.
+//
+// This is a SERVING format, not a training one: gradients never flow
+// through it. Typical use is scoring (RowDot between quantized tables, an
+// exact int arithmetic sum scaled once) or handing a widened row to the
+// eval layer. Quantizing a DP-trained table is post-processing, so the
+// privacy guarantee carries over (the dp_sanitized bit does too).
+
+#ifndef SEPRIVGEMB_EMBEDDING_QUANTIZED_ROWS_H_
+#define SEPRIVGEMB_EMBEDDING_QUANTIZED_ROWS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sepriv {
+
+class QuantizedRowMatrix {
+ public:
+  QuantizedRowMatrix() = default;
+
+  /// Encodes every row of `m` (per-row maxabs scaling; an all-zero row gets
+  /// scale 0 and decodes to exact zeros).
+  explicit QuantizedRowMatrix(const Matrix& m);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Per-row dequantisation scale (>= 0; 0 only for all-zero rows).
+  float scale(size_t i) const { return scales_[i]; }
+
+  int8_t code(size_t i, size_t j) const { return codes_[i * cols_ + j]; }
+
+  /// Decodes row i into out[0..cols): out[j] = scale(i) * code(i, j).
+  void DecodeRow(size_t i, double* out) const;
+
+  /// Widens the whole table back to doubles (the decoded approximation).
+  Matrix ToMatrix() const;
+
+  /// Dot product of row i with row j of `other` without materialising
+  /// doubles: the int32 product sum is exact (|q| <= 127, dim < 2^16), so
+  /// the result is bit-deterministic: scale_i * scale_j * sum.
+  double RowDot(size_t i, const QuantizedRowMatrix& other, size_t j) const;
+
+  /// Heap bytes of codes + scales (the RSS the codec saves vs 8-byte rows).
+  size_t MemoryBytes() const {
+    return codes_.size() * sizeof(int8_t) + scales_.size() * sizeof(float);
+  }
+
+  bool dp_sanitized() const { return dp_sanitized_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  bool dp_sanitized_ = false;
+  std::vector<float> scales_;   // one per row
+  std::vector<int8_t> codes_;   // row-major, rows x cols
+};
+
+}  // namespace sepriv
+
+#endif  // SEPRIVGEMB_EMBEDDING_QUANTIZED_ROWS_H_

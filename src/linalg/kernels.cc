@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "linalg/simd/dispatch.h"
 #include "util/env.h"
 #include "util/mutex.h"
 #include "util/rng.h"
@@ -32,111 +33,19 @@ inline void BoxMullerPair(Rng& rng, double& c, double& s) {
 // --- GEMM blocking -----------------------------------------------------------
 
 // Output tile: kTileRows x kTileCols doubles of C (128 KiB) plus the
-// streamed B panel (kTileDepth x kTileCols = 256 KiB) fit in L2; the A strip
-// (kTileRows x kTileDepth) re-used across the j loop sits in L1.
+// streamed B panel (kGemmTileDepth x kTileCols = 256 KiB) fit in L2; the A
+// strip (kTileRows x kGemmTileDepth) re-used across the j loop sits in L1.
+// The in-tile micro-kernels live in linalg/simd/kernels_*.cc (per dispatch
+// level); the depth block size is part of the shared accumulation contract
+// (simd::kGemmTileDepth).
 constexpr size_t kTileRows = 64;
 constexpr size_t kTileCols = 256;
-constexpr size_t kTileDepth = 128;
 
 // Below this many multiply-adds a parallel dispatch costs more than it saves;
 // the serial path walks the identical tile loops, so results cannot differ.
 constexpr size_t kParallelFlopFloor = size_t{1} << 18;
 
 size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
-
-// One (ib, jb) output tile of C = A * B, all depth blocks in ascending
-// order. The depth loop is unrolled 4-wide with *sequential* adds per
-// element, so every c(i, j) accumulates its products in exactly ascending-k
-// order — identical to the plain loop, but with 4x less C-row traffic and
-// four independent FMA streams per j. This is the only accumulation order
-// any GEMM path uses.
-void GemmTile(const double* a, const double* b, double* c, size_t k, size_t n,
-              size_t i0, size_t i1, size_t j0, size_t j1) {
-  const size_t width = j1 - j0;
-  for (size_t i = i0; i < i1; ++i) {
-    double* crow = c + i * n + j0;
-    for (size_t j = 0; j < width; ++j) crow[j] = 0.0;
-  }
-  for (size_t k0 = 0; k0 < k; k0 += kTileDepth) {
-    const size_t k1 = std::min(k, k0 + kTileDepth);
-    size_t i = i0;
-    // 2-row register block: the four B panel rows are re-used for two C
-    // rows, halving B traffic; per-element accumulation order is untouched.
-    for (; i + 2 <= i1; i += 2) {
-      const double* arow0 = a + i * k;
-      const double* arow1 = arow0 + k;
-      double* crow0 = c + i * n + j0;
-      double* crow1 = crow0 + n;
-      size_t kk = k0;
-      for (; kk + 4 <= k1; kk += 4) {
-        const double a00 = arow0[kk], a01 = arow0[kk + 1];
-        const double a02 = arow0[kk + 2], a03 = arow0[kk + 3];
-        const double a10 = arow1[kk], a11 = arow1[kk + 1];
-        const double a12 = arow1[kk + 2], a13 = arow1[kk + 3];
-        const double* b0 = b + kk * n + j0;
-        const double* b1 = b0 + n;
-        const double* b2 = b1 + n;
-        const double* b3 = b2 + n;
-        for (size_t j = 0; j < width; ++j) {
-          const double bv0 = b0[j], bv1 = b1[j], bv2 = b2[j], bv3 = b3[j];
-          double t0 = crow0[j];
-          t0 += a00 * bv0;
-          t0 += a01 * bv1;
-          t0 += a02 * bv2;
-          t0 += a03 * bv3;
-          crow0[j] = t0;
-          double t1 = crow1[j];
-          t1 += a10 * bv0;
-          t1 += a11 * bv1;
-          t1 += a12 * bv2;
-          t1 += a13 * bv3;
-          crow1[j] = t1;
-        }
-      }
-      for (; kk < k1; ++kk) {
-        Axpy(arow0[kk], b + kk * n + j0, crow0, width);
-        Axpy(arow1[kk], b + kk * n + j0, crow1, width);
-      }
-    }
-    for (; i < i1; ++i) {
-      const double* arow = a + i * k;
-      double* crow = c + i * n + j0;
-      size_t kk = k0;
-      for (; kk + 4 <= k1; kk += 4) {
-        const double a0 = arow[kk], a1 = arow[kk + 1];
-        const double a2 = arow[kk + 2], a3 = arow[kk + 3];
-        const double* b0 = b + kk * n + j0;
-        const double* b1 = b0 + n;
-        const double* b2 = b1 + n;
-        const double* b3 = b2 + n;
-        for (size_t j = 0; j < width; ++j) {
-          double t = crow[j];
-          t += a0 * b0[j];
-          t += a1 * b1[j];
-          t += a2 * b2[j];
-          t += a3 * b3[j];
-          crow[j] = t;
-        }
-      }
-      for (; kk < k1; ++kk) {
-        Axpy(arow[kk], b + kk * n + j0, crow, width);
-      }
-    }
-  }
-}
-
-// One (ib, jb) output tile of C = A * B^T: every element is a shared-shape
-// Dot over the depth axis.
-void GemmNTTile(const double* a, const double* b, double* c, size_t k,
-                size_t n, size_t i0, size_t i1, size_t j0, size_t j1) {
-  for (size_t i = i0; i < i1; ++i) {
-    const double* arow = a + i * k;
-    double* crow = c + i * n;
-    for (size_t j = j0; j < j1; ++j) {
-      crow[j] = Dot(arow, b + j * k, k);
-    }
-  }
-}
 
 // --- Shared pool -------------------------------------------------------------
 
@@ -274,13 +183,17 @@ void Gemm(const double* a, const double* b, double* c, size_t m, size_t k,
   }
   const size_t row_blocks = CeilDiv(m, kTileRows);
   const size_t col_blocks = CeilDiv(n, kTileCols);
-  const auto tile = [&](size_t t) {
+  // Resolve the dispatch level once per call, outside the task lambda, so
+  // every tile of one GEMM runs the same micro-kernel even if a test thread
+  // flips the level mid-flight.
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  const auto tile = [&, gemm_tile = kt.gemm_tile](size_t t) {
     const size_t ib = t / col_blocks;
     const size_t jb = t % col_blocks;
     const size_t i0 = ib * kTileRows;
     const size_t j0 = jb * kTileCols;
-    GemmTile(a, b, c, k, n, i0, std::min(m, i0 + kTileRows), j0,
-             std::min(n, j0 + kTileCols));
+    gemm_tile(a, b, c, k, n, i0, std::min(m, i0 + kTileRows), j0,
+              std::min(n, j0 + kTileCols));
   };
   const size_t tiles = row_blocks * col_blocks;
   if (m * n * k < kParallelFlopFloor) {
@@ -311,13 +224,14 @@ void GemmNT(const double* a, const double* b, double* c, size_t m, size_t k,
   }
   const size_t row_blocks = CeilDiv(m, kTileRows);
   const size_t col_blocks = CeilDiv(n, kTileCols);
-  const auto tile = [&](size_t t) {
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  const auto tile = [&, gemm_nt_tile = kt.gemm_nt_tile](size_t t) {
     const size_t ib = t / col_blocks;
     const size_t jb = t % col_blocks;
     const size_t i0 = ib * kTileRows;
     const size_t j0 = jb * kTileCols;
-    GemmNTTile(a, b, c, k, n, i0, std::min(m, i0 + kTileRows), j0,
-               std::min(n, j0 + kTileCols));
+    gemm_nt_tile(a, b, c, k, n, i0, std::min(m, i0 + kTileRows), j0,
+                 std::min(n, j0 + kTileCols));
   };
   const size_t tiles = row_blocks * col_blocks;
   if (m * n * k < kParallelFlopFloor) {

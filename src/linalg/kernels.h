@@ -1,19 +1,23 @@
-// Vectorization-friendly linear-algebra kernels — the single accumulation
-// shape for every FLOP in the library.
+// Linear-algebra kernels — the single accumulation shape for every FLOP in
+// the library, behind a runtime CPU-dispatch table.
 //
 // Every dot product, squared norm, axpy, and GEMM in the codebase routes
-// through this layer so that (a) the compiler sees multi-accumulator loops it
-// can turn into FMA/SIMD code without -ffast-math reassociation, and (b) the
-// floating-point accumulation order is *identical everywhere*: the same
-// inputs produce bit-identical results run-to-run, caller-to-caller, and —
-// for the thread-pool-parallel GEMMs and the row-sharded sparse multiply —
-// for every thread count. Callers must never re-implement these loops
-// inline; that would fork the accumulation shape and break the determinism
-// contract (see README "Performance").
+// through this layer so that (a) each call lands on the best implementation
+// the running CPU supports — portable scalar, AVX2+FMA, or AVX-512F, chosen
+// once per process from CPUID (see linalg/simd/cpu_features.h; override with
+// SEPRIV_SIMD=scalar|avx2|avx512) — and (b) the floating-point accumulation
+// order is *identical everywhere*: the same inputs produce bit-identical
+// results run-to-run, caller-to-caller, for every thread count, and for
+// every dispatch level (the accumulation-order contract in simd/dispatch.h:
+// eight fma accumulators, fixed combine tree, ascending-k GEMM chains).
+// Callers must never re-implement these loops inline; that would fork the
+// accumulation shape and break the determinism contract (see README
+// "Performance").
 //
-// The element-wise kernels are header-inline so they vectorize inside each
-// caller's translation unit. The bulk-Gaussian and blocked-GEMM kernels live
-// in kernels.cc (they carry state: the shared linalg thread pool).
+// The wrappers here are one atomic load plus an indirect call; the loop
+// bodies live in linalg/simd/kernels_{scalar,avx2,avx512}.cc. The
+// bulk-Gaussian and blocked-GEMM drivers live in kernels.cc (they carry
+// state: the shared linalg thread pool).
 
 #ifndef SEPRIVGEMB_LINALG_KERNELS_H_
 #define SEPRIVGEMB_LINALG_KERNELS_H_
@@ -22,6 +26,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "linalg/simd/dispatch.h"
+
 namespace sepriv {
 
 class Rng;  // util/rng.h — only referenced by the bulk-Gaussian kernels
@@ -29,83 +35,42 @@ class Rng;  // util/rng.h — only referenced by the bulk-Gaussian kernels
 namespace kernels {
 
 // ---------------------------------------------------------------------------
-// Reduction kernels.
-//
-// Shape: four independent accumulators striding the vector in lanes of four,
-// combined as ((acc0+acc2)+(acc1+acc3)) + serial tail. The four lanes map
-// onto one 256-bit vector accumulator, so -O3 vectorizes these exactly (no
-// value change vs this source order), and the remainder loop keeps sizes
-// that are not multiples of four correct.
+// Reduction kernels: eight fma accumulators striding the vector in lanes of
+// eight, combined as l_j = acc_j + acc_{j+4}, ((l0+l2)+(l1+l3)) + fma tail —
+// one 512-bit register, two 256-bit registers, or eight scalars, identically.
 // ---------------------------------------------------------------------------
 
 inline double Dot(const double* a, const double* b, size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  double tail = 0.0;
-  for (; i < n; ++i) tail += a[i] * b[i];
-  return ((acc0 + acc2) + (acc1 + acc3)) + tail;
+  return simd::ActiveKernels().dot(a, b, n);
 }
 
 inline double SquaredNorm(const double* a, size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * a[i];
-    acc1 += a[i + 1] * a[i + 1];
-    acc2 += a[i + 2] * a[i + 2];
-    acc3 += a[i + 3] * a[i + 3];
-  }
-  double tail = 0.0;
-  for (; i < n; ++i) tail += a[i] * a[i];
-  return ((acc0 + acc2) + (acc1 + acc3)) + tail;
+  return simd::ActiveKernels().squared_norm(a, n);
 }
 
 inline double SquaredDistance(const double* a, const double* b, size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const double d0 = a[i] - b[i];
-    const double d1 = a[i + 1] - b[i + 1];
-    const double d2 = a[i + 2] - b[i + 2];
-    const double d3 = a[i + 3] - b[i + 3];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-    acc2 += d2 * d2;
-    acc3 += d3 * d3;
-  }
-  double tail = 0.0;
-  for (; i < n; ++i) {
-    const double d = a[i] - b[i];
-    tail += d * d;
-  }
-  return ((acc0 + acc2) + (acc1 + acc3)) + tail;
+  return simd::ActiveKernels().squared_distance(a, b, n);
 }
 
 // ---------------------------------------------------------------------------
-// Element-wise kernels. No cross-lane accumulation, so plain loops — the
-// autovectorizer handles them — but kept here so every caller shares one
-// implementation (and so a future ISA-specific build swaps exactly one spot).
+// Element-wise kernels. Each output element is one independent expression
+// (fma for the accumulating form), so every dispatch level yields identical
+// bits. x and y must not overlap (the implementations assume restrict).
 // ---------------------------------------------------------------------------
 
-/// y[i] += alpha * x[i].
+/// y[i] = fma(alpha, x[i], y[i]).
 inline void Axpy(double alpha, const double* x, double* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  simd::ActiveKernels().axpy(alpha, x, y, n);
 }
 
 /// x[i] *= alpha.
 inline void Scale(double alpha, double* x, size_t n) {
-  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+  simd::ActiveKernels().scale(alpha, x, n);
 }
 
 /// y[i] = alpha * x[i].
 inline void ScaleStore(double alpha, const double* x, double* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] = alpha * x[i];
+  simd::ActiveKernels().scale_store(alpha, x, y, n);
 }
 
 // ---------------------------------------------------------------------------
@@ -125,23 +90,17 @@ inline double Sigmoid(double x) {
 }
 
 /// The per-(center, context) SGNS update fused into two passes over dim:
-///   x     = vi · vn
+///   x     = vi · vn                      (contract-shape dot)
 ///   coeff = weight * (sigmoid(x) - indicator)
-///   center_grad += coeff * vn        (Eq. 7)
-///   ctx_row      = coeff * vi        (Eq. 8)
+///   center_grad[d] = fma(coeff, vn[d], center_grad[d])   (Eq. 7)
+///   ctx_row[d]     = coeff * vi[d]                       (Eq. 8)
 /// Returns x so the caller can form the loss without re-scoring. The fused
-/// second loop writes both gradient rows from one stream over vi/vn, halving
-/// the loop overhead of the previous two separate scalar loops.
+/// second loop writes both gradient rows from one stream over vi/vn.
 inline double SgnsAccumulate(const double* vi, const double* vn, size_t dim,
                              double weight, double indicator,
                              double* center_grad, double* ctx_row) {
-  const double x = Dot(vi, vn, dim);
-  const double coeff = weight * (Sigmoid(x) - indicator);
-  for (size_t d = 0; d < dim; ++d) {
-    center_grad[d] += coeff * vn[d];
-    ctx_row[d] = coeff * vi[d];
-  }
-  return x;
+  return simd::ActiveKernels().sgns_accumulate(vi, vn, dim, weight, indicator,
+                                               center_grad, ctx_row);
 }
 
 // ---------------------------------------------------------------------------
@@ -155,6 +114,8 @@ inline double SgnsAccumulate(const double* vi, const double* vn, size_t dim,
 // engine entry state the fill emits exactly the sequence the scalar
 // Rng::Normal loop produced and leaves the engine in the identical state —
 // pre-existing noise streams and seeds are unchanged, unconditionally.
+// (Not dispatched: the cost is in libm log/cos/sin, not vectorizable loops,
+// and the draw sequence is part of the determinism contract.)
 // ---------------------------------------------------------------------------
 
 /// dst[0..n) = i.i.d. N(mean, stddev^2).
@@ -170,8 +131,10 @@ void AccumulateGaussian(Rng& rng, double* dst, size_t n, double stddev,
 // The output is partitioned into tiles; each tile is owned by exactly one
 // task and accumulated with a fixed in-tile loop order (depth blocks in
 // ascending order, then row/depth/column), so the result is bit-identical
-// for every thread count — the same discipline as BatchGradientEngine. All
-// buffers are dense row-major; C must not alias A or B and is overwritten.
+// for every thread count — the same discipline as BatchGradientEngine. The
+// driver (tile geometry, thread fan-out) is shared by all dispatch levels;
+// only the in-tile micro-kernel dispatches. All buffers are dense row-major;
+// C must not alias A or B and is overwritten.
 // ---------------------------------------------------------------------------
 
 /// C (m x n) = A (m x k) * B (k x n).

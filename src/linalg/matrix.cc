@@ -31,6 +31,10 @@ void Matrix::Scale(double alpha) {
   kernels::Scale(alpha, data_.data(), data_.size());
 }
 
+void Matrix::RoundToFloat32() {
+  for (double& x : data_) x = static_cast<double>(static_cast<float>(x));
+}
+
 double Matrix::RowNorm(size_t i) const {
   return std::sqrt(kernels::SquaredNorm(data_.data() + i * cols_, cols_));
 }
@@ -51,6 +55,30 @@ double Matrix::RowSquaredDistance(size_t i, const Matrix& other,
   SEPRIV_CHECK(cols_ == other.cols_, "RowSquaredDistance col mismatch");
   return kernels::SquaredDistance(data_.data() + i * cols_,
                                   other.data() + j * other.cols(), cols_);
+}
+
+Float32Matrix::Float32Matrix(const Matrix& m)
+    : rows_(m.rows()),
+      cols_(m.cols()),
+      dp_sanitized_(m.dp_sanitized()),
+      data_(m.size()) {
+  const double* src = m.data();
+  for (size_t i = 0; i < data_.size(); ++i)
+    data_[i] = static_cast<float>(src[i]);
+}
+
+Matrix Float32Matrix::ToMatrix() const {
+  Matrix m(rows_, cols_);
+  double* dst = m.data();
+  for (size_t i = 0; i < data_.size(); ++i)
+    dst[i] = static_cast<double>(data_[i]);
+  if (dp_sanitized_) m.MarkDpSanitized();
+  return m;
+}
+
+void Float32Matrix::DecodeRow(size_t i, double* out) const {
+  const float* src = data_.data() + i * cols_;
+  for (size_t j = 0; j < cols_; ++j) out[j] = static_cast<double>(src[j]);
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {

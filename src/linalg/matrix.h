@@ -65,6 +65,15 @@ class Matrix {
   /// In-place scalar multiply.
   void Scale(double alpha);
 
+  /// Rounds every entry to its nearest float32 value (kept widened as
+  /// double). The reduced-precision embedding-storage mode applies this at
+  /// every epoch boundary so the training weights are always exactly
+  /// float32-representable — a Float32Matrix copy or checkpoint payload is
+  /// then lossless and resume stays bit-identical. Deterministic (IEEE
+  /// round-to-nearest-even per element); on noised weights this is DP
+  /// post-processing.
+  void RoundToFloat32();
+
   /// Euclidean norm of row i.
   double RowNorm(size_t i) const;
 
@@ -95,6 +104,57 @@ class Matrix {
   size_t cols_ = 0;
   bool dp_sanitized_ = false;
   std::vector<double> data_;
+};
+
+/// Dense row-major matrix of float32 — the reduced-precision storage for
+/// embedding tables (half the resident bytes of Matrix). A read-side type:
+/// training updates stay in the double pipeline (with per-epoch float32
+/// rounding under EmbeddingStorage::kFloat32, which makes the narrowing
+/// here lossless); serving/eval callers widen rows back to double on
+/// access. Carries the dp_sanitized bit across the conversion.
+class Float32Matrix {
+ public:
+  Float32Matrix() = default;
+
+  /// rows x cols, zero-initialised.
+  Float32Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Narrowing copy: each entry rounds to its nearest float32 (exact when
+  /// `m` was rounded through Matrix::RoundToFloat32).
+  explicit Float32Matrix(const Matrix& m);
+
+  /// Exact widening back to the double storage type.
+  Matrix ToMatrix() const;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  float operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<const float> Row(size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Widens row i into out[0..cols) (exact: float -> double).
+  void DecodeRow(size_t i, double* out) const;
+
+  /// Heap bytes of the table payload (the RSS the storage mode saves).
+  size_t MemoryBytes() const { return data_.size() * sizeof(float); }
+
+  void MarkDpSanitized() { dp_sanitized_ = true; }
+  bool dp_sanitized() const { return dp_sanitized_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  bool dp_sanitized_ = false;
+  std::vector<float> data_;
 };
 
 /// C = A * B (cache-blocked, parallel for large shapes; thread-invariant).

@@ -1,0 +1,156 @@
+#include "linalg/simd/cpu_features.h"
+
+#include <cstdio>
+
+#include "linalg/simd/dispatch.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "util/mutex.h"
+
+namespace sepriv::simd {
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) && defined(__GNUC__)
+  // __builtin_cpu_supports reads CPUID once via the compiler's support
+  // runtime (initialised before main on glibc); no inline asm needed.
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return f;
+}
+
+// Guards the one-time resolution and the SetLevel/ResetLevel overrides.
+Mutex& StateMutex() {
+  static Mutex mu;
+  return mu;
+}
+
+const KernelTable* TableFor(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return ScalarKernels();
+    case Level::kAvx2:
+      return Avx2Kernels();
+    case Level::kAvx512:
+      return Avx512Kernels();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseLevel(const std::string& name, Level* out) {
+  for (Level level : {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+    if (name == LevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LevelCompiled(Level level) { return TableFor(level) != nullptr; }
+
+bool LevelSupported(Level level) {
+  if (!LevelCompiled(level)) return false;
+  const CpuFeatures& f = DetectCpuFeatures();
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+      return f.avx2 && f.fma;
+    case Level::kAvx512:
+      return f.avx512f;
+  }
+  return false;
+}
+
+Level BestSupportedLevel() {
+  for (Level level : {Level::kAvx512, Level::kAvx2}) {
+    if (LevelSupported(level)) return level;
+  }
+  return Level::kScalar;
+}
+
+Level ActiveLevel() { return ActiveKernels().level; }
+
+void SetLevel(Level level) {
+  SEPRIV_CHECK(LevelSupported(level),
+               "SEPRIV_SIMD level '%s' is not supported on this CPU/build",
+               LevelName(level));
+  MutexLock lock(StateMutex());
+  internal::g_active_table.store(TableFor(level), std::memory_order_release);
+}
+
+void ResetLevel() {
+  MutexLock lock(StateMutex());
+  internal::g_active_table.store(nullptr, std::memory_order_release);
+}
+
+std::string CpuFeatureString() {
+  const CpuFeatures& f = DetectCpuFeatures();
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  if (f.avx2) add("avx2");
+  if (f.fma) add("fma");
+  if (f.avx512f) add("avx512f");
+  return out;
+}
+
+namespace internal {
+
+std::atomic<const KernelTable*> g_active_table{nullptr};
+
+const KernelTable& ResolveActiveTable() {
+  MutexLock lock(StateMutex());
+  const KernelTable* t = g_active_table.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;  // raced with SetLevel or another resolver
+
+  Level level = BestSupportedLevel();
+  const std::string env = GetStringEnv("SEPRIV_SIMD");
+  if (!env.empty()) {
+    Level parsed;
+    if (!ParseLevel(env, &parsed)) {
+      std::fprintf(stderr,
+                   "[seprivgemb] ignoring unknown SEPRIV_SIMD=%s "
+                   "(want scalar|avx2|avx512)\n",
+                   env.c_str());
+    } else if (!LevelSupported(parsed)) {
+      std::fprintf(stderr,
+                   "[seprivgemb] SEPRIV_SIMD=%s not supported on this "
+                   "CPU/build; using %s\n",
+                   env.c_str(), LevelName(level));
+    } else {
+      level = parsed;
+    }
+  }
+  t = TableFor(level);
+  g_active_table.store(t, std::memory_order_release);
+  return *t;
+}
+
+}  // namespace internal
+}  // namespace sepriv::simd

@@ -1,0 +1,82 @@
+// Runtime CPU-feature detection and SIMD dispatch-level selection.
+//
+// The linalg kernels (linalg/kernels.h) are compiled three times — portable
+// scalar, AVX2+FMA, and AVX-512F — each in its own translation unit with
+// per-file ISA flags (see src/CMakeLists.txt), and the binary picks one
+// implementation table at runtime from CPUID. This header is the policy
+// half: which levels were compiled in, which the CPU supports, and which
+// one is active. The mechanism half (the function-pointer table the
+// kernels.h wrappers call through) lives in simd/dispatch.h.
+//
+// Level selection, first use of any kernel:
+//   1. a prior simd::SetLevel() call wins (tests/bench forcing a level);
+//   2. else the SEPRIV_SIMD environment variable (scalar|avx2|avx512),
+//      read through util/env.h — an unsupported or unknown value warns on
+//      stderr and falls through;
+//   3. else the best level both compiled in and reported by CPUID.
+//
+// Every level produces BIT-IDENTICAL kernel outputs (see README
+// "Performance": the accumulation-order contract), so the knob changes
+// wall-clock only — like SEPRIV_NUM_THREADS, never results.
+
+#ifndef SEPRIVGEMB_LINALG_SIMD_CPU_FEATURES_H_
+#define SEPRIVGEMB_LINALG_SIMD_CPU_FEATURES_H_
+
+#include <string>
+
+namespace sepriv::simd {
+
+/// The CPUID bits the dispatcher consults, detected once per process.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// Detected features of the running CPU (cached after the first call).
+const CpuFeatures& DetectCpuFeatures();
+
+/// Dispatch levels, ordered: a higher level strictly implies the lower
+/// ones' ISA. kScalar is always available and is the semantic reference.
+enum class Level : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Stable lower-case name ("scalar", "avx2", "avx512") — the SEPRIV_SIMD
+/// vocabulary and the bench record suffix.
+const char* LevelName(Level level);
+
+/// Parses a LevelName string (exact match). Returns false on anything else.
+bool ParseLevel(const std::string& name, Level* out);
+
+/// True when the implementation TU for `level` was compiled with the
+/// required ISA flags (always true for kScalar; false e.g. on a non-x86
+/// build of the AVX TUs).
+bool LevelCompiled(Level level);
+
+/// LevelCompiled AND the running CPU reports the required features.
+bool LevelSupported(Level level);
+
+/// The highest supported level — the auto-dispatch choice.
+Level BestSupportedLevel();
+
+/// The level the kernels currently dispatch to (resolves on first call;
+/// see the selection order above).
+Level ActiveLevel();
+
+/// Forces the dispatch level for subsequent kernel calls. SEPRIV_CHECKs
+/// that the level is supported; results never depend on this knob (only
+/// wall-clock does). Like kernels::SetLinalgThreads, not safe to call
+/// concurrently with in-flight kernels — it is a test/bench forcing knob,
+/// not a hot-path switch.
+void SetLevel(Level level);
+
+/// Drops any forced level and re-resolves from SEPRIV_SIMD / CPUID on the
+/// next kernel call. Test isolation helper.
+void ResetLevel();
+
+/// Space-separated feature summary ("avx2 fma avx512f", possibly empty) for
+/// bench metadata.
+std::string CpuFeatureString();
+
+}  // namespace sepriv::simd
+
+#endif  // SEPRIVGEMB_LINALG_SIMD_CPU_FEATURES_H_

@@ -1,0 +1,316 @@
+// AVX2+FMA kernel implementations. This TU is compiled with -mavx2 -mfma
+// (see src/CMakeLists.txt) and must therefore contain no code reachable on
+// baseline hardware except through the dispatch table, which only offers it
+// when CPUID reports avx2+fma.
+//
+// Bit-identity with the scalar reference (simd/dispatch.h contract): the
+// eight scalar accumulators become two __m256d registers — lanes 0..3 and
+// 4..7 — fed by _mm256_fmadd_pd (the same correctly-rounded fusedMultiplyAdd
+// as std::fma); the combine l_j = acc_j + acc_{j+4} is one 256-bit add, the
+// final ((l0+l2)+(l1+l3)) a 128-bit fold. Element-wise kernels and GEMM
+// tiles vectorize across *independent* output elements only, so width never
+// touches any per-element chain.
+
+#include "linalg/simd/dispatch.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/kernels.h"
+
+namespace sepriv::simd {
+namespace {
+
+// ((l0 + l2) + (l1 + l3)) for l = lanes of a __m256d — the contract's
+// combine tree applied to the lane sums.
+inline double Combine4(__m256d l) {
+  const __m128d lo = _mm256_castpd256_pd128(l);     // l0, l1
+  const __m128d hi = _mm256_extractf128_pd(l, 1);   // l2, l3
+  const __m128d s = _mm_add_pd(lo, hi);             // l0+l2, l1+l3
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();  // scalar acc0..acc3
+  __m256d acc_hi = _mm256_setzero_pd();  // scalar acc4..acc7
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc_lo = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                             acc_lo);
+    acc_hi = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                             _mm256_loadu_pd(b + i + 4), acc_hi);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail = std::fma(a[i], b[i], tail);
+  return Combine4(_mm256_add_pd(acc_lo, acc_hi)) + tail;
+}
+
+double SquaredNormAvx2(const double* a, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d v_lo = _mm256_loadu_pd(a + i);
+    const __m256d v_hi = _mm256_loadu_pd(a + i + 4);
+    acc_lo = _mm256_fmadd_pd(v_lo, v_lo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(v_hi, v_hi, acc_hi);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail = std::fma(a[i], a[i], tail);
+  return Combine4(_mm256_add_pd(acc_lo, acc_hi)) + tail;
+}
+
+double SquaredDistanceAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d_lo =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d_hi =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc_lo = _mm256_fmadd_pd(d_lo, d_lo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(d_hi, d_hi, acc_hi);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail = std::fma(d, d, tail);
+  }
+  return Combine4(_mm256_add_pd(acc_lo, acc_hi)) + tail;
+}
+
+void AxpyAvx2(double alpha, const double* SEPRIV_SIMD_RESTRICT x,
+              double* SEPRIV_SIMD_RESTRICT y, size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i,
+        _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(y + i + 4,
+                     _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i + 4),
+                                     _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i,
+        _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void ScaleAvx2(double alpha, double* x, size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void ScaleStoreAvx2(double alpha, const double* SEPRIV_SIMD_RESTRICT x,
+                    double* SEPRIV_SIMD_RESTRICT y, size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] = alpha * x[i];
+}
+
+double SgnsAccumulateAvx2(const double* vi, const double* vn, size_t dim,
+                          double weight, double indicator, double* center_grad,
+                          double* ctx_row) {
+  const double x = DotAvx2(vi, vn, dim);
+  const double coeff = weight * (kernels::Sigmoid(x) - indicator);
+  const __m256d cv = _mm256_set1_pd(coeff);
+  size_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    const __m256d vi_v = _mm256_loadu_pd(vi + d);
+    const __m256d vn_v = _mm256_loadu_pd(vn + d);
+    _mm256_storeu_pd(
+        center_grad + d,
+        _mm256_fmadd_pd(cv, vn_v, _mm256_loadu_pd(center_grad + d)));
+    _mm256_storeu_pd(ctx_row + d, _mm256_mul_pd(cv, vi_v));
+  }
+  for (; d < dim; ++d) {
+    center_grad[d] = std::fma(coeff, vn[d], center_grad[d]);
+    ctx_row[d] = coeff * vi[d];
+  }
+  return x;
+}
+
+// The scalar tile's 2-row x 4-depth register block widened across the
+// column axis to 2x __m256d (8 columns) per row. Each C(i, j) still
+// accumulates its four depth products in ascending-k fma order — columns
+// are independent, so the vector width changes no bits.
+void GemmTileAvx2(const double* a, const double* b, double* c, size_t k,
+                  size_t n, size_t i0, size_t i1, size_t j0, size_t j1) {
+  const size_t width = j1 - j0;
+  for (size_t i = i0; i < i1; ++i) {
+    double* crow = c + i * n + j0;
+    for (size_t j = 0; j < width; ++j) crow[j] = 0.0;
+  }
+  for (size_t k0 = 0; k0 < k; k0 += kGemmTileDepth) {
+    const size_t k1 = k0 + kGemmTileDepth < k ? k0 + kGemmTileDepth : k;
+    size_t i = i0;
+    for (; i + 2 <= i1; i += 2) {
+      const double* arow0 = a + i * k;
+      const double* arow1 = arow0 + k;
+      double* crow0 = c + i * n + j0;
+      double* crow1 = crow0 + n;
+      size_t kk = k0;
+      for (; kk + 4 <= k1; kk += 4) {
+        const __m256d a00 = _mm256_set1_pd(arow0[kk]);
+        const __m256d a01 = _mm256_set1_pd(arow0[kk + 1]);
+        const __m256d a02 = _mm256_set1_pd(arow0[kk + 2]);
+        const __m256d a03 = _mm256_set1_pd(arow0[kk + 3]);
+        const __m256d a10 = _mm256_set1_pd(arow1[kk]);
+        const __m256d a11 = _mm256_set1_pd(arow1[kk + 1]);
+        const __m256d a12 = _mm256_set1_pd(arow1[kk + 2]);
+        const __m256d a13 = _mm256_set1_pd(arow1[kk + 3]);
+        const double* b0 = b + kk * n + j0;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        size_t j = 0;
+        for (; j + 8 <= width; j += 8) {
+          const __m256d bv0a = _mm256_loadu_pd(b0 + j);
+          const __m256d bv1a = _mm256_loadu_pd(b1 + j);
+          const __m256d bv2a = _mm256_loadu_pd(b2 + j);
+          const __m256d bv3a = _mm256_loadu_pd(b3 + j);
+          const __m256d bv0b = _mm256_loadu_pd(b0 + j + 4);
+          const __m256d bv1b = _mm256_loadu_pd(b1 + j + 4);
+          const __m256d bv2b = _mm256_loadu_pd(b2 + j + 4);
+          const __m256d bv3b = _mm256_loadu_pd(b3 + j + 4);
+          __m256d t0a = _mm256_loadu_pd(crow0 + j);
+          __m256d t0b = _mm256_loadu_pd(crow0 + j + 4);
+          t0a = _mm256_fmadd_pd(a00, bv0a, t0a);
+          t0b = _mm256_fmadd_pd(a00, bv0b, t0b);
+          t0a = _mm256_fmadd_pd(a01, bv1a, t0a);
+          t0b = _mm256_fmadd_pd(a01, bv1b, t0b);
+          t0a = _mm256_fmadd_pd(a02, bv2a, t0a);
+          t0b = _mm256_fmadd_pd(a02, bv2b, t0b);
+          t0a = _mm256_fmadd_pd(a03, bv3a, t0a);
+          t0b = _mm256_fmadd_pd(a03, bv3b, t0b);
+          _mm256_storeu_pd(crow0 + j, t0a);
+          _mm256_storeu_pd(crow0 + j + 4, t0b);
+          __m256d t1a = _mm256_loadu_pd(crow1 + j);
+          __m256d t1b = _mm256_loadu_pd(crow1 + j + 4);
+          t1a = _mm256_fmadd_pd(a10, bv0a, t1a);
+          t1b = _mm256_fmadd_pd(a10, bv0b, t1b);
+          t1a = _mm256_fmadd_pd(a11, bv1a, t1a);
+          t1b = _mm256_fmadd_pd(a11, bv1b, t1b);
+          t1a = _mm256_fmadd_pd(a12, bv2a, t1a);
+          t1b = _mm256_fmadd_pd(a12, bv2b, t1b);
+          t1a = _mm256_fmadd_pd(a13, bv3a, t1a);
+          t1b = _mm256_fmadd_pd(a13, bv3b, t1b);
+          _mm256_storeu_pd(crow1 + j, t1a);
+          _mm256_storeu_pd(crow1 + j + 4, t1b);
+        }
+        for (; j < width; ++j) {
+          const double bv0 = b0[j], bv1 = b1[j], bv2 = b2[j], bv3 = b3[j];
+          double t0 = crow0[j];
+          t0 = std::fma(arow0[kk], bv0, t0);
+          t0 = std::fma(arow0[kk + 1], bv1, t0);
+          t0 = std::fma(arow0[kk + 2], bv2, t0);
+          t0 = std::fma(arow0[kk + 3], bv3, t0);
+          crow0[j] = t0;
+          double t1 = crow1[j];
+          t1 = std::fma(arow1[kk], bv0, t1);
+          t1 = std::fma(arow1[kk + 1], bv1, t1);
+          t1 = std::fma(arow1[kk + 2], bv2, t1);
+          t1 = std::fma(arow1[kk + 3], bv3, t1);
+          crow1[j] = t1;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        AxpyAvx2(arow0[kk], b + kk * n + j0, crow0, width);
+        AxpyAvx2(arow1[kk], b + kk * n + j0, crow1, width);
+      }
+    }
+    for (; i < i1; ++i) {
+      const double* arow = a + i * k;
+      double* crow = c + i * n + j0;
+      size_t kk = k0;
+      for (; kk + 4 <= k1; kk += 4) {
+        const __m256d a0 = _mm256_set1_pd(arow[kk]);
+        const __m256d a1 = _mm256_set1_pd(arow[kk + 1]);
+        const __m256d a2 = _mm256_set1_pd(arow[kk + 2]);
+        const __m256d a3 = _mm256_set1_pd(arow[kk + 3]);
+        const double* b0 = b + kk * n + j0;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        size_t j = 0;
+        for (; j + 4 <= width; j += 4) {
+          __m256d t = _mm256_loadu_pd(crow + j);
+          t = _mm256_fmadd_pd(a0, _mm256_loadu_pd(b0 + j), t);
+          t = _mm256_fmadd_pd(a1, _mm256_loadu_pd(b1 + j), t);
+          t = _mm256_fmadd_pd(a2, _mm256_loadu_pd(b2 + j), t);
+          t = _mm256_fmadd_pd(a3, _mm256_loadu_pd(b3 + j), t);
+          _mm256_storeu_pd(crow + j, t);
+        }
+        for (; j < width; ++j) {
+          double t = crow[j];
+          t = std::fma(arow[kk], b0[j], t);
+          t = std::fma(arow[kk + 1], b1[j], t);
+          t = std::fma(arow[kk + 2], b2[j], t);
+          t = std::fma(arow[kk + 3], b3[j], t);
+          crow[j] = t;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        AxpyAvx2(arow[kk], b + kk * n + j0, crow, width);
+      }
+    }
+  }
+}
+
+void GemmNTTileAvx2(const double* a, const double* b, double* c, size_t k,
+                    size_t n, size_t i0, size_t i1, size_t j0, size_t j1) {
+  for (size_t i = i0; i < i1; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = j0; j < j1; ++j) {
+      crow[j] = DotAvx2(arow, b + j * k, k);
+    }
+  }
+}
+
+const KernelTable kAvx2Table = {
+    Level::kAvx2,
+    "avx2",
+    &DotAvx2,
+    &SquaredNormAvx2,
+    &SquaredDistanceAvx2,
+    &AxpyAvx2,
+    &ScaleAvx2,
+    &ScaleStoreAvx2,
+    &SgnsAccumulateAvx2,
+    &GemmTileAvx2,
+    &GemmNTTileAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() { return &kAvx2Table; }
+
+}  // namespace sepriv::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace sepriv::simd {
+
+// Built without the required ISA flags (non-x86 target or unsupported
+// compiler): the level does not exist and the dispatcher never offers it.
+const KernelTable* Avx2Kernels() { return nullptr; }
+
+}  // namespace sepriv::simd
+
+#endif

@@ -1,0 +1,329 @@
+// AVX-512F kernel implementations. Compiled with -mavx512f (plus avx2/fma
+// for the 256-bit combine and tails); reachable only through the dispatch
+// table when CPUID reports avx512f.
+//
+// Bit-identity with the scalar reference (simd/dispatch.h contract): the
+// eight scalar accumulators are ONE __m512d — lane j holds acc_j — fed by
+// _mm512_fmadd_pd; the combine l_j = acc_j + acc_{j+4} is the 256-bit add
+// of the register's two halves, then the same 128-bit fold as AVX2. GEMM
+// tiles widen the column axis to 2x __m512d (16 columns) per row; depth
+// chains stay ascending-k fma per element.
+
+#include "linalg/simd/dispatch.h"
+
+#if defined(__AVX512F__)
+
+// gcc 12 (PR 105593) flags the _mm512_undefined_pd() self-initialisation
+// inside the AVX-512 headers under -Werror whenever such an intrinsic is
+// inlined into caller code; TU-wide suppression is the upstream-recommended
+// workaround until 12.3.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/kernels.h"
+
+namespace sepriv::simd {
+namespace {
+
+// l_j = acc_j + acc_{j+4} (halves add), then ((l0+l2)+(l1+l3)).
+inline double Combine8(__m512d acc) {
+  const __m256d lo = _mm512_castpd512_pd256(acc);  // acc0..acc3
+  // Upper half via shuffle+cast: _mm512_extractf64x4_pd trips gcc 12's
+  // -Wuninitialized on the _mm256_undefined_pd() inside the header.
+  const __m256d hi = _mm512_castpd512_pd256(
+      _mm512_shuffle_f64x2(acc, acc, 0xEE));  // acc4..acc7
+  const __m256d l = _mm256_add_pd(lo, hi);             // l0..l3
+  const __m128d s = _mm_add_pd(_mm256_castpd256_pd128(l),
+                               _mm256_extractf128_pd(l, 1));  // l0+l2, l1+l3
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+double DotAvx512(const double* a, const double* b, size_t n) {
+  __m512d acc = _mm512_setzero_pd();  // lane j = scalar acc_j
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i), acc);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail = std::fma(a[i], b[i], tail);
+  return Combine8(acc) + tail;
+}
+
+double SquaredNormAvx512(const double* a, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d v = _mm512_loadu_pd(a + i);
+    acc = _mm512_fmadd_pd(v, v, acc);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail = std::fma(a[i], a[i], tail);
+  return Combine8(acc) + tail;
+}
+
+double SquaredDistanceAvx512(const double* a, const double* b, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d d =
+        _mm512_sub_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+    acc = _mm512_fmadd_pd(d, d, acc);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail = std::fma(d, d, tail);
+  }
+  return Combine8(acc) + tail;
+}
+
+void AxpyAvx512(double alpha, const double* SEPRIV_SIMD_RESTRICT x,
+                double* SEPRIV_SIMD_RESTRICT y, size_t n) {
+  const __m512d av = _mm512_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_pd(
+        y + i,
+        _mm512_fmadd_pd(av, _mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i)));
+    _mm512_storeu_pd(y + i + 8,
+                     _mm512_fmadd_pd(av, _mm512_loadu_pd(x + i + 8),
+                                     _mm512_loadu_pd(y + i + 8)));
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(
+        y + i,
+        _mm512_fmadd_pd(av, _mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void ScaleAvx512(double alpha, double* x, size_t n) {
+  const __m512d av = _mm512_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(x + i, _mm512_mul_pd(av, _mm512_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void ScaleStoreAvx512(double alpha, const double* SEPRIV_SIMD_RESTRICT x,
+                      double* SEPRIV_SIMD_RESTRICT y, size_t n) {
+  const __m512d av = _mm512_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(y + i, _mm512_mul_pd(av, _mm512_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] = alpha * x[i];
+}
+
+double SgnsAccumulateAvx512(const double* vi, const double* vn, size_t dim,
+                            double weight, double indicator,
+                            double* center_grad, double* ctx_row) {
+  const double x = DotAvx512(vi, vn, dim);
+  const double coeff = weight * (kernels::Sigmoid(x) - indicator);
+  const __m512d cv = _mm512_set1_pd(coeff);
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m512d vi_v = _mm512_loadu_pd(vi + d);
+    const __m512d vn_v = _mm512_loadu_pd(vn + d);
+    _mm512_storeu_pd(
+        center_grad + d,
+        _mm512_fmadd_pd(cv, vn_v, _mm512_loadu_pd(center_grad + d)));
+    _mm512_storeu_pd(ctx_row + d, _mm512_mul_pd(cv, vi_v));
+  }
+  for (; d < dim; ++d) {
+    center_grad[d] = std::fma(coeff, vn[d], center_grad[d]);
+    ctx_row[d] = coeff * vi[d];
+  }
+  return x;
+}
+
+// 2-row x 2x __m512d (16-column) register block; ascending-k fma chains.
+void GemmTileAvx512(const double* a, const double* b, double* c, size_t k,
+                    size_t n, size_t i0, size_t i1, size_t j0, size_t j1) {
+  const size_t width = j1 - j0;
+  for (size_t i = i0; i < i1; ++i) {
+    double* crow = c + i * n + j0;
+    for (size_t j = 0; j < width; ++j) crow[j] = 0.0;
+  }
+  for (size_t k0 = 0; k0 < k; k0 += kGemmTileDepth) {
+    const size_t k1 = k0 + kGemmTileDepth < k ? k0 + kGemmTileDepth : k;
+    size_t i = i0;
+    for (; i + 2 <= i1; i += 2) {
+      const double* arow0 = a + i * k;
+      const double* arow1 = arow0 + k;
+      double* crow0 = c + i * n + j0;
+      double* crow1 = crow0 + n;
+      size_t kk = k0;
+      for (; kk + 4 <= k1; kk += 4) {
+        const __m512d a00 = _mm512_set1_pd(arow0[kk]);
+        const __m512d a01 = _mm512_set1_pd(arow0[kk + 1]);
+        const __m512d a02 = _mm512_set1_pd(arow0[kk + 2]);
+        const __m512d a03 = _mm512_set1_pd(arow0[kk + 3]);
+        const __m512d a10 = _mm512_set1_pd(arow1[kk]);
+        const __m512d a11 = _mm512_set1_pd(arow1[kk + 1]);
+        const __m512d a12 = _mm512_set1_pd(arow1[kk + 2]);
+        const __m512d a13 = _mm512_set1_pd(arow1[kk + 3]);
+        const double* b0 = b + kk * n + j0;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        size_t j = 0;
+        for (; j + 16 <= width; j += 16) {
+          const __m512d bv0a = _mm512_loadu_pd(b0 + j);
+          const __m512d bv1a = _mm512_loadu_pd(b1 + j);
+          const __m512d bv2a = _mm512_loadu_pd(b2 + j);
+          const __m512d bv3a = _mm512_loadu_pd(b3 + j);
+          const __m512d bv0b = _mm512_loadu_pd(b0 + j + 8);
+          const __m512d bv1b = _mm512_loadu_pd(b1 + j + 8);
+          const __m512d bv2b = _mm512_loadu_pd(b2 + j + 8);
+          const __m512d bv3b = _mm512_loadu_pd(b3 + j + 8);
+          __m512d t0a = _mm512_loadu_pd(crow0 + j);
+          __m512d t0b = _mm512_loadu_pd(crow0 + j + 8);
+          t0a = _mm512_fmadd_pd(a00, bv0a, t0a);
+          t0b = _mm512_fmadd_pd(a00, bv0b, t0b);
+          t0a = _mm512_fmadd_pd(a01, bv1a, t0a);
+          t0b = _mm512_fmadd_pd(a01, bv1b, t0b);
+          t0a = _mm512_fmadd_pd(a02, bv2a, t0a);
+          t0b = _mm512_fmadd_pd(a02, bv2b, t0b);
+          t0a = _mm512_fmadd_pd(a03, bv3a, t0a);
+          t0b = _mm512_fmadd_pd(a03, bv3b, t0b);
+          _mm512_storeu_pd(crow0 + j, t0a);
+          _mm512_storeu_pd(crow0 + j + 8, t0b);
+          __m512d t1a = _mm512_loadu_pd(crow1 + j);
+          __m512d t1b = _mm512_loadu_pd(crow1 + j + 8);
+          t1a = _mm512_fmadd_pd(a10, bv0a, t1a);
+          t1b = _mm512_fmadd_pd(a10, bv0b, t1b);
+          t1a = _mm512_fmadd_pd(a11, bv1a, t1a);
+          t1b = _mm512_fmadd_pd(a11, bv1b, t1b);
+          t1a = _mm512_fmadd_pd(a12, bv2a, t1a);
+          t1b = _mm512_fmadd_pd(a12, bv2b, t1b);
+          t1a = _mm512_fmadd_pd(a13, bv3a, t1a);
+          t1b = _mm512_fmadd_pd(a13, bv3b, t1b);
+          _mm512_storeu_pd(crow1 + j, t1a);
+          _mm512_storeu_pd(crow1 + j + 8, t1b);
+        }
+        for (; j + 8 <= width; j += 8) {
+          const __m512d bv0 = _mm512_loadu_pd(b0 + j);
+          const __m512d bv1 = _mm512_loadu_pd(b1 + j);
+          const __m512d bv2 = _mm512_loadu_pd(b2 + j);
+          const __m512d bv3 = _mm512_loadu_pd(b3 + j);
+          __m512d t0 = _mm512_loadu_pd(crow0 + j);
+          t0 = _mm512_fmadd_pd(a00, bv0, t0);
+          t0 = _mm512_fmadd_pd(a01, bv1, t0);
+          t0 = _mm512_fmadd_pd(a02, bv2, t0);
+          t0 = _mm512_fmadd_pd(a03, bv3, t0);
+          _mm512_storeu_pd(crow0 + j, t0);
+          __m512d t1 = _mm512_loadu_pd(crow1 + j);
+          t1 = _mm512_fmadd_pd(a10, bv0, t1);
+          t1 = _mm512_fmadd_pd(a11, bv1, t1);
+          t1 = _mm512_fmadd_pd(a12, bv2, t1);
+          t1 = _mm512_fmadd_pd(a13, bv3, t1);
+          _mm512_storeu_pd(crow1 + j, t1);
+        }
+        for (; j < width; ++j) {
+          const double bv0 = b0[j], bv1 = b1[j], bv2 = b2[j], bv3 = b3[j];
+          double t0 = crow0[j];
+          t0 = std::fma(arow0[kk], bv0, t0);
+          t0 = std::fma(arow0[kk + 1], bv1, t0);
+          t0 = std::fma(arow0[kk + 2], bv2, t0);
+          t0 = std::fma(arow0[kk + 3], bv3, t0);
+          crow0[j] = t0;
+          double t1 = crow1[j];
+          t1 = std::fma(arow1[kk], bv0, t1);
+          t1 = std::fma(arow1[kk + 1], bv1, t1);
+          t1 = std::fma(arow1[kk + 2], bv2, t1);
+          t1 = std::fma(arow1[kk + 3], bv3, t1);
+          crow1[j] = t1;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        AxpyAvx512(arow0[kk], b + kk * n + j0, crow0, width);
+        AxpyAvx512(arow1[kk], b + kk * n + j0, crow1, width);
+      }
+    }
+    for (; i < i1; ++i) {
+      const double* arow = a + i * k;
+      double* crow = c + i * n + j0;
+      size_t kk = k0;
+      for (; kk + 4 <= k1; kk += 4) {
+        const __m512d a0 = _mm512_set1_pd(arow[kk]);
+        const __m512d a1 = _mm512_set1_pd(arow[kk + 1]);
+        const __m512d a2 = _mm512_set1_pd(arow[kk + 2]);
+        const __m512d a3 = _mm512_set1_pd(arow[kk + 3]);
+        const double* b0 = b + kk * n + j0;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        size_t j = 0;
+        for (; j + 8 <= width; j += 8) {
+          __m512d t = _mm512_loadu_pd(crow + j);
+          t = _mm512_fmadd_pd(a0, _mm512_loadu_pd(b0 + j), t);
+          t = _mm512_fmadd_pd(a1, _mm512_loadu_pd(b1 + j), t);
+          t = _mm512_fmadd_pd(a2, _mm512_loadu_pd(b2 + j), t);
+          t = _mm512_fmadd_pd(a3, _mm512_loadu_pd(b3 + j), t);
+          _mm512_storeu_pd(crow + j, t);
+        }
+        for (; j < width; ++j) {
+          double t = crow[j];
+          t = std::fma(arow[kk], b0[j], t);
+          t = std::fma(arow[kk + 1], b1[j], t);
+          t = std::fma(arow[kk + 2], b2[j], t);
+          t = std::fma(arow[kk + 3], b3[j], t);
+          crow[j] = t;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        AxpyAvx512(arow[kk], b + kk * n + j0, crow, width);
+      }
+    }
+  }
+}
+
+void GemmNTTileAvx512(const double* a, const double* b, double* c, size_t k,
+                      size_t n, size_t i0, size_t i1, size_t j0, size_t j1) {
+  for (size_t i = i0; i < i1; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = j0; j < j1; ++j) {
+      crow[j] = DotAvx512(arow, b + j * k, k);
+    }
+  }
+}
+
+const KernelTable kAvx512Table = {
+    Level::kAvx512,
+    "avx512",
+    &DotAvx512,
+    &SquaredNormAvx512,
+    &SquaredDistanceAvx512,
+    &AxpyAvx512,
+    &ScaleAvx512,
+    &ScaleStoreAvx512,
+    &SgnsAccumulateAvx512,
+    &GemmTileAvx512,
+    &GemmNTTileAvx512,
+};
+
+}  // namespace
+
+const KernelTable* Avx512Kernels() { return &kAvx512Table; }
+
+}  // namespace sepriv::simd
+
+#else  // !__AVX512F__
+
+namespace sepriv::simd {
+
+const KernelTable* Avx512Kernels() { return nullptr; }
+
+}  // namespace sepriv::simd
+
+#endif

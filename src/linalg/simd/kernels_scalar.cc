@@ -1,0 +1,237 @@
+// Scalar (baseline-ISA) kernel implementations — the semantic reference
+// every SIMD level must reproduce bit-for-bit.
+//
+// The accumulation contract (see simd/dispatch.h): eight-lane reduction
+// shape, fused multiply-add per partial product, fixed combine tree, serial
+// fma tail; element-wise and GEMM accumulation chains use fma per element
+// in a defined order. std::fma is the IEEE-754 fusedMultiplyAdd — correctly
+// rounded on every platform — so this TU computes exactly what the vfmadd
+// lanes of the AVX2/AVX-512 TUs compute, even when the baseline ISA has no
+// fma instruction and libm provides it in software. That makes this level a
+// *correctness* fallback (pre-2013 x86, exotic targets), not a fast path:
+// on FMA-capable hardware the dispatcher never picks it unless forced, and
+// the bench records its honest (slower) throughput per level.
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/kernels.h"
+#include "linalg/simd/dispatch.h"
+
+namespace sepriv::simd {
+namespace {
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  double acc4 = 0.0, acc5 = 0.0, acc6 = 0.0, acc7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = std::fma(a[i], b[i], acc0);
+    acc1 = std::fma(a[i + 1], b[i + 1], acc1);
+    acc2 = std::fma(a[i + 2], b[i + 2], acc2);
+    acc3 = std::fma(a[i + 3], b[i + 3], acc3);
+    acc4 = std::fma(a[i + 4], b[i + 4], acc4);
+    acc5 = std::fma(a[i + 5], b[i + 5], acc5);
+    acc6 = std::fma(a[i + 6], b[i + 6], acc6);
+    acc7 = std::fma(a[i + 7], b[i + 7], acc7);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail = std::fma(a[i], b[i], tail);
+  const double l0 = acc0 + acc4;
+  const double l1 = acc1 + acc5;
+  const double l2 = acc2 + acc6;
+  const double l3 = acc3 + acc7;
+  return ((l0 + l2) + (l1 + l3)) + tail;
+}
+
+double SquaredNormScalar(const double* a, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  double acc4 = 0.0, acc5 = 0.0, acc6 = 0.0, acc7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = std::fma(a[i], a[i], acc0);
+    acc1 = std::fma(a[i + 1], a[i + 1], acc1);
+    acc2 = std::fma(a[i + 2], a[i + 2], acc2);
+    acc3 = std::fma(a[i + 3], a[i + 3], acc3);
+    acc4 = std::fma(a[i + 4], a[i + 4], acc4);
+    acc5 = std::fma(a[i + 5], a[i + 5], acc5);
+    acc6 = std::fma(a[i + 6], a[i + 6], acc6);
+    acc7 = std::fma(a[i + 7], a[i + 7], acc7);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail = std::fma(a[i], a[i], tail);
+  const double l0 = acc0 + acc4;
+  const double l1 = acc1 + acc5;
+  const double l2 = acc2 + acc6;
+  const double l3 = acc3 + acc7;
+  return ((l0 + l2) + (l1 + l3)) + tail;
+}
+
+double SquaredDistanceScalar(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  double acc4 = 0.0, acc5 = 0.0, acc6 = 0.0, acc7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    const double d4 = a[i + 4] - b[i + 4];
+    const double d5 = a[i + 5] - b[i + 5];
+    const double d6 = a[i + 6] - b[i + 6];
+    const double d7 = a[i + 7] - b[i + 7];
+    acc0 = std::fma(d0, d0, acc0);
+    acc1 = std::fma(d1, d1, acc1);
+    acc2 = std::fma(d2, d2, acc2);
+    acc3 = std::fma(d3, d3, acc3);
+    acc4 = std::fma(d4, d4, acc4);
+    acc5 = std::fma(d5, d5, acc5);
+    acc6 = std::fma(d6, d6, acc6);
+    acc7 = std::fma(d7, d7, acc7);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail = std::fma(d, d, tail);
+  }
+  const double l0 = acc0 + acc4;
+  const double l1 = acc1 + acc5;
+  const double l2 = acc2 + acc6;
+  const double l3 = acc3 + acc7;
+  return ((l0 + l2) + (l1 + l3)) + tail;
+}
+
+void AxpyScalar(double alpha, const double* SEPRIV_SIMD_RESTRICT x,
+                double* SEPRIV_SIMD_RESTRICT y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void ScaleScalar(double alpha, double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void ScaleStoreScalar(double alpha, const double* SEPRIV_SIMD_RESTRICT x,
+                      double* SEPRIV_SIMD_RESTRICT y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = alpha * x[i];
+}
+
+double SgnsAccumulateScalar(const double* vi, const double* vn, size_t dim,
+                            double weight, double indicator,
+                            double* center_grad, double* ctx_row) {
+  const double x = DotScalar(vi, vn, dim);
+  const double coeff = weight * (kernels::Sigmoid(x) - indicator);
+  for (size_t d = 0; d < dim; ++d) {
+    center_grad[d] = std::fma(coeff, vn[d], center_grad[d]);
+    ctx_row[d] = coeff * vi[d];
+  }
+  return x;
+}
+
+// One (i0..i1, j0..j1) output tile of C = A * B, depth blocks ascending,
+// 2-row x 4-depth register block, every per-element chain an ascending-k
+// fma sequence. This loop *structure* is what the vector tiles widen; the
+// per-element arithmetic is identical there.
+void GemmTileScalar(const double* a, const double* b, double* c, size_t k,
+                    size_t n, size_t i0, size_t i1, size_t j0, size_t j1) {
+  const size_t width = j1 - j0;
+  for (size_t i = i0; i < i1; ++i) {
+    double* crow = c + i * n + j0;
+    for (size_t j = 0; j < width; ++j) crow[j] = 0.0;
+  }
+  for (size_t k0 = 0; k0 < k; k0 += kGemmTileDepth) {
+    const size_t k1 = k0 + kGemmTileDepth < k ? k0 + kGemmTileDepth : k;
+    size_t i = i0;
+    for (; i + 2 <= i1; i += 2) {
+      const double* arow0 = a + i * k;
+      const double* arow1 = arow0 + k;
+      double* crow0 = c + i * n + j0;
+      double* crow1 = crow0 + n;
+      size_t kk = k0;
+      for (; kk + 4 <= k1; kk += 4) {
+        const double a00 = arow0[kk], a01 = arow0[kk + 1];
+        const double a02 = arow0[kk + 2], a03 = arow0[kk + 3];
+        const double a10 = arow1[kk], a11 = arow1[kk + 1];
+        const double a12 = arow1[kk + 2], a13 = arow1[kk + 3];
+        const double* b0 = b + kk * n + j0;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        for (size_t j = 0; j < width; ++j) {
+          const double bv0 = b0[j], bv1 = b1[j], bv2 = b2[j], bv3 = b3[j];
+          double t0 = crow0[j];
+          t0 = std::fma(a00, bv0, t0);
+          t0 = std::fma(a01, bv1, t0);
+          t0 = std::fma(a02, bv2, t0);
+          t0 = std::fma(a03, bv3, t0);
+          crow0[j] = t0;
+          double t1 = crow1[j];
+          t1 = std::fma(a10, bv0, t1);
+          t1 = std::fma(a11, bv1, t1);
+          t1 = std::fma(a12, bv2, t1);
+          t1 = std::fma(a13, bv3, t1);
+          crow1[j] = t1;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        AxpyScalar(arow0[kk], b + kk * n + j0, crow0, width);
+        AxpyScalar(arow1[kk], b + kk * n + j0, crow1, width);
+      }
+    }
+    for (; i < i1; ++i) {
+      const double* arow = a + i * k;
+      double* crow = c + i * n + j0;
+      size_t kk = k0;
+      for (; kk + 4 <= k1; kk += 4) {
+        const double a0 = arow[kk], a1 = arow[kk + 1];
+        const double a2 = arow[kk + 2], a3 = arow[kk + 3];
+        const double* b0 = b + kk * n + j0;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        for (size_t j = 0; j < width; ++j) {
+          double t = crow[j];
+          t = std::fma(a0, b0[j], t);
+          t = std::fma(a1, b1[j], t);
+          t = std::fma(a2, b2[j], t);
+          t = std::fma(a3, b3[j], t);
+          crow[j] = t;
+        }
+      }
+      for (; kk < k1; ++kk) {
+        AxpyScalar(arow[kk], b + kk * n + j0, crow, width);
+      }
+    }
+  }
+}
+
+// One output tile of C = A * B^T: every element is a contract-shape dot.
+void GemmNTTileScalar(const double* a, const double* b, double* c, size_t k,
+                      size_t n, size_t i0, size_t i1, size_t j0, size_t j1) {
+  for (size_t i = i0; i < i1; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = j0; j < j1; ++j) {
+      crow[j] = DotScalar(arow, b + j * k, k);
+    }
+  }
+}
+
+const KernelTable kScalarTable = {
+    Level::kScalar,
+    "scalar",
+    &DotScalar,
+    &SquaredNormScalar,
+    &SquaredDistanceScalar,
+    &AxpyScalar,
+    &ScaleScalar,
+    &ScaleStoreScalar,
+    &SgnsAccumulateScalar,
+    &GemmTileScalar,
+    &GemmNTTileScalar,
+};
+
+}  // namespace
+
+const KernelTable* ScalarKernels() { return &kScalarTable; }
+
+}  // namespace sepriv::simd

@@ -1,8 +1,10 @@
 // Property tests for the vectorized kernel layer: every kernel is checked
 // against a naive single-accumulator reference across sizes 1..~130 (so the
-// remainder lanes of the 4-wide accumulation shape are all exercised), the
-// GEMMs against shape edge cases, and the parallel paths for bit-identical
-// output across thread counts.
+// remainder lanes of the 8-wide accumulation shape are all exercised) at
+// every compiled-in+supported SIMD dispatch level, the GEMMs against shape
+// edge cases, the parallel paths for bit-identical output across thread
+// counts, and every dispatch level for bit-identical output against the
+// scalar reference level (the simd/dispatch.h contract).
 
 #include "linalg/kernels.h"
 
@@ -14,8 +16,10 @@
 #include <vector>
 
 #include "bench/naive_reference.h"
+#include "core/se_privgemb.h"
 #include "graph/generators.h"
 #include "linalg/matrix.h"
+#include "linalg/simd/cpu_features.h"
 #include "nn/gcn.h"
 #include "util/digest.h"
 #include "util/rng.h"
@@ -34,23 +38,42 @@ struct ThreadGuard {
   ~ThreadGuard() { kernels::SetLinalgThreads(0); }
 };
 
-TEST(KernelsTest, ReductionsMatchNaiveAcrossRemainderLanes) {
-  Rng rng(11);
-  for (size_t n = 1; n <= 130; ++n) {
-    const auto a = RandomVec(rng, n);
-    const auto b = RandomVec(rng, n);
-    // The 4-accumulator shape reassociates the sum, so compare with a
-    // relative tolerance, not bit equality.
-    const double tol = 1e-12 * static_cast<double>(n);
-    EXPECT_NEAR(kernels::Dot(a.data(), b.data(), n),
-                naive::Dot(a.data(), b.data(), n), tol)
-        << "n=" << n;
-    EXPECT_NEAR(kernels::SquaredNorm(a.data(), n),
-                naive::SquaredNorm(a.data(), n), tol)
-        << "n=" << n;
-    EXPECT_NEAR(kernels::SquaredDistance(a.data(), b.data(), n),
-                naive::SquaredDistance(a.data(), b.data(), n), tol)
-        << "n=" << n;
+// Restores auto dispatch after a test that forces a SIMD level.
+struct LevelGuard {
+  ~LevelGuard() { simd::ResetLevel(); }
+};
+
+// Every dispatch level this build+CPU can actually run (always >= scalar).
+std::vector<simd::Level> SupportedLevels() {
+  std::vector<simd::Level> out;
+  for (simd::Level level :
+       {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (simd::LevelSupported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+TEST(KernelsTest, ReductionsMatchNaiveAcrossRemainderLanesPerLevel) {
+  LevelGuard guard;
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    Rng rng(11);
+    for (size_t n = 1; n <= 130; ++n) {
+      const auto a = RandomVec(rng, n);
+      const auto b = RandomVec(rng, n);
+      // The 8-accumulator fma shape reassociates the sum, so compare with a
+      // relative tolerance, not bit equality.
+      const double tol = 1e-12 * static_cast<double>(n);
+      EXPECT_NEAR(kernels::Dot(a.data(), b.data(), n),
+                  naive::Dot(a.data(), b.data(), n), tol)
+          << "n=" << n << " level=" << simd::LevelName(level);
+      EXPECT_NEAR(kernels::SquaredNorm(a.data(), n),
+                  naive::SquaredNorm(a.data(), n), tol)
+          << "n=" << n << " level=" << simd::LevelName(level);
+      EXPECT_NEAR(kernels::SquaredDistance(a.data(), b.data(), n),
+                  naive::SquaredDistance(a.data(), b.data(), n), tol)
+          << "n=" << n << " level=" << simd::LevelName(level);
+    }
   }
 }
 
@@ -64,40 +87,178 @@ TEST(KernelsTest, ReductionsAreDeterministic) {
             kernels::SquaredNorm(a.data(), a.size()));
 }
 
-TEST(KernelsTest, AxpyScaleStoreMatchNaive) {
-  Rng rng(13);
-  for (size_t n : {1u, 3u, 4u, 7u, 64u, 129u}) {
-    const auto x = RandomVec(rng, n);
-    auto y = RandomVec(rng, n);
-    auto y_ref = y;
-    kernels::Axpy(0.75, x.data(), y.data(), n);
-    for (size_t i = 0; i < n; ++i) y_ref[i] += 0.75 * x[i];
-    EXPECT_EQ(y, y_ref) << "n=" << n;  // elementwise: bit-identical
+TEST(KernelsTest, AxpyScaleStoreMatchNaivePerLevel) {
+  LevelGuard guard;
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    Rng rng(13);
+    for (size_t n : {1u, 3u, 4u, 7u, 64u, 129u}) {
+      const auto x = RandomVec(rng, n);
+      auto y = RandomVec(rng, n);
+      auto y_ref = y;
+      kernels::Axpy(0.75, x.data(), y.data(), n);
+      // Elementwise contract: one fma per element — bit-identical.
+      for (size_t i = 0; i < n; ++i) y_ref[i] = std::fma(0.75, x[i], y_ref[i]);
+      EXPECT_EQ(y, y_ref) << "n=" << n << " level=" << simd::LevelName(level);
 
-    kernels::Scale(-1.5, y.data(), n);
-    for (size_t i = 0; i < n; ++i) y_ref[i] *= -1.5;
-    EXPECT_EQ(y, y_ref);
+      kernels::Scale(-1.5, y.data(), n);
+      for (size_t i = 0; i < n; ++i) y_ref[i] *= -1.5;
+      EXPECT_EQ(y, y_ref);
 
-    std::vector<double> z(n);
-    kernels::ScaleStore(2.0, x.data(), z.data(), n);
-    for (size_t i = 0; i < n; ++i) EXPECT_EQ(z[i], 2.0 * x[i]);
+      std::vector<double> z(n);
+      kernels::ScaleStore(2.0, x.data(), z.data(), n);
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(z[i], 2.0 * x[i]);
+    }
   }
 }
 
-TEST(KernelsTest, SgnsAccumulateMatchesComposition) {
-  Rng rng(14);
-  for (size_t dim : {1u, 5u, 32u, 127u}) {
+TEST(KernelsTest, SgnsAccumulateMatchesCompositionPerLevel) {
+  LevelGuard guard;
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    Rng rng(14);
+    for (size_t dim : {1u, 5u, 32u, 127u}) {
+      const auto vi = RandomVec(rng, dim);
+      const auto vn = RandomVec(rng, dim);
+      std::vector<double> center(dim, 0.5), row(dim, -3.0);
+      const double x = kernels::SgnsAccumulate(vi.data(), vn.data(), dim, 0.8,
+                                               1.0, center.data(), row.data());
+      EXPECT_EQ(x, kernels::Dot(vi.data(), vn.data(), dim));
+      const double coeff = 0.8 * (kernels::Sigmoid(x) - 1.0);
+      for (size_t d = 0; d < dim; ++d) {
+        EXPECT_EQ(center[d], std::fma(coeff, vn[d], 0.5))
+            << "level=" << simd::LevelName(level);
+        EXPECT_EQ(row[d], coeff * vi[d]);
+      }
+    }
+  }
+}
+
+// --- Cross-level bit-identity: the simd/dispatch.h contract ---------------
+
+TEST(KernelsTest, CpuFeaturesApi) {
+  // Scalar is always compiled in and supported; the auto choice must be a
+  // supported level; names round-trip through ParseLevel.
+  EXPECT_TRUE(simd::LevelCompiled(simd::Level::kScalar));
+  EXPECT_TRUE(simd::LevelSupported(simd::Level::kScalar));
+  EXPECT_TRUE(simd::LevelSupported(simd::BestSupportedLevel()));
+  for (simd::Level level : SupportedLevels()) {
+    simd::Level parsed;
+    ASSERT_TRUE(simd::ParseLevel(simd::LevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  simd::Level ignored;
+  EXPECT_FALSE(simd::ParseLevel("avx1024", &ignored));
+  EXPECT_FALSE(simd::ParseLevel("", &ignored));
+
+  LevelGuard guard;
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    EXPECT_EQ(simd::ActiveLevel(), level);
+  }
+}
+
+TEST(KernelsTest, ReductionsBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  const auto levels = SupportedLevels();
+  Rng rng(41);
+  for (size_t n = 1; n <= 130; ++n) {
+    const auto a = RandomVec(rng, n);
+    const auto b = RandomVec(rng, n);
+    simd::SetLevel(simd::Level::kScalar);
+    const double dot = kernels::Dot(a.data(), b.data(), n);
+    const double norm = kernels::SquaredNorm(a.data(), n);
+    const double dist = kernels::SquaredDistance(a.data(), b.data(), n);
+    for (simd::Level level : levels) {
+      simd::SetLevel(level);
+      EXPECT_EQ(kernels::Dot(a.data(), b.data(), n), dot)
+          << "n=" << n << " level=" << simd::LevelName(level);
+      EXPECT_EQ(kernels::SquaredNorm(a.data(), n), norm)
+          << "n=" << n << " level=" << simd::LevelName(level);
+      EXPECT_EQ(kernels::SquaredDistance(a.data(), b.data(), n), dist)
+          << "n=" << n << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(KernelsTest, SgnsAccumulateBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  Rng rng(42);
+  for (size_t dim : {1u, 7u, 16u, 33u, 128u}) {
     const auto vi = RandomVec(rng, dim);
     const auto vn = RandomVec(rng, dim);
-    std::vector<double> center(dim, 0.5), row(dim, -3.0);
-    const double x = kernels::SgnsAccumulate(vi.data(), vn.data(), dim, 0.8,
-                                             1.0, center.data(), row.data());
-    EXPECT_EQ(x, kernels::Dot(vi.data(), vn.data(), dim));
-    const double coeff = 0.8 * (kernels::Sigmoid(x) - 1.0);
-    for (size_t d = 0; d < dim; ++d) {
-      EXPECT_EQ(center[d], 0.5 + coeff * vn[d]);
-      EXPECT_EQ(row[d], coeff * vi[d]);
+    simd::SetLevel(simd::Level::kScalar);
+    std::vector<double> center_ref(dim, 0.25), row_ref(dim, 0.0);
+    const double x_ref = kernels::SgnsAccumulate(
+        vi.data(), vn.data(), dim, 0.8, 1.0, center_ref.data(),
+        row_ref.data());
+    for (simd::Level level : SupportedLevels()) {
+      simd::SetLevel(level);
+      std::vector<double> center(dim, 0.25), row(dim, 0.0);
+      const double x = kernels::SgnsAccumulate(vi.data(), vn.data(), dim, 0.8,
+                                               1.0, center.data(), row.data());
+      EXPECT_EQ(x, x_ref) << "dim=" << dim;
+      EXPECT_EQ(center, center_ref)
+          << "dim=" << dim << " level=" << simd::LevelName(level);
+      EXPECT_EQ(row, row_ref)
+          << "dim=" << dim << " level=" << simd::LevelName(level);
     }
+  }
+}
+
+TEST(KernelsTest, GemmBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  Rng rng(43);
+  // Spans multiple tiles, odd remainders on every axis, and all three GEMM
+  // variants.
+  Matrix a(131, 67, 0.0), b(67, 139, 0.0);
+  a.FillUniform(rng, -1.0, 1.0);
+  b.FillUniform(rng, -1.0, 1.0);
+  simd::SetLevel(simd::Level::kScalar);
+  const uint64_t nn = MatrixDigest(MatMul(a, b));
+  const uint64_t tn = MatrixDigest(MatTMul(a, Matrix(a)));
+  const uint64_t nt = MatrixDigest(MatMulT(b, Matrix(b)));
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    EXPECT_EQ(MatrixDigest(MatMul(a, b)), nn) << simd::LevelName(level);
+    EXPECT_EQ(MatrixDigest(MatTMul(a, Matrix(a))), tn)
+        << simd::LevelName(level);
+    EXPECT_EQ(MatrixDigest(MatMulT(b, Matrix(b))), nt)
+        << simd::LevelName(level);
+  }
+}
+
+TEST(KernelsTest, TrainResultDigestInvariantAcrossLevels) {
+  // End-to-end witness for the ISSUE acceptance criterion: a full (small)
+  // SE-PrivGEmb training run produces the identical model under every
+  // dispatch level — SEPRIV_SIMD can never change results, only wall-clock.
+  LevelGuard guard;
+  const Graph g = KarateClub();
+  SePrivGEmbConfig cfg;
+  cfg.dim = 16;
+  cfg.negatives = 5;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 0.1;
+  cfg.max_epochs = 12;
+  cfg.noise_multiplier = 5.0;
+  cfg.clip_threshold = 2.0;
+  cfg.epsilon = 3.5;
+  cfg.delta = 1e-5;
+  cfg.seed = 42;
+
+  simd::SetLevel(simd::Level::kScalar);
+  SePrivGEmb ref_trainer(g, ProximityKind::kDeepWalk, cfg);
+  const TrainResult ref = ref_trainer.Train();
+  const uint64_t w_in = MatrixDigest(ref.model.w_in);
+  const uint64_t w_out = MatrixDigest(ref.model.w_out);
+
+  for (simd::Level level : SupportedLevels()) {
+    simd::SetLevel(level);
+    SePrivGEmb trainer(g, ProximityKind::kDeepWalk, cfg);
+    const TrainResult r = trainer.Train();
+    EXPECT_EQ(MatrixDigest(r.model.w_in), w_in) << simd::LevelName(level);
+    EXPECT_EQ(MatrixDigest(r.model.w_out), w_out) << simd::LevelName(level);
+    EXPECT_EQ(r.epochs_run, ref.epochs_run);
   }
 }
 

@@ -37,6 +37,12 @@
 //                        missing synchronisation and makes run time (and
 //                        under load, results) machine-dependent; use the
 //                        pool's barriers or condition variables
+//   raw-intrinsics       <immintrin.h> / _mm* intrinsics / __m128-__m512
+//                        vector types outside src/linalg/simd/ — SIMD code
+//                        lives behind the runtime dispatcher (one
+//                        accumulation-order contract, per-file ISA flags,
+//                        scalar fallback); an intrinsic anywhere else either
+//                        crashes baseline CPUs or forks the numerics
 //   unchecked-io         a statement that calls one of the repo's
 //                        failure-reporting IO entry points (PageFile
 //                        read/write/sync, buffer-pool pins, sample-store
@@ -314,9 +320,13 @@ void ScanFile(const fs::path& path, const std::string& path_label,
 
   // util/rng.h is the sanctioned home of raw engine/distribution code: it
   // wraps them into the seeded, forkable stream the rest of the repo uses.
-  // util/env.h is likewise the one legal caller of getenv().
+  // util/env.h is likewise the one legal caller of getenv(), and
+  // src/linalg/simd/ the one legal home of vector intrinsics (the runtime
+  // dispatcher with per-file ISA flags and the scalar bit-exact reference).
   const bool is_rng_home = EndsWith(path_label, "util/rng.h");
   const bool is_env_home = EndsWith(path_label, "util/env.h");
+  const bool is_simd_home =
+      path_label.find("linalg/simd/") != std::string::npos;
 
   const std::vector<Token> toks = Tokenize(src);
   std::vector<Diagnostic> local;
@@ -351,6 +361,17 @@ void ScanFile(const fs::path& path, const std::string& path_label,
           {path_label, line, "raw-distribution",
            "std::" + t + " sampling is implementation-defined; use the "
            "Rng::Uniform/UniformInt/Normal/Bernoulli equivalents"});
+    } else if (!is_simd_home &&
+               (t == "immintrin" || t.compare(0, 3, "_mm") == 0 ||
+                t.compare(0, 3, "__m") == 0)) {
+      // "__m" / "_mm" prefixes cover the vector types (__m128..__m512d) and
+      // every intrinsic family (_mm_, _mm256_, _mm512_); both prefixes are
+      // compiler-reserved, so no legitimate repo identifier can collide.
+      local.push_back(
+          {path_label, line, "raw-intrinsics",
+           "'" + t + "' outside src/linalg/simd/: SIMD goes through the "
+           "runtime dispatcher (linalg/simd/dispatch.h) so every kernel has "
+           "a scalar bit-exact fallback and per-file ISA flags"});
     } else if (!member_access && RawRandFunctions().count(t) != 0 &&
                tok(i + 1) == "(") {
       local.push_back({path_label, line, "raw-rand",

@@ -1,0 +1,35 @@
+// Fixture: raw-intrinsics — vector intrinsics outside src/linalg/simd/.
+// (This file's label is its bare filename, so the linter treats it as
+// outside the simd home; the exemption itself is exercised by the clean
+// in-tree scan of src/linalg/simd/kernels_avx2.cc.)
+
+#include <immintrin.h>  // expect-lint: raw-intrinsics
+#include <cstddef>
+
+namespace fixture {
+
+double DotAvxInline(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();               // expect-lint: raw-intrinsics, raw-intrinsics
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i),  // expect-lint: raw-intrinsics, raw-intrinsics
+                          _mm256_loadu_pd(b + i),  // expect-lint: raw-intrinsics
+                          acc);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);  // expect-lint: raw-intrinsics
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+// The SSE family and the 512-bit types are banned by the same prefixes.
+void WideTypes() {
+  __m128d narrow = _mm_setzero_pd();   // expect-lint: raw-intrinsics, raw-intrinsics
+  __m512d wide = _mm512_setzero_pd();  // expect-lint: raw-intrinsics, raw-intrinsics
+  (void)narrow;
+  (void)wide;
+}
+
+// A justified suppression still works for one-off probes.
+// sepriv-lint: allow(raw-intrinsics): doc example, never compiled for production
+inline void Probe() { _mm_pause(); }
+
+}  // namespace fixture
